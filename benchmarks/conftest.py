@@ -1,0 +1,7 @@
+"""pytest configuration for the figure/table reproduction benches."""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work when pytest is invoked from the repo root.
+sys.path.insert(0, str(Path(__file__).parent))

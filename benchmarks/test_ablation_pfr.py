@@ -1,0 +1,50 @@
+"""Ablation: intra-frame (PTR/LIBRA) vs inter-frame (PFR) parallelism.
+
+PFR (Arnau et al., PACT 2013 — the paper's related work) renders two
+*consecutive frames* in parallel on two half-GPUs instead of two tiles of
+the same frame.  It exploits inter-frame texture locality but doubles the
+frame working set in flight and adds a frame of latency.  Same substrate,
+same workloads — which parallelism wins here?
+"""
+
+from common import banner, pedantic, result, run
+
+from repro import harness
+from repro.gpu.pfr import PFRSimulator
+from repro.stats import format_table, geometric_mean
+
+SUITE = ("GrT", "SuS", "CCS", "BlB", "GDL", "Jet")
+
+
+def collect():
+    table = {}
+    for name in SUITE:
+        traces = harness.get_traces(name)
+        base = run(name, "baseline")
+        libra = run(name, "libra")
+        config, _ = harness.make_config("ptr")
+        pfr = PFRSimulator(config).run(traces)
+        table[name] = {
+            "LIBRA": libra.speedup_over(base),
+            "PFR": base.total_cycles / pfr.total_cycles,
+        }
+    return table
+
+
+def test_ablation_pfr(benchmark):
+    table = pedantic(benchmark, collect)
+    banner("Ablation — LIBRA (intra-frame) vs PFR (inter-frame) parallelism",
+           "both beat the serial baseline; LIBRA needs no extra frame "
+           "of latency")
+    rows = [[n, f"{table[n]['LIBRA']:.3f}", f"{table[n]['PFR']:.3f}"]
+            for n in SUITE]
+    libra_mean = geometric_mean([table[n]["LIBRA"] for n in SUITE])
+    pfr_mean = geometric_mean([table[n]["PFR"] for n in SUITE])
+    rows.append(["geomean", f"{libra_mean:.3f}", f"{pfr_mean:.3f}"])
+    print(format_table(("bench", "LIBRA speedup", "PFR speedup"), rows))
+    result("ablation.libra_speedup", libra_mean)
+    result("ablation.pfr_speedup", pfr_mean)
+
+    # Both parallelization strategies beat the serial baseline.
+    assert libra_mean > 1.0
+    assert pfr_mean > 0.95

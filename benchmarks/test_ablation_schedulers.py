@@ -1,0 +1,70 @@
+"""Ablation: LIBRA against the scheduling design space.
+
+Not a paper figure — this brackets LIBRA's two ingredients (balance and
+locality) with policies from the paper's related work:
+
+* Hilbert traversal (DTexL's order): pure locality, no balance.
+* Reverse-frame traversal (Boustrophedonic Frames): cross-frame L2 reuse.
+* Random supertiles: destroys both — the lower bracket.
+* Oracle temperature: LIBRA's scheduler with a perfect same-frame
+  predictor — the upper bracket for prediction quality, isolating the
+  cost of relying on frame-to-frame coherence.
+"""
+
+from common import banner, pedantic, result, run
+
+from repro import GPUSimulator, harness
+from repro.core.alternatives import (OracleTemperatureScheduler,
+                                     RandomScheduler,
+                                     ReverseFrameScheduler,
+                                     TraversalScheduler)
+from repro.stats import format_table, geometric_mean
+
+SUITE = ("GrT", "SuS", "BlB", "CCS", "TwR", "HoW")
+
+
+def _run_custom(name, scheduler_factory):
+    traces = harness.get_traces(name)
+    config, _ = harness.make_config("ptr")
+    simulator = GPUSimulator(config, scheduler=scheduler_factory())
+    return simulator.run(traces)
+
+
+def collect():
+    policies = {
+        "hilbert": lambda: TraversalScheduler("hilbert"),
+        "reverse-frame": ReverseFrameScheduler,
+        "random 2x2": lambda: RandomScheduler(size=2, seed=0),
+        "oracle temp 4x4": lambda: OracleTemperatureScheduler(4),
+    }
+    table = {}
+    for name in SUITE:
+        base = run(name, "baseline")
+        row = {"PTR": run(name, "ptr").speedup_over(base),
+               "LIBRA": run(name, "libra").speedup_over(base)}
+        for label, factory in policies.items():
+            custom = _run_custom(name, factory)
+            row[label] = base.total_cycles / custom.total_cycles
+        table[name] = row
+    return table
+
+
+def test_ablation_scheduler_space(benchmark):
+    table = pedantic(benchmark, collect)
+    banner("Ablation — the tile-scheduling design space",
+           "LIBRA ~ oracle >> random; pure-locality orders in between")
+    columns = list(next(iter(table.values())))
+    rows = [[name] + [f"{table[name][c]:.3f}" for c in columns]
+            for name in SUITE]
+    means = {c: geometric_mean([table[n][c] for n in SUITE])
+             for c in columns}
+    rows.append(["geomean"] + [f"{means[c]:.3f}" for c in columns])
+    print(format_table(["bench"] + columns, rows))
+    for column, mean in means.items():
+        result(f"ablation.{column.replace(' ', '_')}", mean)
+
+    # The frame-coherence predictor loses little against the oracle.
+    assert means["LIBRA"] >= means["oracle temp 4x4"] - 0.03
+    # Random supertiles are the worst policy of the bunch.
+    assert means["random 2x2"] <= min(
+        means[c] for c in columns if c != "random 2x2") + 0.01

@@ -1,0 +1,35 @@
+"""Figure 1: distribution of GPU execution time per frame.
+
+Paper: "on average, 88% [of the time] is spent on the raster process" —
+the observation that motivates attacking the Raster Pipeline at all.
+We reproduce the geometry/raster split per benchmark on the baseline GPU.
+"""
+
+from common import FULL_SUITE, banner, pedantic, result, run
+
+from repro.stats import arithmetic_mean, format_table
+
+
+def collect():
+    rows = []
+    fractions = []
+    for name in FULL_SUITE:
+        summary = run(name, "baseline")
+        raster_fraction = summary.raster_cycles / summary.total_cycles
+        fractions.append(raster_fraction)
+        rows.append([name, summary.geometry_cycles, summary.raster_cycles,
+                     f"{raster_fraction * 100:.1f}%"])
+    return rows, fractions
+
+
+def test_fig01_raster_dominates(benchmark):
+    rows, fractions = pedantic(benchmark, collect)
+    banner("Fig. 1 — execution-time breakdown",
+           "on average 88% of GPU time is spent on the raster process")
+    print(format_table(("bench", "geometry cyc", "raster cyc", "raster %"),
+                       rows))
+    mean_fraction = arithmetic_mean(fractions)
+    result("fig1.mean_raster_fraction", mean_fraction, paper=0.88)
+    # Shape check: rasterization dominates for every benchmark.
+    assert mean_fraction > 0.70
+    assert min(fractions) > 0.5

@@ -1,0 +1,55 @@
+"""Figure 2: per-tile DRAM-access heatmap of a rendered frame (SuS).
+
+Paper: the heatmap of Subway Surfers shows *hot* tiles around the main
+character, HUD bars and detailed props, and *cold* tiles over low-detail
+background — the spatial imbalance LIBRA's scheduler exploits.  We
+regenerate the heatmap for our SuS stand-in and check the imbalance and
+clustering quantitatively.
+"""
+
+import numpy as np
+from common import banner, pedantic, result, run
+
+from repro.stats import hot_cold_summary, render_ascii, tile_matrix
+
+
+def collect():
+    summary = run("SuS", "baseline")
+    return summary
+
+
+def test_fig02_heatmap(benchmark):
+    summary = pedantic(benchmark, collect)
+    banner("Fig. 2 — per-tile DRAM heatmap (SuS)",
+           "hot tiles cluster around the character/HUD; background is cold")
+    per_tile = summary.per_tile_dram_last
+    tiles_x = max(t[0] for t in per_tile) + 1
+    tiles_y = max(t[1] for t in per_tile) + 1
+    matrix = tile_matrix(per_tile, tiles_x, tiles_y)
+    print(render_ascii(matrix))
+
+    stats = hot_cold_summary(per_tile, hot_fraction=0.1)
+    result("fig2.top10pct_tile_share_of_dram", stats["hot_share"])
+
+    # Imbalance: the hottest 10% of tiles carry well over 10% of traffic.
+    assert stats["hot_share"] > 0.2
+
+    # Clustering: hot tiles have hot neighbours (spatial autocorrelation).
+    hot_threshold = np.percentile(matrix[matrix > 0], 80)
+    hot_mask = matrix >= hot_threshold
+    neighbor_hot = 0
+    hot_total = 0
+    for y in range(tiles_y):
+        for x in range(tiles_x):
+            if not hot_mask[y, x]:
+                continue
+            hot_total += 1
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < tiles_x and 0 <= ny < tiles_y \
+                        and hot_mask[ny, nx]:
+                    neighbor_hot += 1
+                    break
+    clustering = neighbor_hot / max(hot_total, 1)
+    result("fig2.hot_tile_clustering", clustering)
+    assert clustering > 0.5  # most hot tiles touch another hot tile

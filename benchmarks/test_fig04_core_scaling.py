@@ -1,0 +1,38 @@
+"""Figure 4: speedup of doubling a single Raster Unit from 4 to 8 cores.
+
+Paper: "doubling the number of cores does not work well for many of the
+applications ... 16 out of 32 [have speedup below 1.50]", with some (BlB,
+CCS) below 1.10.  This is the motivation for parallel tile rendering:
+per-tile work cannot keep a wider core array busy.
+"""
+
+from common import FULL_SUITE, banner, pedantic, result, run
+
+from repro.stats import format_table
+
+
+def collect():
+    speedups = {}
+    for name in FULL_SUITE:
+        four = run(name, "baseline4")
+        eight = run(name, "baseline8")
+        speedups[name] = four.total_cycles / eight.total_cycles
+    return speedups
+
+
+def test_fig04_doubling_cores_disappoints(benchmark):
+    speedups = pedantic(benchmark, collect)
+    banner("Fig. 4 — speedup of 8 vs 4 cores in one Raster Unit",
+           "16 of 32 benchmarks gain < 1.50x from doubling cores")
+    rows = sorted(speedups.items(), key=lambda kv: kv[1])
+    print(format_table(("bench", "speedup 4->8 cores"),
+                       [[n, f"{s:.3f}"] for n, s in rows]))
+    below_150 = sum(1 for s in speedups.values() if s < 1.50)
+    result("fig4.benchmarks_below_1.5x", below_150, paper=16)
+    result("fig4.min_speedup", min(speedups.values()))
+    result("fig4.max_speedup", max(speedups.values()))
+
+    # Shape: every speedup is far from the ideal 2x, a large share of the
+    # suite is below 1.5x, and nothing slows down.
+    assert below_150 >= 8
+    assert all(0.95 <= s < 2.0 for s in speedups.values())

@@ -1,0 +1,44 @@
+"""Figure 7: DRAM requests per 5000-cycle interval within a CCS frame.
+
+Paper: "there are certain intervals which are much more memory-intensive
+than others" — the bursty demand profile that motivates smoothing.  We
+regenerate the series for our CCS stand-in on the baseline GPU, then show
+that LIBRA's temperature scheduling reduces the burstiness.
+"""
+
+from common import banner, pedantic, result, run
+
+from repro.stats import (coefficient_of_variation, format_series,
+                         rebin_series)
+
+#: Simulation interval is 1000 cycles; the paper plots 5000-cycle bins.
+REBIN = 5
+
+
+def collect():
+    baseline = run("CCS", "baseline")
+    libra = run("CCS", "libra")
+    return baseline, libra
+
+
+def test_fig07_dram_burstiness(benchmark):
+    baseline, libra = pedantic(benchmark, collect)
+    banner("Fig. 7 — DRAM requests per 5000-cycle interval (CCS)",
+           "memory demand within a frame is strongly bursty")
+    base_series = rebin_series(baseline.last_frame_intervals, REBIN)
+    libra_series = rebin_series(libra.last_frame_intervals, REBIN)
+    print(format_series("baseline", base_series))
+    print(format_series("libra   ", libra_series))
+
+    base_cov = coefficient_of_variation(base_series)
+    libra_cov = coefficient_of_variation(libra_series)
+    result("fig7.baseline_interval_cov", base_cov)
+    result("fig7.libra_interval_cov", libra_cov)
+    peak_over_mean = max(base_series) / (sum(base_series)
+                                         / len(base_series))
+    result("fig7.baseline_peak_over_mean", peak_over_mean)
+
+    # Shape: visible burstiness on the baseline (peaks well above the
+    # mean), i.e. there is something for the scheduler to smooth.
+    assert peak_over_mean > 1.5
+    assert base_cov > 0.2

@@ -1,0 +1,47 @@
+"""Figure 8: cumulative per-tile DRAM-access difference across frames.
+
+Paper: "more than 80% of the tiles have a difference lower than 20%,
+which confirms the high degree of frame-to-frame coherence" — the
+property that lets LIBRA predict this frame's tile temperatures from the
+last frame's measurements.
+"""
+
+from common import FULL_SUITE, banner, pedantic, result, run
+
+from repro.stats import format_table, per_tile_difference_cdf
+
+THRESHOLDS = (0.05, 0.10, 0.20, 0.40, 0.60, 1.00)
+
+
+def collect():
+    per_threshold = {t: [] for t in THRESHOLDS}
+    for name in FULL_SUITE:
+        summary = run(name, "baseline")
+        cdf = per_tile_difference_cdf(summary.per_tile_dram_prev,
+                                      summary.per_tile_dram_last,
+                                      THRESHOLDS)
+        for threshold, fraction in cdf:
+            per_threshold[threshold].append(fraction)
+    return per_threshold
+
+
+def test_fig08_frame_coherence(benchmark):
+    per_threshold = pedantic(benchmark, collect)
+    banner("Fig. 8 — CDF of per-tile DRAM difference, consecutive frames",
+           ">80% of tiles change by <20% between consecutive frames")
+    rows = []
+    means = {}
+    for threshold in THRESHOLDS:
+        values = per_threshold[threshold]
+        means[threshold] = sum(values) / len(values)
+        rows.append([f"<= {threshold * 100:.0f}%",
+                     f"{means[threshold] * 100:.1f}%"])
+    print(format_table(("difference", "fraction of tiles (suite mean)"),
+                       rows))
+    result("fig8.tiles_below_20pct_difference", means[0.20], paper=0.80)
+
+    # Shape: strong coherence at the 20% threshold, monotone CDF.
+    assert means[0.20] > 0.6
+    ordered = [means[t] for t in THRESHOLDS]
+    assert ordered == sorted(ordered)
+    assert means[1.00] == 1.0

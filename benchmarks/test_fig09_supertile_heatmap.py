@@ -1,0 +1,53 @@
+"""Figure 9: tile-level vs supertile-level heat (HCR).
+
+Paper: "Nearby tiles tend to employ similar textures, and hotspots cover
+a cluster of neighboring tiles" — shown as HCR heatmaps at tile and
+supertile granularity.  Aggregating to supertiles must preserve the
+hot/cold structure (else supertile scheduling couldn't work) while
+smoothing single-tile noise.
+"""
+
+import numpy as np
+from common import banner, pedantic, result, run
+
+from repro.stats import render_ascii, supertile_matrix, tile_matrix
+
+
+def collect():
+    return run("HCR", "baseline")
+
+
+def test_fig09_supertile_granularity(benchmark):
+    summary = pedantic(benchmark, collect)
+    banner("Fig. 9 — tile vs supertile heat (HCR)",
+           "hotspots cover clusters of neighboring tiles, so supertile "
+           "aggregation preserves the heat structure")
+    per_tile = summary.per_tile_dram_last
+    tiles_x = max(t[0] for t in per_tile) + 1
+    tiles_y = max(t[1] for t in per_tile) + 1
+    tile_m = tile_matrix(per_tile, tiles_x, tiles_y)
+    super_m = supertile_matrix(tile_m, 4)
+    print("tile level:")
+    print(render_ascii(tile_m))
+    print("\n4x4 supertile level:")
+    print(render_ascii(super_m))
+
+    # The supertile aggregation conserves total heat ...
+    assert super_m.sum() == tile_m.sum()
+
+    # ... and preserves the hot/cold contrast: the hottest supertile is
+    # several times the median one.
+    flat = np.sort(super_m.flatten())
+    contrast = flat[-1] / max(np.median(flat), 1.0)
+    result("fig9.supertile_hot_over_median", contrast)
+    assert contrast > 2.0
+
+    # Correlation between a tile's heat and its supertile's mean heat is
+    # high — heat is spatially clustered at supertile scale.
+    by, bx = tile_m.shape
+    super_of_tile = np.repeat(np.repeat(super_m, 4, axis=0), 4, axis=1)
+    super_of_tile = super_of_tile[:by, :bx] / 16.0
+    mask = tile_m > 0
+    correlation = np.corrcoef(tile_m[mask], super_of_tile[mask])[0, 1]
+    result("fig9.tile_supertile_heat_correlation", correlation)
+    assert correlation > 0.5

@@ -1,0 +1,38 @@
+"""Figure 11: LIBRA speedup over the baseline GPU (memory-intensive apps).
+
+Paper: average speedup 20.9% — 13.2% from parallel tile rendering alone
+(PTR, blue segments) plus 7.7% from the adaptive temperature scheduler
+(orange segments); up to 44.5% for CCS.  The baseline has the same total
+core count in a single Raster Unit.
+"""
+
+from common import (MEMORY_SUITE, banner, pedantic, print_speedup_table,
+                    result, speedups)
+
+from repro.stats import geometric_mean
+
+
+def collect():
+    ptr = speedups(MEMORY_SUITE, "ptr")
+    libra = speedups(MEMORY_SUITE, "libra")
+    return ptr, libra
+
+
+def test_fig11_speedup_breakdown(benchmark):
+    ptr, libra = pedantic(benchmark, collect)
+    banner("Fig. 11 — LIBRA speedup vs baseline (memory-intensive)",
+           "PTR alone +13.2%; +7.7% more from the scheduler; total +20.9%")
+    print_speedup_table("speedup over the 8-core single-RU baseline",
+                        MEMORY_SUITE, {"PTR": ptr, "LIBRA": libra})
+    ptr_mean = geometric_mean(list(ptr.values()))
+    libra_mean = geometric_mean(list(libra.values()))
+    result("fig11.ptr_speedup", ptr_mean, paper=1.132)
+    result("fig11.libra_speedup", libra_mean, paper=1.209)
+    result("fig11.scheduler_gain", libra_mean / ptr_mean, paper=1.077)
+
+    # Shape: PTR alone beats the baseline; the scheduler adds on top.
+    assert ptr_mean > 1.03
+    assert libra_mean > ptr_mean
+    # LIBRA helps (or at worst is neutral) for almost every benchmark.
+    losses = [n for n in MEMORY_SUITE if libra[n] < ptr[n] * 0.98]
+    assert len(losses) <= 3, f"LIBRA regressions: {losses}"

@@ -1,0 +1,49 @@
+"""Figure 12: decrease in texture access latency w.r.t. the baseline.
+
+Paper: LIBRA reduces mean texture latency by 13.5% on average (up to 40%),
+while PTR alone *increases* latency for several benchmarks because it
+cannot avoid memory-congestion periods.
+"""
+
+from common import MEMORY_SUITE, banner, pedantic, result, run
+
+from repro.stats import arithmetic_mean, format_table
+
+
+def collect():
+    rows = []
+    for name in MEMORY_SUITE:
+        base = run(name, "baseline")
+        ptr = run(name, "ptr")
+        libra = run(name, "libra")
+        rows.append((name, base.texture_latency, ptr.texture_latency,
+                     libra.texture_latency))
+    return rows
+
+
+def test_fig12_texture_latency(benchmark):
+    rows = pedantic(benchmark, collect)
+    banner("Fig. 12 — texture access latency vs baseline",
+           "PTR alone often raises latency; LIBRA cuts it 13.5% on average")
+    table = []
+    ptr_deltas = []
+    libra_deltas = []
+    for name, base, ptr, libra in rows:
+        ptr_delta = 1 - ptr / base
+        libra_delta = 1 - libra / base
+        ptr_deltas.append(ptr_delta)
+        libra_deltas.append(libra_delta)
+        table.append([name, f"{base:.1f}", f"{ptr:.1f}", f"{libra:.1f}",
+                      f"{ptr_delta * 100:+.1f}%",
+                      f"{libra_delta * 100:+.1f}%"])
+    print(format_table(("bench", "baseline cyc", "PTR cyc", "LIBRA cyc",
+                        "PTR delta", "LIBRA delta"), table))
+    result("fig12.mean_libra_latency_decrease",
+           arithmetic_mean(libra_deltas), paper=0.135)
+    result("fig12.mean_ptr_latency_decrease",
+           arithmetic_mean(ptr_deltas))
+
+    # Shape: PTR alone increases latency for several benchmarks...
+    assert sum(1 for d in ptr_deltas if d < 0) >= 4
+    # ...and LIBRA's scheduler recovers latency versus PTR alone.
+    assert arithmetic_mean(libra_deltas) > arithmetic_mean(ptr_deltas)

@@ -1,0 +1,42 @@
+"""Figure 14: main-memory accesses of LIBRA normalized to PTR alone.
+
+Paper: "there is no significant reduction in the number of DRAM accesses
+as it is not the design goal" — LIBRA's benefit comes from *when* the
+accesses happen, not how many there are; still, some apps drop up to 20%
+(CCS).
+"""
+
+from common import MEMORY_SUITE, banner, pedantic, result, run
+
+from repro.stats import arithmetic_mean, format_table
+
+
+def collect():
+    rows = []
+    for name in MEMORY_SUITE:
+        ptr = run(name, "ptr")
+        libra = run(name, "libra")
+        rows.append((name, ptr.raster_dram_accesses,
+                     libra.raster_dram_accesses))
+    return rows
+
+
+def test_fig14_normalized_dram(benchmark):
+    rows = pedantic(benchmark, collect)
+    banner("Fig. 14 — DRAM accesses, LIBRA normalized to PTR",
+           "no significant change: the win is balance over time, not volume")
+    table = []
+    ratios = []
+    for name, ptr, libra in rows:
+        ratio = libra / ptr if ptr else 1.0
+        ratios.append(ratio)
+        table.append([name, ptr, libra, f"{ratio:.3f}"])
+    print(format_table(("bench", "PTR accesses", "LIBRA accesses",
+                        "normalized"), table))
+    mean_ratio = arithmetic_mean(ratios)
+    result("fig14.mean_normalized_dram", mean_ratio, paper=1.0)
+
+    # Shape: the scheduler neither inflates nor is designed to shrink
+    # DRAM traffic — everything stays within a modest band of 1.0.
+    assert 0.85 < mean_ratio < 1.10
+    assert all(0.7 < r < 1.25 for r in ratios)

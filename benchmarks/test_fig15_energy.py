@@ -1,0 +1,45 @@
+"""Figure 15: total GPU energy decrease w.r.t. the baseline.
+
+Paper: 9.2% average energy reduction — 5.5% from PTR alone (shorter
+execution -> less static energy) plus 3.7% from the adaptive scheduler;
+up to ~20% for AAt and CCS.
+"""
+
+from common import MEMORY_SUITE, banner, pedantic, result, run
+
+from repro.stats import arithmetic_mean, format_table
+
+
+def collect():
+    rows = []
+    for name in MEMORY_SUITE:
+        base = run(name, "baseline")
+        ptr = run(name, "ptr")
+        libra = run(name, "libra")
+        rows.append((name, base.energy_j, ptr.energy_j, libra.energy_j))
+    return rows
+
+
+def test_fig15_energy(benchmark):
+    rows = pedantic(benchmark, collect)
+    banner("Fig. 15 — total GPU energy vs baseline",
+           "PTR saves 5.5%, the scheduler 3.7% more; 9.2% total")
+    table = []
+    ptr_savings = []
+    libra_savings = []
+    for name, base, ptr, libra in rows:
+        ptr_savings.append(1 - ptr / base)
+        libra_savings.append(1 - libra / base)
+        table.append([name, f"{base * 1000:.2f}", f"{ptr * 1000:.2f}",
+                      f"{libra * 1000:.2f}",
+                      f"{libra_savings[-1] * 100:+.1f}%"])
+    print(format_table(("bench", "baseline mJ", "PTR mJ", "LIBRA mJ",
+                        "LIBRA saving"), table))
+    ptr_mean = arithmetic_mean(ptr_savings)
+    libra_mean = arithmetic_mean(libra_savings)
+    result("fig15.ptr_energy_saving", ptr_mean, paper=0.055)
+    result("fig15.libra_energy_saving", libra_mean, paper=0.092)
+
+    # Shape: both save energy; LIBRA saves at least as much as PTR.
+    assert ptr_mean > 0.0
+    assert libra_mean >= ptr_mean - 0.005

@@ -1,0 +1,55 @@
+"""Figure 16: static supertile sizes vs LIBRA, relative to PTR alone.
+
+Paper: static 2x2/4x4/8x8/16x16 supertiles (Z-order, temperature ranking
+off) give 0.6/2.1/2.8/3.2% average speedups over PTR, while full LIBRA
+reaches ~7%; for a few benchmarks a fixed size wins (locality matters
+more than congestion there).
+"""
+
+from common import (MEMORY_SUITE, banner, pedantic, print_speedup_table,
+                    result, speedups)
+
+#: The static-size sweep runs on a representative half of the memory
+#: suite (4 extra configurations x 16 benchmarks is the most expensive
+#: sweep of the whole harness; the half preserves the spread).
+SWEEP = MEMORY_SUITE[:8]
+
+from repro.stats import geometric_mean
+
+SIZES = (2, 4, 8, 16)
+
+
+def collect():
+    columns = {}
+    for size in SIZES:
+        columns[f"static {size}x{size}"] = speedups(
+            SWEEP, f"supertile{size}", baseline_kind="ptr")
+    columns["LIBRA"] = speedups(SWEEP, "libra",
+                                baseline_kind="ptr")
+    return columns
+
+
+def test_fig16_static_vs_dynamic(benchmark):
+    columns = pedantic(benchmark, collect)
+    banner("Fig. 16 — static supertiles and LIBRA vs PTR alone",
+           "static sizes: +0.6/2.1/2.8/3.2%; LIBRA: ~+7%")
+    print_speedup_table("speedup over PTR (interleaved Z-order)",
+                        SWEEP, columns)
+    means = {name: geometric_mean(list(values.values()))
+             for name, values in columns.items()}
+    for name, mean in means.items():
+        result(f"fig16.{name.replace(' ', '_')}", mean)
+
+    # Shape: LIBRA (adaptive order + size) beats every static size on
+    # average, and no static size is catastrophic.
+    libra_mean = means["LIBRA"]
+    static_means = [means[f"static {s}x{s}"] for s in SIZES]
+    assert libra_mean >= max(static_means) - 0.005
+    assert all(m > 0.9 for m in static_means)
+    # Some benchmark prefers a fixed size over LIBRA (paper observes
+    # BBR/Gra/RoK do) — adaptivity is not uniformly dominant.
+    beats_libra = [
+        n for n in SWEEP
+        if max(columns[f"static {s}x{s}"][n] for s in SIZES)
+        > columns["LIBRA"][n]]
+    result("fig16.benchmarks_where_a_static_size_wins", len(beats_libra))

@@ -1,0 +1,38 @@
+"""Figure 17: speedup on the compute-intensive half of the suite.
+
+Paper: +11.6% total — 9.9% from PTR alone and only 1.7% from the
+scheduler, because these applications do not pressure the memory
+hierarchy; crucially, the scheduler "does not harm their performance".
+"""
+
+from common import (COMPUTE_SUITE, banner, pedantic, print_speedup_table,
+                    result, speedups)
+
+from repro.stats import geometric_mean
+
+
+def collect():
+    ptr = speedups(COMPUTE_SUITE, "ptr")
+    libra = speedups(COMPUTE_SUITE, "libra")
+    return ptr, libra
+
+
+def test_fig17_compute_intensive(benchmark):
+    ptr, libra = pedantic(benchmark, collect)
+    banner("Fig. 17 — speedup vs baseline (compute-intensive)",
+           "PTR +9.9%; scheduler adds just +1.7%; and never harms")
+    print_speedup_table("speedup over the 8-core single-RU baseline",
+                        COMPUTE_SUITE, {"PTR": ptr, "LIBRA": libra})
+    ptr_mean = geometric_mean(list(ptr.values()))
+    libra_mean = geometric_mean(list(libra.values()))
+    result("fig17.ptr_speedup", ptr_mean, paper=1.099)
+    result("fig17.libra_speedup", libra_mean, paper=1.116)
+    result("fig17.scheduler_gain", libra_mean / ptr_mean, paper=1.017)
+
+    # Shape: PTR helps compute-bound apps (limited per-tile parallelism),
+    # the scheduler's extra contribution is small, and LIBRA never hurts.
+    assert ptr_mean > 1.03
+    assert libra_mean >= ptr_mean * 0.99
+    assert (libra_mean / ptr_mean) < 1.05  # scheduler gain stays small
+    for name in COMPUTE_SUITE:
+        assert libra[name] >= ptr[name] * 0.97, name

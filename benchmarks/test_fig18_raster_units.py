@@ -1,0 +1,54 @@
+"""Figure 18: scaling the number of Raster Units (2, 3, 4).
+
+Paper: LIBRA with N four-core Raster Units versus a single Raster Unit
+with the same total core count gives 20.9% / 31.3% / 28.8% for N=2/3/4 —
+more units help, with diminishing (and eventually slightly receding)
+returns.  Only one unit ever handles the hottest tiles.
+"""
+
+from common import SWEEP_SUITE, banner, pedantic, result, run
+
+#: Unit scaling triples the machine configurations; run on five
+#: benchmarks spanning the memory-intensity range.
+SUITE = SWEEP_SUITE[:5]
+
+from repro.stats import format_table, geometric_mean
+
+UNIT_COUNTS = (2, 3, 4)
+
+
+def collect():
+    table = {}
+    for units in UNIT_COUNTS:
+        speedups = {}
+        for name in SUITE:
+            base = run(name, "baseline", raster_units=units,
+                       cores_per_unit=4)
+            libra = run(name, "libra", raster_units=units,
+                        cores_per_unit=4)
+            speedups[name] = libra.speedup_over(base)
+        table[units] = speedups
+    return table
+
+
+def test_fig18_unit_scaling(benchmark):
+    table = pedantic(benchmark, collect)
+    banner("Fig. 18 — LIBRA with 2/3/4 Raster Units vs equal-core baseline",
+           "average speedups 20.9% / 31.3% / 28.8%")
+    rows = []
+    for name in SUITE:
+        rows.append([name] + [f"{table[u][name]:.3f}"
+                              for u in UNIT_COUNTS])
+    means = {u: geometric_mean(list(table[u].values()))
+             for u in UNIT_COUNTS}
+    rows.append(["geomean"] + [f"{means[u]:.3f}" for u in UNIT_COUNTS])
+    print(format_table(("bench",) + tuple(f"{u} RUs" for u in UNIT_COUNTS),
+                       rows))
+    result("fig18.speedup_2RU", means[2], paper=1.209)
+    result("fig18.speedup_3RU", means[3], paper=1.313)
+    result("fig18.speedup_4RU", means[4], paper=1.288)
+
+    # Shape: every configuration beats its equal-core single-unit
+    # baseline, and 3 units beat 2 (the paper's scaling claim).
+    assert all(m > 1.0 for m in means.values())
+    assert means[3] > means[2]

@@ -1,0 +1,57 @@
+"""Figure 19: sensitivity to the scheduler's two thresholds.
+
+(a) Supertile resize threshold: the paper picks 0.25%; raising it slows
+    reaction to scene changes and decays toward fixed-size behaviour.
+(b) Tile-ordering switch threshold: the paper picks 3%; beyond ~4% the
+    ordering hardly ever changes.
+"""
+
+from common import SWEEP_SUITE, banner, pedantic, result, run
+
+#: Ten threshold variants per benchmark: sweep four benchmarks.
+SUITE = SWEEP_SUITE[:4]
+
+from repro.stats import format_table, geometric_mean
+
+RESIZE_THRESHOLDS = (0.0, 0.0025, 0.05, 0.15)
+ORDER_THRESHOLDS = (0.0, 0.03, 0.10)
+
+
+def _mean_speedup(**overrides):
+    speedups = []
+    for name in SUITE:
+        base = run(name, "baseline")
+        libra = run(name, "libra", **overrides)
+        speedups.append(libra.speedup_over(base))
+    return geometric_mean(speedups)
+
+
+def collect():
+    resize = {t: _mean_speedup(resize_threshold=t)
+              for t in RESIZE_THRESHOLDS}
+    order = {t: _mean_speedup(order_switch_threshold=t)
+             for t in ORDER_THRESHOLDS}
+    return resize, order
+
+
+def test_fig19_threshold_sensitivity(benchmark):
+    resize, order = pedantic(benchmark, collect)
+    banner("Fig. 19 — scheduler threshold sensitivity",
+           "best: 0.25% resize threshold and 3% ordering threshold")
+    print(format_table(("resize threshold", "mean speedup"),
+                       [[f"{t * 100:.2f}%", f"{s:.3f}"]
+                        for t, s in resize.items()],
+                       title="(a) supertile resize threshold"))
+    print(format_table(("order threshold", "mean speedup"),
+                       [[f"{t * 100:.0f}%", f"{s:.3f}"]
+                        for t, s in order.items()],
+                       title="(b) tile-ordering switch threshold"))
+    result("fig19a.speedup_at_paper_threshold", resize[0.0025])
+    result("fig19b.speedup_at_paper_threshold", order[0.03])
+
+    # Shape: all thresholds land in a narrow band (the paper's curves are
+    # flat within ~2%), and huge resize thresholds do not win — the
+    # adaptive mechanism is doing something.
+    values = list(resize.values()) + list(order.values())
+    assert max(values) - min(values) < 0.08
+    assert resize[0.0025] >= resize[0.15] - 0.02

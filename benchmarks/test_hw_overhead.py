@@ -1,0 +1,55 @@
+"""Section III-E: LIBRA's hardware overhead numbers.
+
+Not a figure, but quantitative claims the paper makes about the
+implementation cost, all checkable against the model:
+
+* the stats buffer needs at most 510 entries of 64 bits (~4 KB, <0.2% of
+  the 2 MB L2);
+* ranking 510 entries costs 4587 comparisons = 13761 cycles;
+* the ranking hides under the Geometry phase.
+"""
+
+from common import banner, pedantic, result
+
+from repro import harness
+from repro.config import baseline_config
+from repro.core.ranking import ranking_cycles
+from repro.core.temperature import TemperatureTable
+from repro.stats import format_table
+
+
+def collect():
+    table = TemperatureTable(60, 34)  # Full HD grid
+    traces = harness.get_traces("CCS", frames=2)
+    return table, [t.geometry_cycles for t in traces]
+
+
+def test_hw_overhead(benchmark):
+    table, geometry_cycles = pedantic(benchmark, collect)
+    banner("Sec. III-E — hardware overhead",
+           "510 x 64-bit entries (~4KB, <0.2% of L2); ranking 13761 cyc, "
+           "hidden under geometry")
+    storage_bytes = table.storage_bits() / 8
+    l2_bytes = baseline_config().l2_cache.size_bytes
+    rank_cycles = ranking_cycles(table.num_entries)
+    rows = [
+        ["stats buffer entries", table.num_entries, "510"],
+        ["stats buffer size", f"{storage_bytes / 1024:.2f} KB", "~4 KB"],
+        ["fraction of L2", f"{storage_bytes / l2_bytes * 100:.2f}%",
+         "<0.2%"],
+        ["ranking latency", f"{rank_cycles} cyc", "13761 cyc"],
+        ["geometry phase (measured, CCS)",
+         f"{min(geometry_cycles)} cyc", "~270k cyc (their workloads)"],
+    ]
+    print(format_table(("quantity", "this model", "paper"), rows))
+    result("hw.stats_buffer_entries", table.num_entries, paper=510)
+    result("hw.stats_buffer_kb", storage_bytes / 1024, paper=4.0)
+    result("hw.ranking_cycles", rank_cycles, paper=13761)
+
+    assert table.num_entries == 510
+    assert storage_bytes / l2_bytes < 0.002
+    assert rank_cycles == 13761
+    # The ranking (at our experiment tile grid, 120 supertiles of 4x4)
+    # hides under even our lightest geometry phases.
+    experiment_rank = ranking_cycles(120)
+    assert experiment_rank < min(geometry_cycles)

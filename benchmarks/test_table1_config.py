@@ -1,0 +1,59 @@
+"""Table I: GPU simulation parameters.
+
+Checks that the library's default configuration reproduces the paper's
+simulated machine, and prints the table.
+"""
+
+import pytest
+from common import banner, pedantic
+
+from repro.config import GPU_FREQUENCY_HZ, baseline_config, libra_config
+from repro.stats import format_table
+
+
+def collect():
+    return baseline_config(), libra_config()
+
+
+def test_table1_parameters(benchmark):
+    base, libra = pedantic(benchmark, collect)
+    banner("Table I — GPU simulation parameters", "see paper Table I")
+    rows = [
+        ["Frequency", f"{base.frequency_hz / 1e6:.0f} MHz", "800 MHz"],
+        ["Screen", f"{base.screen_width}x{base.screen_height}",
+         "1920x1080"],
+        ["Tile size", f"{base.tile_size}x{base.tile_size} px",
+         "32x32 px"],
+        ["DRAM size", f"{base.dram.size_bytes // 1024 ** 3} GB", "8 GB"],
+        ["DRAM latency",
+         f"{base.dram.row_hit_cycles}-{base.dram.row_miss_cycles} cyc",
+         "50-100 cyc"],
+        ["Vertex cache", f"{base.vertex_cache.size_bytes // 1024} KB "
+         f"{base.vertex_cache.ways}-way", "4KB 2-way"],
+        ["Tile cache", f"{base.tile_cache.size_bytes // 1024} KB "
+         f"{base.tile_cache.ways}-way", "32KB 4-way"],
+        ["Texture cache/core",
+         f"{base.texture_cache.size_bytes // 1024} KB "
+         f"{base.texture_cache.ways}-way", "32KB 4-way"],
+        ["L2 cache", f"{base.l2_cache.size_bytes // 1024 ** 2} MB "
+         f"{base.l2_cache.ways}-way", "2MB 8-way"],
+        ["Baseline RUs x cores",
+         f"{base.num_raster_units} x {base.raster_unit.num_cores}",
+         "1 x 8"],
+        ["LIBRA RUs x cores",
+         f"{libra.num_raster_units} x {libra.raster_unit.num_cores}",
+         "2 x 4"],
+    ]
+    print(format_table(("parameter", "this model", "paper"), rows))
+
+    assert base.frequency_hz == GPU_FREQUENCY_HZ == 800_000_000
+    assert (base.screen_width, base.screen_height) == (1920, 1080)
+    assert base.tile_size == 32
+    assert base.num_tiles == 2040
+    assert base.vertex_cache.size_bytes == 4 * 1024
+    assert base.tile_cache.size_bytes == 32 * 1024
+    assert base.texture_cache.size_bytes == 32 * 1024
+    assert base.l2_cache.size_bytes == 2 * 1024 * 1024
+    assert base.l2_cache.latency_cycles == 18
+    assert (base.dram.row_hit_cycles, base.dram.row_miss_cycles) == (50, 100)
+    assert base.total_cores == libra.total_cores == 8

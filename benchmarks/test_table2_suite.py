@@ -1,0 +1,40 @@
+"""Table II: the evaluated benchmark suite.
+
+Regenerates the suite table: 32 benchmarks, 2D/2.5D/3D styles, 16/16
+memory/compute split (by the paper's >=25%-time-on-memory criterion),
+and per-benchmark texture working sets ("the average footprint for all
+the benchmarks is more than 4MB").
+"""
+
+from common import FULL_SUITE, banner, pedantic, result
+
+from repro.stats import format_table
+from repro.workloads import table2_rows
+
+
+def collect():
+    return table2_rows()
+
+
+def test_table2_suite(benchmark):
+    rows = pedantic(benchmark, collect)
+    banner("Table II — evaluated benchmarks",
+           "32 commercial-game stand-ins; 2D/2.5D/3D; >4MB avg footprint")
+    table = [[r["name"], r["title"], r["style"],
+              "memory" if r["memory_intensive"] else "compute",
+              r["textures"], f"{r['texture_mb']:.1f}"]
+             for r in rows]
+    print(format_table(("code", "title", "style", "class", "textures",
+                        "tex MB"), table))
+
+    assert len(rows) == 32
+    styles = {r["style"] for r in rows}
+    assert styles == {"2D", "2.5D", "3D"}
+    memory_count = sum(1 for r in rows if r["memory_intensive"])
+    result("table2.memory_intensive_count", memory_count, paper=16)
+    assert memory_count == 16
+
+    mean_footprint = sum(r["texture_mb"] for r in rows) / len(rows)
+    result("table2.mean_texture_footprint_mb", mean_footprint, paper=4.0)
+    assert mean_footprint > 4.0
+    assert len(FULL_SUITE) == 32

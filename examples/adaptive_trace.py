@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Watch LIBRA's adaptive controller make its per-frame decisions.
+
+Runs a scene-change scenario — a calm, cache-friendly sequence that
+suddenly switches to a chaotic memory-heavy battle — and prints, frame by
+frame, what the controller observed (cycles, texture hit ratio) and what
+it decided (traversal order, supertile size), illustrating the Figure 10
+decision diagram reacting to the scene.
+
+    python examples/adaptive_trace.py --frames 14
+"""
+
+import argparse
+
+import repro
+from repro.stats import format_table
+from repro.workloads.params import HotspotSpec, WorkloadParams
+from repro.workloads.scene import SceneBuilder
+
+
+def calm_params() -> WorkloadParams:
+    return WorkloadParams(
+        name="CALM", title="Menu Screen", style="2D", seed=7,
+        memory_intensive=False, roaming_sprites=12,
+        hotspots=(HotspotSpec(center=(0.5, 0.5), sprites=6, layers=2,
+                              cells=4),),
+        hud_elements=4, fragment_instructions=48, texture_fetches=1,
+        num_textures=4, texture_size=128, detail_texture_size=128,
+        texel_density=0.3, scroll_speed=1.0)
+
+
+def battle_params() -> WorkloadParams:
+    return WorkloadParams(
+        name="BATL", title="Battle Scene", style="2D", seed=7,
+        memory_intensive=True, roaming_sprites=24,
+        hotspots=(HotspotSpec(center=(0.35, 0.5), sprites=12, layers=6,
+                              sprite_size=0.16, uv_scale=1.8, cells=32),
+                  HotspotSpec(center=(0.7, 0.45), sprites=12, layers=6,
+                              sprite_size=0.16, uv_scale=1.8, cells=32)),
+        hud_elements=8, fragment_instructions=8, texture_fetches=3,
+        num_textures=12, texture_size=256, detail_texture_size=512,
+        scroll_speed=10.0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=14)
+    parser.add_argument("--width", type=int, default=640)
+    parser.add_argument("--height", type=int, default=384)
+    args = parser.parse_args()
+
+    switch_at = args.frames // 2
+    calm = repro.TraceBuilder(
+        SceneBuilder(calm_params(), args.width, args.height),
+        args.width, args.height, 32)
+    battle = repro.TraceBuilder(
+        SceneBuilder(battle_params(), args.width, args.height),
+        args.width, args.height, 32)
+    traces = (calm.build_many(switch_at)
+              + battle.build_many(args.frames - switch_at,
+                                  start=switch_at))
+
+    config = repro.libra_config(screen_width=args.width,
+                                screen_height=args.height)
+    scheduler = repro.LibraScheduler(config.scheduler)
+    simulator = repro.GPUSimulator(config, scheduler=scheduler)
+
+    rows = []
+    for index, trace in enumerate(traces):
+        result = simulator.run_frame(trace)
+        scene = "menu" if index < switch_at else "BATTLE"
+        rows.append([
+            index, scene, result.order, result.supertile_size,
+            f"{result.texture_hit_ratio:.3f}",
+            f"{result.raster_cycles:,}",
+            f"{result.raster_dram_accesses:,}",
+        ])
+
+    print(format_table(
+        ("frame", "scene", "order", "supertile", "tex hit",
+         "raster cycles", "DRAM"),
+        rows, title="LIBRA adaptive decisions across a scene change"))
+    print("\nNote how the controller runs Z-order on the cache-friendly "
+          "menu frames\nand switches to temperature order (with supertile "
+          "resizing) after the\nbattle starts pressuring memory.")
+
+
+if __name__ == "__main__":
+    main()

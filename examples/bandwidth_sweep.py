@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Sweep DRAM bandwidth and watch LIBRA's advantage appear.
+
+LIBRA's premise is that memory congestion — not memory *volume* — is
+what hurts parallel tile rendering. This example sweeps the DRAM
+bandwidth of the simulated machine from starved to generous and plots
+(in a table) the speedup of PTR and LIBRA over the serial baseline at
+each point. The scheduler's margin over PTR should peak in the congested
+middle of the range: with infinite bandwidth there is nothing to smooth,
+and when the average demand itself exceeds supply, smoothing cannot help
+either.
+
+    python examples/bandwidth_sweep.py --benchmark GrT
+"""
+
+import argparse
+
+import repro
+from repro.stats import format_table
+
+BANDWIDTHS = (0.05, 0.08, 0.11, 0.16, 0.24, 0.40)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="GrT",
+                        choices=repro.benchmark_names())
+    parser.add_argument("--frames", type=int, default=5)
+    parser.add_argument("--width", type=int, default=640)
+    parser.add_argument("--height", type=int, default=384)
+    args = parser.parse_args()
+
+    scenes = repro.make_scene_builder(args.benchmark, args.width,
+                                      args.height)
+    traces = repro.TraceBuilder(scenes, args.width, args.height,
+                                32).build_many(args.frames)
+
+    rows = []
+    for bandwidth in BANDWIDTHS:
+        cycles = {}
+        for kind in ("baseline", "ptr", "libra"):
+            if kind == "baseline":
+                config = repro.baseline_config(
+                    screen_width=args.width, screen_height=args.height)
+                scheduler = None
+            else:
+                config = repro.libra_config(
+                    screen_width=args.width, screen_height=args.height)
+                scheduler = (repro.LibraScheduler(config.scheduler)
+                             if kind == "libra" else None)
+            config.dram.requests_per_cycle = bandwidth
+            result = repro.GPUSimulator(config,
+                                        scheduler=scheduler).run(traces)
+            cycles[kind] = result.total_cycles
+        ptr = cycles["baseline"] / cycles["ptr"]
+        libra = cycles["baseline"] / cycles["libra"]
+        gb_per_s = bandwidth * 64 * 0.8  # lines/cyc -> GB/s at 800 MHz
+        rows.append([f"{gb_per_s:.1f} GB/s", f"{ptr:.3f}",
+                     f"{libra:.3f}", f"{(libra / ptr - 1) * 100:+.1f}%"])
+
+    print(format_table(
+        ("DRAM bandwidth", "PTR speedup", "LIBRA speedup",
+         "scheduler margin"),
+        rows,
+        title=f"{args.benchmark}: speedup over baseline vs DRAM bandwidth"))
+    print("\nThe scheduler margin peaks where the memory system is "
+          "congested but not\nhopelessly saturated — exactly the regime "
+          "the paper targets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one game on the baseline GPU, PTR, and LIBRA.
+
+Builds frame traces for the Candy-Crush-style benchmark (CCS), runs the
+three machine configurations of the paper, and prints the headline
+numbers: speedup, FPS, texture behaviour and energy.
+
+Run time: about a minute at the default (reduced) resolution.
+
+    python examples/quickstart.py [--benchmark CCS] [--frames 6]
+"""
+
+import argparse
+
+import repro
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="CCS",
+                        choices=repro.benchmark_names())
+    parser.add_argument("--frames", type=int, default=6)
+    parser.add_argument("--width", type=int, default=640)
+    parser.add_argument("--height", type=int, default=384)
+    args = parser.parse_args()
+
+    # 1. Build configuration-independent frame traces: procedural scene
+    #    -> geometry pipeline -> tiling -> measured per-tile workloads.
+    print(f"Building {args.frames} frames of {args.benchmark} at "
+          f"{args.width}x{args.height}...")
+    scene_builder = repro.make_scene_builder(args.benchmark, args.width,
+                                             args.height)
+    traces = repro.TraceBuilder(scene_builder, args.width, args.height,
+                                32).build_many(args.frames)
+    first = traces[0]
+    print(f"  tile grid {first.tiles_x}x{first.tiles_y}, "
+          f"{first.total_fragments():,} fragments/frame, "
+          f"{first.total_texture_lines():,} texture lines/frame")
+
+    # 2. The three machines of the paper's evaluation.
+    baseline_cfg = repro.baseline_config(screen_width=args.width,
+                                         screen_height=args.height)
+    libra_cfg = repro.libra_config(screen_width=args.width,
+                                   screen_height=args.height)
+    machines = [
+        ("baseline (1 RU x 8 cores)",
+         repro.GPUSimulator(baseline_cfg, name="baseline")),
+        ("PTR      (2 RU x 4 cores)",
+         repro.GPUSimulator(libra_cfg, name="ptr")),
+        ("LIBRA    (PTR + scheduler)",
+         repro.GPUSimulator(libra_cfg,
+                            scheduler=repro.LibraScheduler(
+                                libra_cfg.scheduler),
+                            name="libra")),
+    ]
+
+    # 3. Run and report.
+    results = []
+    for label, simulator in machines:
+        result = simulator.run(traces)
+        results.append((label, result))
+        print(f"\n{label}")
+        print(f"  cycles/frame : {result.total_cycles // len(traces):,}")
+        print(f"  fps          : {result.fps:8.1f}")
+        print(f"  tex hit ratio: {result.mean_texture_hit_ratio:8.3f}")
+        print(f"  tex latency  : {result.mean_texture_latency:8.1f} cyc")
+        print(f"  DRAM accesses: {result.raster_dram_accesses:,}")
+        print(f"  energy       : {result.total_energy_j * 1000:8.2f} mJ")
+
+    baseline_result = results[0][1]
+    print("\nSpeedup over the baseline:")
+    for label, result in results[1:]:
+        print(f"  {label}: {result.speedup_over(baseline_result):.3f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Compare every tile-scheduling policy on one workload.
+
+Runs interleaved Z-order (PTR), static supertiles of each size,
+fixed-size temperature scheduling, and the full adaptive LIBRA controller
+on the same traces, reporting speedup over PTR, texture behaviour and the
+burstiness of the DRAM demand (the quantity LIBRA is designed to smooth).
+
+    python examples/scheduler_comparison.py --benchmark GrT
+"""
+
+import argparse
+
+import repro
+from repro.core import (LibraScheduler, StaticSupertileScheduler,
+                        TemperatureScheduler, ZOrderScheduler)
+from repro.stats import coefficient_of_variation, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="GrT",
+                        choices=repro.benchmark_names())
+    parser.add_argument("--frames", type=int, default=6)
+    parser.add_argument("--width", type=int, default=640)
+    parser.add_argument("--height", type=int, default=384)
+    args = parser.parse_args()
+
+    scene_builder = repro.make_scene_builder(args.benchmark, args.width,
+                                             args.height)
+    traces = repro.TraceBuilder(scene_builder, args.width, args.height,
+                                32).build_many(args.frames)
+
+    def libra_scheduler():
+        return LibraScheduler(
+            repro.libra_config(screen_width=args.width,
+                               screen_height=args.height).scheduler)
+
+    policies = [
+        ("PTR (interleaved Z)", ZOrderScheduler),
+        ("static supertile 2x2", lambda: StaticSupertileScheduler(2)),
+        ("static supertile 4x4", lambda: StaticSupertileScheduler(4)),
+        ("static supertile 8x8", lambda: StaticSupertileScheduler(8)),
+        ("temperature 4x4", lambda: TemperatureScheduler(4)),
+        ("LIBRA (adaptive)", libra_scheduler),
+    ]
+
+    rows = []
+    ptr_result = None
+    for label, factory in policies:
+        config = repro.libra_config(screen_width=args.width,
+                                    screen_height=args.height)
+        simulator = repro.GPUSimulator(config, scheduler=factory(),
+                                       name=label)
+        result = simulator.run(traces)
+        if ptr_result is None:
+            ptr_result = result
+        burstiness = coefficient_of_variation(
+            result.frames[-1].dram_interval_requests)
+        rows.append([
+            label,
+            f"{result.speedup_over(ptr_result):.3f}",
+            f"{result.mean_texture_hit_ratio:.3f}",
+            f"{result.mean_texture_latency:.1f}",
+            f"{result.raster_dram_accesses:,}",
+            f"{burstiness:.3f}",
+        ])
+
+    print(format_table(
+        ("policy", "speedup vs PTR", "tex hit", "tex latency",
+         "DRAM accesses", "DRAM burstiness (CoV)"),
+        rows,
+        title=f"{args.benchmark}: scheduling policies, "
+              f"{args.frames} frames at {args.width}x{args.height}"))
+
+
+if __name__ == "__main__":
+    main()

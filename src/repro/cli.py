@@ -1,0 +1,195 @@
+"""Command-line interface: ``repro`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``repro list`` — show the benchmark suite (Table II reconstruction).
+* ``repro run --benchmark CCS --config libra --frames 8`` — simulate one
+  benchmark under one GPU configuration and print the frame summary.
+* ``repro compare --benchmark CCS --frames 8`` — baseline vs PTR vs LIBRA
+  side by side.
+* ``repro heatmap --benchmark SuS`` — ASCII per-tile DRAM heatmap (Fig. 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import baseline_config, libra_config
+from .core import LibraScheduler, TemperatureScheduler, ZOrderScheduler
+from .gpu import GPUSimulator, RunResult
+from .stats import format_table, render_ascii, tile_matrix
+from .workloads import (TraceBuilder, benchmark_names,
+                        make_scene_builder, table2_rows)
+
+DEFAULT_WIDTH = 960
+DEFAULT_HEIGHT = 512
+DEFAULT_TILE = 32
+
+
+def _build_traces(benchmark: str, frames: int, width: int, height: int):
+    builder = make_scene_builder(benchmark, width, height)
+    return TraceBuilder(builder, width, height, DEFAULT_TILE).build_many(frames)
+
+
+def _make_simulator(config_name: str, width: int, height: int) -> GPUSimulator:
+    if config_name == "baseline":
+        return GPUSimulator(
+            baseline_config(screen_width=width, screen_height=height),
+            scheduler=ZOrderScheduler(), name="baseline")
+    if config_name == "ptr":
+        return GPUSimulator(
+            libra_config(screen_width=width, screen_height=height),
+            scheduler=ZOrderScheduler(), name="ptr")
+    if config_name == "libra":
+        cfg = libra_config(screen_width=width, screen_height=height)
+        return GPUSimulator(cfg, scheduler=LibraScheduler(cfg.scheduler),
+                            name="libra")
+    if config_name == "temperature":
+        cfg = libra_config(screen_width=width, screen_height=height)
+        return GPUSimulator(cfg, scheduler=TemperatureScheduler(4),
+                            name="temperature")
+    raise ValueError(f"unknown config {config_name!r}")
+
+
+def _summarize(result: RunResult) -> List:
+    return [result.config_name, result.num_frames, result.total_cycles,
+            f"{result.fps:.1f}", f"{result.mean_texture_hit_ratio:.3f}",
+            f"{result.mean_texture_latency:.1f}",
+            result.raster_dram_accesses,
+            f"{result.total_energy_j * 1000:.2f}"]
+
+
+_SUMMARY_HEADERS = ("config", "frames", "cycles", "fps", "tex hit",
+                    "tex lat", "dram", "energy mJ")
+
+
+def cmd_list(args) -> int:
+    """Handle ``repro list``."""
+    rows = [[r["name"], r["title"], r["style"],
+             "memory" if r["memory_intensive"] else "compute",
+             r["textures"], f"{r['texture_mb']:.1f}"]
+            for r in table2_rows(args.width, args.height)]
+    print(format_table(
+        ("code", "title", "style", "class", "textures", "tex MB"), rows,
+        title="Benchmark suite (Table II reconstruction)"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Handle ``repro run``."""
+    traces = _build_traces(args.benchmark, args.frames, args.width,
+                           args.height)
+    sim = _make_simulator(args.config, args.width, args.height)
+    result = sim.run(traces)
+    print(format_table(_SUMMARY_HEADERS, [_summarize(result)],
+                       title=f"{args.benchmark} on {args.config}"))
+    rows = [[f.frame_index, f.geometry_cycles, f.raster_cycles, f.order,
+             f.supertile_size, f"{f.texture_hit_ratio:.3f}",
+             f.raster_dram_accesses] for f in result.frames]
+    print()
+    print(format_table(("frame", "geom cyc", "raster cyc", "order",
+                        "supertile", "tex hit", "dram"), rows))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Handle ``repro compare``."""
+    traces = _build_traces(args.benchmark, args.frames, args.width,
+                           args.height)
+    rows = []
+    baseline: Optional[RunResult] = None
+    for config_name in ("baseline", "ptr", "libra"):
+        sim = _make_simulator(config_name, args.width, args.height)
+        result = sim.run(traces)
+        row = _summarize(result)
+        if baseline is None:
+            baseline = result
+            row.append("1.000")
+        else:
+            row.append(f"{result.speedup_over(baseline):.3f}")
+        rows.append(row)
+    print(format_table(_SUMMARY_HEADERS + ("speedup",), rows,
+                       title=f"{args.benchmark}: baseline vs PTR vs LIBRA"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Handle ``repro trace``."""
+    from .workloads import save_traces
+    traces = _build_traces(args.benchmark, args.frames, args.width,
+                           args.height)
+    save_traces(traces, args.out)
+    total_lines = sum(t.total_texture_lines() for t in traces)
+    print(f"wrote {len(traces)} frame traces of {args.benchmark} to "
+          f"{args.out} ({total_lines:,} texture lines total)")
+    return 0
+
+
+def cmd_heatmap(args) -> int:
+    """Handle ``repro heatmap``."""
+    traces = _build_traces(args.benchmark, 2, args.width, args.height)
+    sim = _make_simulator("baseline", args.width, args.height)
+    result = sim.run(traces)
+    frame = result.frames[-1]
+    matrix = tile_matrix(frame.per_tile_dram, traces[0].tiles_x,
+                         traces[0].tiles_y)
+    print(f"Per-tile DRAM accesses, {args.benchmark} frame "
+          f"{frame.frame_index} (darkest = hottest):")
+    print(render_ascii(matrix))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LIBRA parallel tile rendering — simulator CLI")
+    parser.add_argument("--width", type=int, default=DEFAULT_WIDTH)
+    parser.add_argument("--height", type=int, default=DEFAULT_HEIGHT)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the benchmark suite")
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    run.add_argument("--benchmark", required=True,
+                     choices=benchmark_names())
+    run.add_argument("--config", default="libra",
+                     choices=("baseline", "ptr", "libra", "temperature"))
+    run.add_argument("--frames", type=int, default=8)
+
+    compare = sub.add_parser("compare",
+                             help="baseline vs PTR vs LIBRA side by side")
+    compare.add_argument("--benchmark", required=True,
+                         choices=benchmark_names())
+    compare.add_argument("--frames", type=int, default=8)
+
+    heatmap = sub.add_parser("heatmap", help="per-tile DRAM heatmap")
+    heatmap.add_argument("--benchmark", required=True,
+                         choices=benchmark_names())
+
+    trace = sub.add_parser("trace",
+                           help="export frame traces as JSON lines")
+    trace.add_argument("--benchmark", required=True,
+                       choices=benchmark_names())
+    trace.add_argument("--frames", type=int, default=4)
+    trace.add_argument("--out", default="traces.jsonl.gz")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "heatmap": cmd_heatmap,
+        "trace": cmd_trace,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,251 @@
+"""Simulation configuration (the paper's Table I).
+
+Every knob of the modeled GPU lives here as a frozen-by-convention dataclass
+tree so experiments can derive variants with :func:`dataclasses.replace`.
+The defaults reproduce Table I of the paper: an 800 MHz mobile TBR GPU
+resembling an ARM Valhall part, rendering Full HD frames with 32x32-pixel
+tiles, backed by an LPDDR4-like main memory.
+
+Two presets are provided:
+
+* :func:`baseline_config` — one Raster Unit with eight shader cores (the
+  paper's baseline GPU).
+* :func:`libra_config` — two Raster Units with four cores each (the LIBRA
+  hardware organization; the scheduler itself is configured separately on
+  :class:`repro.gpu.simulator.GPUSimulator`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: GPU core clock in Hz (Table I: 800 MHz, 1 V, 22 nm).
+GPU_FREQUENCY_HZ = 800_000_000
+
+#: Bytes per cache line everywhere in the hierarchy (Table I).
+CACHE_LINE_BYTES = 64
+
+
+@dataclass
+class CacheConfig:
+    """Geometry of one set-associative cache (sizes in bytes)."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = CACHE_LINE_BYTES
+    latency_cycles: int = 1
+
+    @property
+    def num_lines(self) -> int:
+        """Cache lines in the cache."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Sets in the cache."""
+        return self.num_lines // self.ways
+
+    def validate(self) -> None:
+        """Raise ValueError on an inconsistent configuration."""
+        if self.size_bytes % self.line_bytes:
+            raise ValueError("cache size must be a multiple of the line size")
+        if self.num_lines % self.ways:
+            raise ValueError("cache lines must divide evenly into ways")
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+
+
+@dataclass
+class DRAMConfig:
+    """LPDDR4-like main memory model parameters (Table I).
+
+    ``row_hit_cycles`` / ``row_miss_cycles`` bound the unloaded access
+    latency to the paper's 50-100 GPU-cycle range.  ``requests_per_cycle``
+    is the sustainable service bandwidth in cache lines per GPU cycle; the
+    effective latency grows with a queueing factor as utilization approaches
+    one (Section III of the paper: "the response time of memory increases
+    asymptotically as the utilization factor approaches 100%").
+    """
+
+    size_bytes: int = 8 * 1024 ** 3
+    num_banks: int = 8
+    row_bytes: int = 2048
+    row_hit_cycles: int = 50
+    row_miss_cycles: int = 100
+    requests_per_cycle: float = 0.08
+    max_queue_factor: float = 16.0
+
+    def validate(self) -> None:
+        """Raise ValueError on an inconsistent configuration."""
+        if self.num_banks & (self.num_banks - 1):
+            raise ValueError("number of DRAM banks must be a power of two")
+        if self.row_bytes % CACHE_LINE_BYTES:
+            raise ValueError("DRAM row must hold an integer number of lines")
+        if not 0 < self.requests_per_cycle:
+            raise ValueError("DRAM bandwidth must be positive")
+
+
+@dataclass
+class ShaderCoreConfig:
+    """Throughput model of one shader core.
+
+    The functional work of a fragment shader is abstracted as a cost
+    (instructions and texture fetches); a core retires ``ipc`` instructions
+    per cycle across its warps, and can keep ``mshrs`` outstanding misses in
+    flight, which bounds how much DRAM latency multithreading can hide.
+    """
+
+    ipc: float = 1.0
+    warps: int = 16
+    mshrs: int = 3
+    #: Fragments a primitive must offer before another core is engaged;
+    #: models the limited per-tile parallelism that makes simply adding
+    #: cores ineffective (the paper's Figure 4 motivation).
+    min_fragments_per_core: int = 40
+
+
+@dataclass
+class RasterUnitConfig:
+    """One Raster Unit: private rasterizer front-end plus shader cores."""
+
+    num_cores: int = 4
+    raster_rate_quads_per_cycle: float = 2.0
+    input_queue_entries: int = 64
+    #: Fixed cost to set up a tile (bind buffers, clear Z/Color), cycles.
+    tile_setup_cycles: int = 32
+    #: Fixed (non-overlapped) cost of the Color Buffer flush, cycles.
+    tile_flush_cycles: int = 32
+    #: Serial front-end cost per primitive (fetch, raster setup, Early-Z
+    #: bookkeeping) — tiles full of tiny triangles become setup-bound.
+    primitive_setup_cycles: float = 8.0
+
+
+@dataclass
+class SchedulerConfig:
+    """LIBRA scheduler thresholds (Sections III-D and V-E).
+
+    * ``hit_ratio_threshold`` — if the texture-L1 hit ratio of the previous
+      frame exceeds this, memory congestion is unlikely and Z-order is used.
+    * ``order_switch_threshold`` — relative Raster-Pipeline cycle change
+      between consecutive frames that counts as a "significant performance
+      variation" and triggers switching the traversal order (paper: 3%).
+    * ``supertile_resize_threshold`` — relative performance change that
+      counts as improvement/degradation for the supertile resize policy
+      (paper: 0.25%).
+    * ``supertile_sizes`` — allowed square supertile edge lengths in tiles.
+    """
+
+    hit_ratio_threshold: float = 0.80
+    order_switch_threshold: float = 0.03
+    supertile_resize_threshold: float = 0.0025
+    supertile_sizes: Tuple[int, ...] = (2, 4, 8, 16)
+    initial_supertile_size: int = 4
+
+
+@dataclass
+class GPUConfig:
+    """Top-level simulated-GPU configuration (Table I defaults)."""
+
+    screen_width: int = 1920
+    screen_height: int = 1080
+    tile_size: int = 32
+    frequency_hz: int = GPU_FREQUENCY_HZ
+    num_raster_units: int = 1
+    raster_unit: RasterUnitConfig = field(
+        default_factory=lambda: RasterUnitConfig(num_cores=8)
+    )
+    shader_core: ShaderCoreConfig = field(default_factory=ShaderCoreConfig)
+    vertex_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(4 * 1024, 2, latency_cycles=1)
+    )
+    tile_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 4, latency_cycles=2)
+    )
+    texture_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 4, latency_cycles=2)
+    )
+    l2_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(2 * 1024 * 1024, 8, latency_cycles=18)
+    )
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    interval_cycles: int = 1000
+    #: AFBC-style frame-buffer compression: None disables it; a value in
+    #: (0, 1] is the fraction of flush lines actually written (extension
+    #: feature, off by default to match the paper's machine).
+    fb_compression_ratio: Optional[float] = None
+
+    @property
+    def tiles_x(self) -> int:
+        """Tile columns covering the screen."""
+        return -(-self.screen_width // self.tile_size)
+
+    @property
+    def tiles_y(self) -> int:
+        """Tile rows covering the screen."""
+        return -(-self.screen_height // self.tile_size)
+
+    @property
+    def num_tiles(self) -> int:
+        """Tiles covering the screen."""
+        return self.tiles_x * self.tiles_y
+
+    @property
+    def total_cores(self) -> int:
+        """Shader cores across all Raster Units."""
+        return self.num_raster_units * self.raster_unit.num_cores
+
+    def validate(self) -> None:
+        """Raise ValueError on an inconsistent configuration."""
+        for cache in (self.vertex_cache, self.tile_cache,
+                      self.texture_cache, self.l2_cache):
+            cache.validate()
+        self.dram.validate()
+        if self.tile_size <= 0 or self.tile_size & (self.tile_size - 1):
+            raise ValueError("tile size must be a positive power of two")
+        if self.num_raster_units < 1:
+            raise ValueError("at least one Raster Unit is required")
+        if self.interval_cycles < 1:
+            raise ValueError("interval must be at least one cycle")
+        if self.fb_compression_ratio is not None and not (
+                0.0 < self.fb_compression_ratio <= 1.0):
+            raise ValueError("fb compression ratio must be in (0, 1]")
+
+    def replace(self, **changes) -> "GPUConfig":
+        """Return a copy with ``changes`` applied (deep enough for tests)."""
+        return dataclasses.replace(self, **changes)
+
+
+def baseline_config(**overrides) -> GPUConfig:
+    """The paper's baseline: a single Raster Unit with eight cores."""
+    overrides.setdefault("raster_unit", RasterUnitConfig(num_cores=8))
+    cfg = GPUConfig(num_raster_units=1, **overrides)
+    cfg.validate()
+    return cfg
+
+
+def libra_config(num_raster_units: int = 2, cores_per_unit: int = 4,
+                 **overrides) -> GPUConfig:
+    """LIBRA's organization: multiple Raster Units of four cores each."""
+    cfg = GPUConfig(
+        num_raster_units=num_raster_units,
+        raster_unit=RasterUnitConfig(num_cores=cores_per_unit),
+        **overrides,
+    )
+    cfg.validate()
+    return cfg
+
+
+def small_config(screen_width: int = 256, screen_height: int = 256,
+                 tile_size: int = 32, **overrides) -> GPUConfig:
+    """A reduced configuration for unit tests and quick examples."""
+    cfg = GPUConfig(
+        screen_width=screen_width,
+        screen_height=screen_height,
+        tile_size=tile_size,
+        **overrides,
+    )
+    cfg.validate()
+    return cfg

@@ -1,0 +1,48 @@
+"""LIBRA core: temperature stats buffer, ranking, schedulers, adaptivity."""
+
+from .adaptive import (FrameObservation, OrderSelector, SupertileResizer,
+                       TEMPERATURE, Z_ORDER)
+from .alternatives import (OracleTemperatureScheduler, RandomScheduler,
+                           ReverseFrameScheduler, TraversalScheduler)
+from .libra import LibraFrameLog, LibraScheduler
+from .ranking import hides_under_geometry, rank_by_temperature, ranking_cycles
+from .scheduler import (AffinityQueueDispenser, Dispenser, FrameFeedback,
+                        HotColdDispenser, QueueDispenser, ScheduleDecision,
+                        StaticSupertileScheduler, TemperatureScheduler,
+                        TileScheduler, ZOrderScheduler,
+                        supertile_batches_zorder, zorder_tile_batches)
+from .temperature import (BufferEntry, TemperatureTable, fixed_point_ratio,
+                          saturate)
+
+__all__ = [
+    "LibraScheduler",
+    "LibraFrameLog",
+    "TileScheduler",
+    "ZOrderScheduler",
+    "StaticSupertileScheduler",
+    "TemperatureScheduler",
+    "ScheduleDecision",
+    "FrameFeedback",
+    "Dispenser",
+    "QueueDispenser",
+    "AffinityQueueDispenser",
+    "OracleTemperatureScheduler",
+    "RandomScheduler",
+    "ReverseFrameScheduler",
+    "TraversalScheduler",
+    "HotColdDispenser",
+    "zorder_tile_batches",
+    "supertile_batches_zorder",
+    "TemperatureTable",
+    "BufferEntry",
+    "saturate",
+    "fixed_point_ratio",
+    "rank_by_temperature",
+    "ranking_cycles",
+    "hides_under_geometry",
+    "OrderSelector",
+    "SupertileResizer",
+    "FrameObservation",
+    "Z_ORDER",
+    "TEMPERATURE",
+]

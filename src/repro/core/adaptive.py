@@ -1,0 +1,142 @@
+"""LIBRA's per-frame adaptive control (Section III-D).
+
+Two small state machines, both driven purely by frame-to-frame feedback:
+
+* :class:`OrderSelector` implements the Figure 10 decision diagram that
+  picks the tile traversal order for the coming frame — conventional
+  Z-order when the texture L1 hit ratio was high (>80%: congestion is
+  unlikely), temperature-aware otherwise, with two refinements from the
+  paper: switches only happen on a significant performance variation
+  (>3%), and when *both* hit ratio and performance degraded, the
+  alternative ordering is tried regardless.
+
+* :class:`SupertileResizer` implements the grow-while-improving /
+  shrink-on-regression policy over the allowed supertile sizes, with a
+  0.25% hysteresis threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..config import SchedulerConfig
+
+Z_ORDER = "zorder"
+TEMPERATURE = "temperature"
+
+
+@dataclass
+class FrameObservation:
+    """The two metrics the FSMs consume, for one finished frame."""
+
+    raster_cycles: int
+    texture_hit_ratio: float
+
+
+class OrderSelector:
+    """Chooses Z-order vs temperature order for the next frame."""
+
+    def __init__(self, config: SchedulerConfig):
+        self.config = config
+        self.current = Z_ORDER  # no history yet -> conventional order
+        self._last: Optional[FrameObservation] = None
+        self._previous: Optional[FrameObservation] = None
+
+    def observe(self, observation: FrameObservation) -> None:
+        """Record one finished frame's metrics."""
+        self._previous = self._last
+        self._last = observation
+
+    def decide(self) -> str:
+        """The traversal order for the coming frame (Figure 10)."""
+        last, previous = self._last, self._previous
+        if last is None:
+            return self.current
+        # Preferred order from the hit-ratio test: a high texture hit
+        # ratio makes main-memory congestion unlikely -> Z-order.
+        if last.texture_hit_ratio > self.config.hit_ratio_threshold:
+            preferred = Z_ORDER
+        else:
+            preferred = TEMPERATURE
+        if previous is None:
+            self.current = preferred
+            return self.current
+        cycles_delta = _relative_change(previous.raster_cycles,
+                                        last.raster_cycles)
+        hit_delta = last.texture_hit_ratio - previous.texture_hit_ratio
+        # The hit-ratio drop needs a small epsilon so concurrent supertile
+        # resizing experiments do not masquerade as ordering failures.
+        degraded = (cycles_delta > self.config.order_switch_threshold
+                    and hit_delta < -0.005)
+        if degraded:
+            # Both performance and locality got worse: the current scheme
+            # is failing regardless of what the hit-ratio test says -> try
+            # the alternative ordering.
+            self.current = _other(self.current)
+            return self.current
+        if abs(cycles_delta) > self.config.order_switch_threshold:
+            # Significant performance variation: re-evaluate the ordering.
+            self.current = preferred
+        return self.current
+
+
+class SupertileResizer:
+    """Dynamic supertile sizing (grow while improving, else back off)."""
+
+    def __init__(self, config: SchedulerConfig):
+        self.config = config
+        sizes: Sequence[int] = config.supertile_sizes
+        if not sizes:
+            raise ValueError("need at least one supertile size")
+        self.sizes: Tuple[int, ...] = tuple(sorted(sizes))
+        if config.initial_supertile_size not in self.sizes:
+            raise ValueError("initial supertile size not in allowed sizes")
+        self._index = self.sizes.index(config.initial_supertile_size)
+        self._direction = 1  # start by growing
+        self._last_cycles: Optional[int] = None
+
+    @property
+    def size(self) -> int:
+        """The currently selected supertile size (tiles per side)."""
+        return self.sizes[self._index]
+
+    def invalidate(self) -> None:
+        """Drop the comparison baseline (e.g. after an ordering switch)."""
+        self._last_cycles = None
+
+    def observe(self, raster_cycles: int) -> None:
+        """Feed one finished frame's cycle count; may change the size."""
+        last = self._last_cycles
+        self._last_cycles = raster_cycles
+        if last is None:
+            return
+        delta = _relative_change(last, raster_cycles)
+        threshold = self.config.supertile_resize_threshold
+        if delta < -threshold:
+            # Performance improved: keep moving in the current direction.
+            self._step()
+        elif delta > threshold:
+            # Performance degraded: reverse course.
+            self._direction = -self._direction
+            self._step()
+        # Within the hysteresis band: hold the current size.
+
+    def _step(self) -> None:
+        new_index = self._index + self._direction
+        if 0 <= new_index < len(self.sizes):
+            self._index = new_index
+        else:
+            # Bounce off the end of the allowed range.
+            self._direction = -self._direction
+
+
+def _relative_change(before: float, after: float) -> float:
+    """(after - before) / before; positive means 'after' is worse/bigger."""
+    if before == 0:
+        return 0.0
+    return (after - before) / before
+
+
+def _other(order: str) -> str:
+    return TEMPERATURE if order == Z_ORDER else Z_ORDER

@@ -1,0 +1,127 @@
+"""Alternative scheduling policies for ablation studies.
+
+None of these are part of LIBRA; they bracket its design space:
+
+* :class:`TraversalScheduler` — any plain traversal order (scanline,
+  Hilbert, boustrophedon) from a shared queue.  Hilbert is the order
+  DTexL (MICRO'22) uses for texture locality; comparing it against
+  Z-order isolates the traversal-locality effect from the
+  temperature-balancing effect.
+* :class:`RandomScheduler` — supertiles in a seeded random order from a
+  shared queue: destroys locality *and* balance; the lower bracket.
+* :class:`OracleTemperatureScheduler` — temperature scheduling with a
+  *perfect* predictor: it peeks at the current frame's workload
+  (instructions and texture-line counts) instead of using last frame's
+  measurements.  The gap between this and
+  :class:`~repro.core.scheduler.TemperatureScheduler` measures how much
+  the frame-to-frame-coherence prediction loses — the paper's bet is
+  "almost nothing".
+* :class:`ReverseFrameScheduler` — renders each frame in the reverse tile
+  order of the previous frame (Boustrophedonic Frames, PACT'23, from the
+  paper's related work): improves cross-frame L2 reuse, ignores balance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..gpu.workload import FrameTrace
+from ..tiling.orders import traversal_order
+from ..tiling.supertile import SupertileGrid
+from .ranking import rank_by_temperature
+from .scheduler import (Batch, HotColdDispenser, QueueDispenser,
+                        ScheduleDecision, TileScheduler,
+                        supertile_batches_zorder)
+
+
+class TraversalScheduler(TileScheduler):
+    """Plain traversal in any named order (scanline/hilbert/...)."""
+
+    def __init__(self, order: str):
+        self.order = order
+
+    def begin_frame(self, trace: FrameTrace) -> ScheduleDecision:
+        """Build this policy's dispenser for the coming frame."""
+        tiles = traversal_order(self.order, trace.tiles_x, trace.tiles_y)
+        return ScheduleDecision(
+            dispenser=QueueDispenser([[tile] for tile in tiles]),
+            order=self.order, supertile_size=1)
+
+
+class RandomScheduler(TileScheduler):
+    """Seeded random supertile order — the no-locality, no-balance bracket."""
+
+    def __init__(self, size: int = 2, seed: int = 0):
+        if size < 1:
+            raise ValueError("supertile size must be >= 1")
+        self.size = size
+        self.seed = seed
+        self._frame = 0
+
+    def begin_frame(self, trace: FrameTrace) -> ScheduleDecision:
+        """Build this policy's dispenser for the coming frame."""
+        batches = supertile_batches_zorder(trace, self.size)
+        rng = random.Random(self.seed * 1_000_003 + self._frame)
+        rng.shuffle(batches)
+        self._frame += 1
+        return ScheduleDecision(dispenser=QueueDispenser(batches),
+                                order="random", supertile_size=self.size)
+
+
+class OracleTemperatureScheduler(TileScheduler):
+    """Temperature scheduling with a perfect (same-frame) predictor.
+
+    Hardware could never build this — it needs the frame's workload
+    before rendering it — but it upper-bounds what any temperature
+    predictor can achieve, isolating prediction error from the rest of
+    the mechanism.
+    """
+
+    def __init__(self, size: int = 4):
+        if size < 1:
+            raise ValueError("supertile size must be >= 1")
+        self.size = size
+
+    def begin_frame(self, trace: FrameTrace) -> ScheduleDecision:
+        """Build this policy's dispenser for the coming frame."""
+        grid = SupertileGrid(trace.tiles_x, trace.tiles_y, self.size)
+        accesses = [0.0] * grid.num_supertiles
+        instructions = [0.0] * grid.num_supertiles
+        for tile, workload in trace.workloads.items():
+            sid = grid.supertile_of(tile)
+            # Texture-line footprint is the best same-frame proxy for the
+            # DRAM demand the tile will generate.
+            accesses[sid] += len(workload.texture_lines)
+            instructions[sid] += workload.instructions
+        temperatures = [
+            (a / i) if i else (1e9 if a else 0.0)
+            for a, i in zip(accesses, instructions)]
+        ranked = rank_by_temperature(temperatures)
+        batches: List[Batch] = [grid.tiles_of(sid) for sid in ranked]
+        return ScheduleDecision(dispenser=HotColdDispenser(batches),
+                                order="temperature",
+                                supertile_size=self.size)
+
+
+class ReverseFrameScheduler(TileScheduler):
+    """Each frame traverses tiles in the reverse order of the previous.
+
+    The "Boustrophedonic Frames" idea from the paper's related work: the
+    tiles rendered *last* in frame N are rendered *first* in frame N+1,
+    so their texture lines are still L2-resident.
+    """
+
+    def __init__(self) -> None:
+        self._previous: Optional[List] = None
+
+    def begin_frame(self, trace: FrameTrace) -> ScheduleDecision:
+        """Build this policy's dispenser for the coming frame."""
+        if self._previous is None:
+            tiles = traversal_order("morton", trace.tiles_x, trace.tiles_y)
+        else:
+            tiles = list(reversed(self._previous))
+        self._previous = tiles
+        return ScheduleDecision(
+            dispenser=QueueDispenser([[tile] for tile in tiles]),
+            order="reverse-frame", supertile_size=1)

@@ -1,0 +1,119 @@
+"""The full LIBRA controller: adaptive, temperature-aware tile scheduling.
+
+Glues together the pieces of Section III: the temperature statistics
+buffer (III-E), the hot/cold supertile ranking (III-B), supertiles (III-C)
+and the per-frame adaptive order/size decisions (III-D).  Drop it into
+:class:`repro.gpu.simulator.GPUSimulator` as the scheduler of a
+multi-Raster-Unit GPU and you have the paper's proposed architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import SchedulerConfig
+from ..gpu.workload import FrameTrace
+from .adaptive import (FrameObservation, OrderSelector, SupertileResizer,
+                       TEMPERATURE, Z_ORDER)
+from .ranking import rank_by_temperature, ranking_cycles
+from .scheduler import (AffinityQueueDispenser, FrameFeedback,
+                        HotColdDispenser, QueueDispenser,
+                        ScheduleDecision, TileScheduler,
+                        supertile_batches_zorder, zorder_tile_batches)
+from .temperature import TemperatureTable
+
+
+@dataclass
+class LibraFrameLog:
+    """One line of the controller's decision log (for analysis/tests)."""
+
+    frame_index: int
+    order: str
+    supertile_size: int
+    ranking_cycles: int
+
+
+class LibraScheduler(TileScheduler):
+    """LIBRA's adaptive temperature-aware scheduler."""
+
+    def __init__(self, config: SchedulerConfig):
+        self.config = config
+        self.order_selector = OrderSelector(config)
+        self.resizer = SupertileResizer(config)
+        self._table: Optional[TemperatureTable] = None
+        self.log: List[LibraFrameLog] = []
+        self._frame_index = 0
+
+    def begin_frame(self, trace: FrameTrace) -> ScheduleDecision:
+        """Decide order and supertile size; build the frame's dispenser."""
+        if self._table is None:
+            self._table = TemperatureTable(trace.tiles_x, trace.tiles_y)
+        order = self.order_selector.decide()
+        size = self._clamp_size(self.resizer.size, trace)
+        rank_latency = 0
+        if order == TEMPERATURE and self._table.has_data:
+            grid, temperatures = self._table.aggregate(size)
+            ranked = rank_by_temperature(temperatures)
+            rank_latency = ranking_cycles(len(temperatures))
+            batches = [grid.tiles_of(sid) for sid in ranked]
+            dispenser: object = HotColdDispenser(batches)
+        elif order == TEMPERATURE:
+            # Temperature order requested but no history yet (first
+            # frame): fall back to supertile Z-order for this frame.
+            dispenser = AffinityQueueDispenser(
+                supertile_batches_zorder(trace, size))
+            order = Z_ORDER
+        else:
+            # Conventional Z-order: interleaved single-tile dispatch.
+            dispenser = QueueDispenser(zorder_tile_batches(trace))
+            size = 1
+        self.log.append(LibraFrameLog(
+            frame_index=self._frame_index, order=order,
+            supertile_size=size, ranking_cycles=rank_latency))
+        return ScheduleDecision(dispenser=dispenser, order=order,
+                                supertile_size=size)
+
+    def end_frame(self, feedback: FrameFeedback) -> None:
+        """Update the stats buffer and both adaptive FSMs."""
+        assert self._table is not None, "end_frame before begin_frame"
+        self._table.update(feedback.per_tile_dram,
+                           feedback.per_tile_instructions)
+        observation = FrameObservation(
+            raster_cycles=feedback.raster_cycles,
+            texture_hit_ratio=feedback.texture_hit_ratio)
+        self.order_selector.observe(observation)
+        # The resize policy compares like with like: only frames rendered
+        # under the temperature order carry a supertile-size signal.
+        if (len(self.log) >= 2 and self.log[-1].order == TEMPERATURE
+                and self.log[-2].order == TEMPERATURE):
+            self.resizer.observe(feedback.raster_cycles)
+        elif self.log and self.log[-1].order == TEMPERATURE:
+            # First temperature frame after a switch: future comparisons
+            # start from here.
+            self.resizer.invalidate()
+            self.resizer.observe(feedback.raster_cycles)
+        else:
+            self.resizer.invalidate()
+        self._frame_index += 1
+
+    def _clamp_size(self, size: int, trace: FrameTrace) -> int:
+        """Largest allowed size that still yields enough supertiles.
+
+        A supertile covering (almost) the whole screen would serialize the
+        frame onto one Raster Unit; the paper notes such sizes "would be
+        ineffective", so the controller never schedules fewer than two
+        supertile batches per Raster Unit.
+        """
+        allowed = [s for s in self.resizer.sizes if s <= size]
+        for candidate in sorted(set(allowed), reverse=True):
+            per_axis_x = -(-trace.tiles_x // candidate)
+            per_axis_y = -(-trace.tiles_y // candidate)
+            if per_axis_x * per_axis_y >= 2 * self.num_raster_units:
+                return candidate
+        return min(self.resizer.sizes)
+
+    @property
+    def table(self) -> Optional[TemperatureTable]:
+        """The temperature statistics buffer (None before the first frame)."""
+        return self._table

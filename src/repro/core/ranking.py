@@ -1,0 +1,45 @@
+"""Supertile ranking and its hardware timing estimate (Section III-E).
+
+The ranking itself is a sort by temperature (hottest first).  The paper's
+hardware does it with a sequential compare-and-swap network costing
+O(n log n) comparisons at 3 cycles each (two reads, one compare, up to two
+writes, conservatively pipelined to 3 cycles per comparison); that latency
+must hide entirely under the Geometry Pipeline, which this module lets
+experiments verify.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+#: Cycles the hardware spends per compare-and-swap (paper's conservative
+#: estimate: two reads, one comparison, two potential writes -> 3 cycles).
+CYCLES_PER_COMPARISON = 3
+
+
+def rank_by_temperature(temperatures: Sequence[float]) -> List[int]:
+    """Supertile IDs ordered hottest -> coldest.
+
+    Ties break by ID so the ranking is deterministic (and matches what a
+    stable hardware sorting network produces).
+    """
+    return sorted(range(len(temperatures)),
+                  key=lambda i: (-temperatures[i], i))
+
+
+def ranking_cycles(n: int) -> int:
+    """Upper-bound latency of ranking ``n`` entries in hardware.
+
+    ``3 x n x log2(n)`` cycles; the paper's example: n = 510 gives
+    4587 comparisons and 13761 cycles.
+    """
+    if n <= 1:
+        return 0
+    comparisons = int(n * math.log2(n))
+    return CYCLES_PER_COMPARISON * comparisons
+
+
+def hides_under_geometry(n: int, geometry_cycles: int) -> bool:
+    """True when the ranking fits inside the Geometry phase's shadow."""
+    return ranking_cycles(n) <= geometry_cycles

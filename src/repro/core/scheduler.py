@@ -1,0 +1,265 @@
+"""Tile schedulers and the dispensers that feed the Raster Units.
+
+A scheduler decides, once per frame, the order in which tiles reach the
+Raster Units and how they are grouped (single tiles or supertiles); a
+*dispenser* is the per-frame object the Tile Fetcher polls: whenever a
+Raster Unit runs dry, the dispenser hands it the next batch of tiles.
+Dynamic dispatch (rather than a static split) is what balances the load —
+a unit chewing a heavy batch simply asks less often.
+
+Schedulers provided:
+
+* :class:`ZOrderScheduler` — the baseline / PTR policy: tiles in Morton
+  order from one shared queue (the paper's "interleaved tile assignment").
+* :class:`StaticSupertileScheduler` — supertile batches in Z-order from a
+  shared queue, temperature ranking disabled (Figure 16's static bars).
+* :class:`TemperatureScheduler` — supertiles ranked hot->cold each frame
+  from the temperature table; one unit drains the hot end while the others
+  drain the cold end (Section III-B), with a fixed supertile size.
+
+The full adaptive LIBRA policy lives in :mod:`repro.core.libra`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..gpu.workload import FrameTrace
+from ..tiling.orders import morton_order
+from ..tiling.supertile import SupertileGrid
+from .ranking import rank_by_temperature
+from .temperature import TemperatureTable
+
+TileCoord = Tuple[int, int]
+Batch = List[TileCoord]
+
+
+@dataclass
+class FrameFeedback:
+    """What the hardware measured while rendering one frame."""
+
+    frame_index: int
+    raster_cycles: int
+    texture_hit_ratio: float
+    per_tile_dram: Dict[TileCoord, int] = field(default_factory=dict)
+    per_tile_instructions: Dict[TileCoord, int] = field(default_factory=dict)
+
+
+class Dispenser(abc.ABC):
+    """Per-frame work source polled by idle Raster Units."""
+
+    @abc.abstractmethod
+    def next_batch(self, ru_index: int) -> Optional[Batch]:
+        """The next batch for Raster Unit ``ru_index`` (None when dry)."""
+
+    @abc.abstractmethod
+    def remaining(self) -> int:
+        """Batches not yet handed out."""
+
+
+class QueueDispenser(Dispenser):
+    """A single shared queue: any idle unit takes the next batch."""
+
+    def __init__(self, batches: List[Batch]):
+        self._batches = list(batches)
+        self._next = 0
+
+    def next_batch(self, ru_index: int) -> Optional[Batch]:
+        """Next batch for Raster Unit ``ru_index`` (None when dry)."""
+        if self._next >= len(self._batches):
+            return None
+        batch = self._batches[self._next]
+        self._next += 1
+        return batch
+
+    def remaining(self) -> int:
+        """Work not yet handed out."""
+        return len(self._batches) - self._next
+
+
+class AffinityQueueDispenser(Dispenser):
+    """Shared supertile queue with per-unit tile-grain dispatch.
+
+    Each unit owns the supertile it is working on and receives its tiles
+    one by one (locality); when it finishes one it takes the next
+    supertile from the shared queue (balance).  At the tail, an idle unit
+    steals single tiles from the busiest private queue so no unit idles
+    while work remains.
+    """
+
+    def __init__(self, batches: List[Batch]):
+        self._pool = deque(list(batch) for batch in batches)
+        self._queues: Dict[int, deque] = {}
+        self._remaining = sum(len(batch) for batch in batches)
+
+    def next_batch(self, ru_index: int) -> Optional[Batch]:
+        """Next batch for Raster Unit ``ru_index`` (None when dry)."""
+        if self._remaining == 0:
+            return None
+        queue = self._queues.setdefault(ru_index, deque())
+        if not queue:
+            if self._pool:
+                queue.extend(self._pool.popleft())
+            else:
+                victim = max((q for q in self._queues.values() if q),
+                             key=len, default=None)
+                if victim is None:
+                    return None
+                self._remaining -= 1
+                return [victim.pop()]  # steal from the far end
+        self._remaining -= 1
+        return [queue.popleft()]
+
+    def remaining(self) -> int:
+        """Work not yet handed out."""
+        return self._remaining
+
+
+class HotColdDispenser(Dispenser):
+    """Ranked supertiles: unit 0 drains the hot end, the rest the cold end.
+
+    "LIBRA allocates one Raster Unit to process hot tiles, while the rest
+    are dedicated to the cold ones.  This means that only one Raster Unit
+    handles the hottest tiles at any given time." (Section V-D)
+
+    Tiles are handed out one at a time (the Tile Fetcher dispatches tiles,
+    not whole supertiles); each unit consumes its current supertile's
+    tiles consecutively, preserving locality.  When one end runs dry the
+    unit steals from the other end's queue so nobody idles at the frame
+    tail.
+    """
+
+    def __init__(self, ranked_batches: List[Batch]):
+        self._pool = deque(list(batch) for batch in ranked_batches)
+        self._hot_queue = deque()
+        self._cold_queue = deque()
+        self._remaining = sum(len(b) for b in ranked_batches)
+
+    def next_batch(self, ru_index: int) -> Optional[Batch]:
+        """Next batch for Raster Unit ``ru_index`` (None when dry)."""
+        if self._remaining == 0:
+            return None
+        self._remaining -= 1
+        if ru_index == 0:
+            if not self._hot_queue:
+                if self._pool:
+                    self._hot_queue.extend(self._pool.popleft())
+                else:
+                    return [self._cold_queue.popleft()]  # steal
+            return [self._hot_queue.popleft()]
+        if not self._cold_queue:
+            if self._pool:
+                self._cold_queue.extend(self._pool.pop())
+            else:
+                return [self._hot_queue.pop()]  # steal
+        return [self._cold_queue.popleft()]
+
+    def remaining(self) -> int:
+        """Work not yet handed out."""
+        return self._remaining
+
+
+@dataclass
+class ScheduleDecision:
+    """What a scheduler chose for one frame (logged by experiments)."""
+
+    dispenser: Dispenser
+    order: str  # 'zorder' or 'temperature'
+    supertile_size: int
+
+
+class TileScheduler(abc.ABC):
+    """Per-frame tile scheduling policy."""
+
+    #: Raster Units being fed; set by the driver via :meth:`configure`.
+    num_raster_units: int = 1
+
+    def configure(self, num_raster_units: int) -> None:
+        """Called once by the frame driver before the first frame."""
+        if num_raster_units < 1:
+            raise ValueError("need at least one Raster Unit")
+        self.num_raster_units = num_raster_units
+
+    @abc.abstractmethod
+    def begin_frame(self, trace: FrameTrace) -> ScheduleDecision:
+        """Build the dispenser for the coming frame."""
+
+    def end_frame(self, feedback: FrameFeedback) -> None:
+        """Receive the finished frame's measurements (default: ignore)."""
+
+
+def zorder_tile_batches(trace: FrameTrace) -> List[Batch]:
+    """Every tile as its own batch, in Morton order."""
+    return [[tile] for tile in morton_order(trace.tiles_x, trace.tiles_y)]
+
+
+def supertile_batches_zorder(trace: FrameTrace, size: int) -> List[Batch]:
+    """Supertile batches, supertiles and their member tiles in Z-order."""
+    grid = SupertileGrid(trace.tiles_x, trace.tiles_y, size)
+    return [grid.tiles_of(sid) for sid in grid.all_supertiles_zorder()]
+
+
+class ZOrderScheduler(TileScheduler):
+    """Baseline / PTR: interleaved Z-order dispatch from a shared queue."""
+
+    def begin_frame(self, trace: FrameTrace) -> ScheduleDecision:
+        """Build the dispenser for the coming frame."""
+        return ScheduleDecision(
+            dispenser=QueueDispenser(zorder_tile_batches(trace)),
+            order="zorder", supertile_size=1)
+
+
+class StaticSupertileScheduler(TileScheduler):
+    """Fixed-size supertiles in Z-order, no temperature ranking."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("supertile size must be >= 1")
+        self.size = size
+
+    def begin_frame(self, trace: FrameTrace) -> ScheduleDecision:
+        """Build the dispenser for the coming frame."""
+        return ScheduleDecision(
+            dispenser=AffinityQueueDispenser(
+                supertile_batches_zorder(trace, self.size)),
+            order="zorder", supertile_size=self.size)
+
+
+class TemperatureScheduler(TileScheduler):
+    """Hot/cold supertile dispatch with a fixed supertile size.
+
+    The first frame has no history, so it falls back to Z-order; from the
+    second frame on, supertiles are ranked by the previous frame's
+    accesses-per-instruction (frame-to-frame coherence).
+    """
+
+    def __init__(self, size: int = 4):
+        if size < 2:
+            raise ValueError("temperature scheduling needs supertiles >= 2x2")
+        self.size = size
+        self._table: Optional[TemperatureTable] = None
+
+    def begin_frame(self, trace: FrameTrace) -> ScheduleDecision:
+        """Build the dispenser for the coming frame."""
+        if self._table is None:
+            self._table = TemperatureTable(trace.tiles_x, trace.tiles_y)
+        if not self._table.has_data:
+            return ScheduleDecision(
+                dispenser=AffinityQueueDispenser(
+                    supertile_batches_zorder(trace, self.size)),
+                order="zorder", supertile_size=self.size)
+        grid, temperatures = self._table.aggregate(self.size)
+        ranked = rank_by_temperature(temperatures)
+        batches = [grid.tiles_of(sid) for sid in ranked]
+        return ScheduleDecision(dispenser=HotColdDispenser(batches),
+                                order="temperature",
+                                supertile_size=self.size)
+
+    def end_frame(self, feedback: FrameFeedback) -> None:
+        """Record the finished frame's measurements."""
+        if self._table is not None:
+            self._table.update(feedback.per_tile_dram,
+                               feedback.per_tile_instructions)

@@ -1,0 +1,150 @@
+"""The temperature statistics buffer (Section III-E hardware model).
+
+LIBRA's only storage overhead is a small on-chip buffer with one entry per
+*base* supertile (2x2 tiles — at most 510 entries for a Full HD frame).
+Each 64-bit entry packs:
+
+* 16 bits — DRAM accesses observed in the supertile last frame,
+* 24 bits — instructions executed,
+* 15 bits — the computed accesses-per-instruction ratio (fixed point),
+*  9 bits — the supertile ID used by the ranking network.
+
+All counters saturate rather than wrap, as the hardware would.  Larger
+supertile granularities are produced by aggregating base entries, matching
+the paper: "the per-tile memory accesses and instruction count metrics of
+the previous frame are first aggregated at the chosen supertile
+granularity".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..tiling.supertile import SupertileGrid
+
+TileCoord = Tuple[int, int]
+
+#: Bit widths of one buffer entry (Section III-E).
+ACCESS_BITS = 16
+INSTRUCTION_BITS = 24
+RATIO_BITS = 15
+ID_BITS = 9
+
+ACCESS_MAX = (1 << ACCESS_BITS) - 1
+INSTRUCTION_MAX = (1 << INSTRUCTION_BITS) - 1
+RATIO_MAX = (1 << RATIO_BITS) - 1
+MAX_ENTRIES = 1 << ID_BITS
+
+#: Fixed-point fractional bits of the accesses-per-instruction field.
+RATIO_FRACTION_BITS = 10
+RATIO_SCALE = 1 << RATIO_FRACTION_BITS
+
+#: Base granularity of the buffer, in tiles per supertile side.
+BASE_SUPERTILE = 2
+
+
+def saturate(value: int, maximum: int) -> int:
+    """Clamp a counter the way a saturating hardware counter would."""
+    if value < 0:
+        raise ValueError("counters never go negative")
+    return min(value, maximum)
+
+
+def fixed_point_ratio(accesses: int, instructions: int) -> int:
+    """Accesses-per-instruction as the hardware's 15-bit fixed point."""
+    if instructions <= 0:
+        # No instructions but some accesses: treat as maximally hot.
+        return RATIO_MAX if accesses > 0 else 0
+    return saturate(int(accesses * RATIO_SCALE / instructions), RATIO_MAX)
+
+
+@dataclass
+class BufferEntry:
+    """One 64-bit entry of the statistics buffer."""
+
+    supertile_id: int
+    accesses: int = 0
+    instructions: int = 0
+
+    @property
+    def ratio_fixed(self) -> int:
+        """The 15-bit fixed-point accesses-per-instruction field."""
+        return fixed_point_ratio(self.accesses, self.instructions)
+
+    @property
+    def temperature(self) -> float:
+        """The decoded accesses-per-instruction ratio."""
+        return self.ratio_fixed / RATIO_SCALE
+
+
+class TemperatureTable:
+    """The per-frame statistics buffer, at base (2x2) granularity."""
+
+    def __init__(self, tiles_x: int, tiles_y: int):
+        self.base_grid = SupertileGrid(tiles_x, tiles_y, BASE_SUPERTILE)
+        if self.base_grid.num_supertiles > MAX_ENTRIES:
+            raise ValueError(
+                f"frame needs {self.base_grid.num_supertiles} entries, "
+                f"but the {ID_BITS}-bit supertile ID allows only "
+                f"{MAX_ENTRIES}")
+        self.entries: List[BufferEntry] = [
+            BufferEntry(supertile_id=i)
+            for i in range(self.base_grid.num_supertiles)]
+        self.frames_recorded = 0
+
+    @property
+    def num_entries(self) -> int:
+        """Number of base (2x2) supertile entries."""
+        return len(self.entries)
+
+    def storage_bits(self) -> int:
+        """Total storage of the buffer (64 bits per entry)."""
+        return self.num_entries * (ACCESS_BITS + INSTRUCTION_BITS
+                                   + RATIO_BITS + ID_BITS)
+
+    def update(self, per_tile_dram: Dict[TileCoord, int],
+               per_tile_instructions: Dict[TileCoord, int]) -> None:
+        """Overwrite the buffer with one frame's per-tile measurements."""
+        accesses = [0] * self.num_entries
+        instructions = [0] * self.num_entries
+        for tile, count in per_tile_dram.items():
+            accesses[self.base_grid.supertile_of(tile)] += count
+        for tile, count in per_tile_instructions.items():
+            instructions[self.base_grid.supertile_of(tile)] += count
+        for entry, acc, inst in zip(self.entries, accesses, instructions):
+            entry.accesses = saturate(acc, ACCESS_MAX)
+            entry.instructions = saturate(inst, INSTRUCTION_MAX)
+        self.frames_recorded += 1
+
+    @property
+    def has_data(self) -> bool:
+        """True once at least one frame has been recorded."""
+        return self.frames_recorded > 0
+
+    def aggregate(self, size: int) -> Tuple[SupertileGrid, List[float]]:
+        """Temperatures at a coarser supertile granularity.
+
+        Returns the grid of ``size x size``-tile supertiles and one
+        temperature value per supertile, computed from summed base-entry
+        counters (ratios are recomputed after summation, as the hardware
+        divider would).
+        """
+        if size % BASE_SUPERTILE and size != BASE_SUPERTILE:
+            raise ValueError(
+                f"supertile size must be a multiple of {BASE_SUPERTILE}")
+        grid = SupertileGrid(self.base_grid.tiles_x, self.base_grid.tiles_y,
+                             size)
+        accesses = [0] * grid.num_supertiles
+        instructions = [0] * grid.num_supertiles
+        factor = size // BASE_SUPERTILE
+        for entry in self.entries:
+            bx, by = self.base_grid.supertile_coord(entry.supertile_id)
+            sx, sy = bx // factor, by // factor
+            sid = sy * grid.supertiles_x + sx
+            accesses[sid] += entry.accesses
+            instructions[sid] += entry.instructions
+        temperatures = [
+            fixed_point_ratio(acc, inst) / RATIO_SCALE
+            for acc, inst in zip(accesses, instructions)]
+        return grid, temperatures

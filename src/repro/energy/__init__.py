@@ -1,0 +1,5 @@
+"""Energy model substrate (McPAT/DRAMsim3-style event-count accounting)."""
+
+from .model import EnergyCounts, EnergyModel, EnergyParams, EnergyReport
+
+__all__ = ["EnergyModel", "EnergyParams", "EnergyCounts", "EnergyReport"]

@@ -1,0 +1,115 @@
+"""GPU energy model (McPAT/DRAMsim3-inspired event-count model).
+
+Energy = sum over components of (event count x energy-per-event)
+       + static power x execution time.
+
+The per-event constants below are representative 22 nm / LPDDR4 values of
+the kind McPAT and DRAMsim3 produce for a mobile GPU; they are deliberately
+kept in one table so sensitivity to them is auditable.  The paper's energy
+result (Figure 15) is dominated by two terms this model captures
+first-order: static energy scales with execution time (LIBRA's speedup),
+and DRAM energy scales with access count and activation count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import GPU_FREQUENCY_HZ
+
+
+@dataclass
+class EnergyParams:
+    """Per-event energies (nanojoules) and static power (watts)."""
+
+    core_instruction_nj: float = 0.010
+    l1_access_nj: float = 0.012
+    l2_access_nj: float = 0.060
+    dram_read_nj: float = 4.0
+    dram_write_nj: float = 4.4
+    dram_activate_nj: float = 1.8
+    #: Static (leakage + idle clock tree) power of the whole GPU, watts.
+    static_power_w: float = 0.30
+    frequency_hz: int = GPU_FREQUENCY_HZ
+
+
+@dataclass
+class EnergyCounts:
+    """Event counts a simulation run feeds the model."""
+
+    core_instructions: int = 0
+    l1_accesses: int = 0
+    l2_accesses: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    dram_activations: int = 0
+    cycles: int = 0
+
+    def merged_with(self, other: "EnergyCounts") -> "EnergyCounts":
+        """Element-wise sum of two count sets."""
+        return EnergyCounts(
+            core_instructions=self.core_instructions + other.core_instructions,
+            l1_accesses=self.l1_accesses + other.l1_accesses,
+            l2_accesses=self.l2_accesses + other.l2_accesses,
+            dram_reads=self.dram_reads + other.dram_reads,
+            dram_writes=self.dram_writes + other.dram_writes,
+            dram_activations=self.dram_activations + other.dram_activations,
+            cycles=self.cycles + other.cycles,
+        )
+
+
+@dataclass
+class EnergyReport:
+    """Energy (joules) broken down by component."""
+
+    dynamic_core_j: float
+    dynamic_l1_j: float
+    dynamic_l2_j: float
+    dynamic_dram_j: float
+    static_j: float
+
+    @property
+    def dynamic_j(self) -> float:
+        """Total dynamic (per-event) energy in joules."""
+        return (self.dynamic_core_j + self.dynamic_l1_j
+                + self.dynamic_l2_j + self.dynamic_dram_j)
+
+    @property
+    def total_j(self) -> float:
+        """Dynamic plus static energy in joules."""
+        return self.dynamic_j + self.static_j
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-component energy in joules, keyed by component name."""
+        return {
+            "core": self.dynamic_core_j,
+            "l1": self.dynamic_l1_j,
+            "l2": self.dynamic_l2_j,
+            "dram": self.dynamic_dram_j,
+            "static": self.static_j,
+        }
+
+
+class EnergyModel:
+    """Turns event counts into a joule report."""
+
+    def __init__(self, params: EnergyParams = None):
+        self.params = params or EnergyParams()
+
+    def evaluate(self, counts: EnergyCounts) -> EnergyReport:
+        """Convert event counts into an energy report."""
+        p = self.params
+        nano = 1e-9
+        seconds = counts.cycles / p.frequency_hz
+        return EnergyReport(
+            dynamic_core_j=counts.core_instructions
+            * p.core_instruction_nj * nano,
+            dynamic_l1_j=counts.l1_accesses * p.l1_access_nj * nano,
+            dynamic_l2_j=counts.l2_accesses * p.l2_access_nj * nano,
+            dynamic_dram_j=(counts.dram_reads * p.dram_read_nj
+                            + counts.dram_writes * p.dram_write_nj
+                            + counts.dram_activations
+                            * p.dram_activate_nj) * nano,
+            static_j=seconds * p.static_power_w,
+        )

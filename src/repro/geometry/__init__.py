@@ -1,0 +1,21 @@
+"""Geometry Pipeline substrate: meshes, draw calls, vertex shading,
+clipping/culling, and the pipeline that produces screen-space primitives."""
+
+from .mesh import DrawCall, Mesh, ShaderProfile, disk_mesh, grid_mesh, quad_mesh
+from .pipeline import GeometryOutput, GeometryPipeline, GeometryStats
+from .primitive import Primitive
+from . import vecmath
+
+__all__ = [
+    "DrawCall",
+    "Mesh",
+    "ShaderProfile",
+    "quad_mesh",
+    "grid_mesh",
+    "disk_mesh",
+    "GeometryPipeline",
+    "GeometryOutput",
+    "GeometryStats",
+    "Primitive",
+    "vecmath",
+]

@@ -1,0 +1,104 @@
+"""Frustum culling and homogeneous-space clipping (Sutherland-Hodgman).
+
+Triangles fully outside the view frustum are discarded (Culling); partially
+visible ones are clipped against the six frustum planes in clip space,
+producing a fan of smaller triangles that lie entirely inside the visible
+volume — exactly the Culling/Clipping stage of Figure 3 in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+# Each plane is expressed as a coefficient row p such that a clip-space
+# vertex v = (x, y, z, w) is inside when p @ v >= 0.
+_FRUSTUM_PLANES = np.array([
+    [1.0, 0.0, 0.0, 1.0],    # x >= -w  (left)
+    [-1.0, 0.0, 0.0, 1.0],   # x <=  w  (right)
+    [0.0, 1.0, 0.0, 1.0],    # y >= -w  (bottom)
+    [0.0, -1.0, 0.0, 1.0],   # y <=  w  (top)
+    [0.0, 0.0, 1.0, 1.0],    # z >= -w  (near)
+    [0.0, 0.0, -1.0, 1.0],   # z <=  w  (far)
+])
+
+#: Minimum |w| accepted after clipping; guards the perspective divide.
+_W_EPSILON = 1e-9
+
+ClipVertex = Tuple[np.ndarray, np.ndarray]  # (clip position (4,), uv (2,))
+
+
+def classify_triangle(clip: np.ndarray) -> str:
+    """Classify a clip-space triangle: 'inside', 'outside' or 'straddling'."""
+    distances = clip @ _FRUSTUM_PLANES.T  # (3, 6)
+    if (distances < 0.0).all(axis=0).any():
+        return "outside"
+    if (distances >= 0.0).all():
+        return "inside"
+    return "straddling"
+
+
+def _clip_against_plane(polygon: List[ClipVertex],
+                        plane: np.ndarray) -> List[ClipVertex]:
+    """One Sutherland-Hodgman pass of a polygon against a frustum plane."""
+    if not polygon:
+        return []
+    output: List[ClipVertex] = []
+    prev_pos, prev_uv = polygon[-1]
+    prev_dist = float(plane @ prev_pos)
+    for pos, uv in polygon:
+        dist = float(plane @ pos)
+        crosses = (dist < 0.0) != (prev_dist < 0.0)
+        if crosses:
+            t = prev_dist / (prev_dist - dist)
+            inter_pos = prev_pos + t * (pos - prev_pos)
+            inter_uv = prev_uv + t * (uv - prev_uv)
+            output.append((inter_pos, inter_uv))
+        if dist >= 0.0:
+            output.append((pos, uv))
+        prev_pos, prev_uv, prev_dist = pos, uv, dist
+    return output
+
+
+def clip_triangle(clip: np.ndarray, uvs: np.ndarray
+                  ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Clip one triangle against the frustum.
+
+    Returns a list of triangles, each as ``(positions (3,4), uvs (3,2))``.
+    Fully-inside triangles come back unchanged; fully-outside ones yield an
+    empty list; straddling ones are clipped and fan-triangulated.
+    """
+    state = classify_triangle(clip)
+    if state == "outside":
+        return []
+    if state == "inside":
+        return [(clip.copy(), uvs.copy())]
+    polygon: List[ClipVertex] = [(clip[i].copy(), uvs[i].copy())
+                                 for i in range(3)]
+    for plane in _FRUSTUM_PLANES:
+        polygon = _clip_against_plane(polygon, plane)
+        if len(polygon) < 3:
+            return []
+    triangles = []
+    anchor_pos, anchor_uv = polygon[0]
+    for i in range(1, len(polygon) - 1):
+        tri_pos = np.stack([anchor_pos, polygon[i][0], polygon[i + 1][0]])
+        tri_uv = np.stack([anchor_uv, polygon[i][1], polygon[i + 1][1]])
+        if (np.abs(tri_pos[:, 3]) < _W_EPSILON).any():
+            continue
+        triangles.append((tri_pos, tri_uv))
+    return triangles
+
+
+def cull_backface(xy: Sequence[Sequence[float]]) -> bool:
+    """True when the screen-space triangle should be culled as back-facing.
+
+    The pipeline uses counter-clockwise front faces in screen space (y
+    pointing down), i.e. negative signed area is front-facing after the
+    y flip of the viewport transform.  Degenerate (zero-area) triangles are
+    always culled.
+    """
+    (ax, ay), (bx, by), (cx, cy) = xy
+    area2 = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    return area2 <= 0.0

@@ -1,0 +1,178 @@
+"""Scene geometry containers: vertices, meshes and draw calls.
+
+A :class:`DrawCall` is the unit of work submitted to the Geometry Pipeline,
+mirroring a graphics API draw command: a mesh (vertex/index buffers), a
+model transform, a texture binding and a shader cost profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class Mesh:
+    """Indexed triangle mesh.
+
+    ``positions`` is (V, 3) float64, ``uvs`` is (V, 2) float64 in [0, 1],
+    ``indices`` is (T, 3) int32.  Addresses of the backing vertex buffer are
+    synthesized from ``buffer_base`` for the vertex-cache model.
+    """
+
+    positions: np.ndarray
+    uvs: np.ndarray
+    indices: np.ndarray
+    buffer_base: int = 0
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.float64)
+        self.uvs = np.asarray(self.uvs, dtype=np.float64)
+        self.indices = np.asarray(self.indices, dtype=np.int32)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError("positions must be (V, 3)")
+        if self.uvs.shape != (self.positions.shape[0], 2):
+            raise ValueError("uvs must be (V, 2) matching positions")
+        if self.indices.ndim != 2 or self.indices.shape[1] != 3:
+            raise ValueError("indices must be (T, 3)")
+        if self.indices.size and self.indices.max() >= len(self.positions):
+            raise ValueError("index out of range")
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices in the mesh."""
+        return len(self.positions)
+
+    @property
+    def num_triangles(self) -> int:
+        """Triangles in the mesh."""
+        return len(self.indices)
+
+    #: Bytes of one packed vertex (position + uv + normal + padding).
+    VERTEX_STRIDE = 32
+
+    def vertex_address(self, vertex_index: int) -> int:
+        """Main-memory byte address of a vertex (for the Vertex cache)."""
+        return self.buffer_base + vertex_index * self.VERTEX_STRIDE
+
+
+def quad_mesh(x: float, y: float, w: float, h: float, z: float = 0.0,
+              uv_scale: float = 1.0, uv_rect: Optional[tuple] = None,
+              buffer_base: int = 0) -> Mesh:
+    """An axis-aligned textured quad (two triangles) — the sprite primitive.
+
+    ``uv_rect=(u0, v0, u1, v1)`` maps the quad onto a window of its texture
+    (sprite-sheet / atlas addressing); without it the quad spans
+    ``uv_scale`` repeats of the whole texture.
+    """
+    positions = np.array([
+        [x, y, z], [x + w, y, z], [x + w, y + h, z], [x, y + h, z],
+    ])
+    if uv_rect is not None:
+        u0, v0, u1, v1 = uv_rect
+        uvs = np.array([[u0, v0], [u1, v0], [u1, v1], [u0, v1]])
+    else:
+        uvs = np.array([
+            [0.0, 0.0], [uv_scale, 0.0], [uv_scale, uv_scale],
+            [0.0, uv_scale],
+        ])
+    indices = np.array([[0, 1, 2], [0, 2, 3]])
+    return Mesh(positions, uvs, indices, buffer_base=buffer_base)
+
+
+def grid_mesh(x: float, y: float, w: float, h: float, nx: int, ny: int,
+              z: float = 0.0, height_fn=None, buffer_base: int = 0) -> Mesh:
+    """A tessellated rectangle of ``nx`` x ``ny`` cells.
+
+    ``height_fn(u, v)`` optionally displaces z — used by the workload
+    generator to fabricate terrain-style 3D content.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("grid needs at least one cell per axis")
+    us = np.linspace(0.0, 1.0, nx + 1)
+    vs = np.linspace(0.0, 1.0, ny + 1)
+    positions = []
+    uvs = []
+    for v in vs:
+        for u in us:
+            zz = z if height_fn is None else z + height_fn(u, v)
+            positions.append([x + u * w, y + v * h, zz])
+            uvs.append([u, v])
+    indices = []
+    stride = nx + 1
+    for j in range(ny):
+        for i in range(nx):
+            a = j * stride + i
+            b = a + 1
+            c = a + stride
+            d = c + 1
+            indices.append([a, b, d])
+            indices.append([a, d, c])
+    return Mesh(np.array(positions), np.array(uvs), np.array(indices),
+                buffer_base=buffer_base)
+
+
+def disk_mesh(cx: float, cy: float, radius: float, segments: int = 12,
+              z: float = 0.0, buffer_base: int = 0) -> Mesh:
+    """A fan-triangulated disk — coins, wheels, particles."""
+    if segments < 3:
+        raise ValueError("a disk needs at least three segments")
+    positions = [[cx, cy, z]]
+    uvs = [[0.5, 0.5]]
+    for k in range(segments):
+        a = 2.0 * math.pi * k / segments
+        positions.append([cx + radius * math.cos(a),
+                          cy + radius * math.sin(a), z])
+        uvs.append([0.5 + 0.5 * math.cos(a), 0.5 + 0.5 * math.sin(a)])
+    indices = []
+    for k in range(segments):
+        indices.append([0, 1 + k, 1 + (k + 1) % segments])
+    return Mesh(np.array(positions), np.array(uvs), np.array(indices),
+                buffer_base=buffer_base)
+
+
+@dataclass
+class ShaderProfile:
+    """Cost model of the shader programs bound to a draw call.
+
+    The simulator never executes shader ISA; it charges
+    ``fragment_instructions`` ALU instructions and ``texture_fetches``
+    texture samples per fragment, and ``vertex_instructions`` per vertex.
+    """
+
+    vertex_instructions: int = 16
+    fragment_instructions: int = 24
+    texture_fetches: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.vertex_instructions, self.fragment_instructions) < 0:
+            raise ValueError("instruction counts must be non-negative")
+        if self.texture_fetches < 0:
+            raise ValueError("texture fetch count must be non-negative")
+
+
+@dataclass
+class DrawCall:
+    """One submitted draw: mesh + transform + texture + shader profile."""
+
+    mesh: Mesh
+    model_matrix: Optional[np.ndarray] = None
+    texture_id: int = 0
+    shader: ShaderProfile = field(default_factory=ShaderProfile)
+    blend: str = "opaque"
+    depth_write: bool = True
+    #: True when the fragment shader modifies depth: Early-Z must be
+    #: disabled and the visibility test runs after shading (Late-Z).
+    modifies_depth: bool = False
+
+    def __post_init__(self) -> None:
+        if self.model_matrix is not None:
+            self.model_matrix = np.asarray(self.model_matrix,
+                                           dtype=np.float64)
+            if self.model_matrix.shape != (4, 4):
+                raise ValueError("model matrix must be 4x4")
+        if self.blend not in ("opaque", "alpha", "additive"):
+            raise ValueError(f"unknown blend mode {self.blend!r}")

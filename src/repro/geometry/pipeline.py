@@ -1,0 +1,159 @@
+"""The Geometry Pipeline: draw calls -> screen-space primitives.
+
+Implements the left pipeline of the paper's Figure 3: Vertex Fetcher,
+Vertex Processors (modeled vertex shader), Primitive Assembly and
+Culling/Clipping.  The functional output is the list of screen-space
+:class:`~repro.geometry.primitive.Primitive` objects handed to the Tiling
+Engine, plus the vertex-fetch address stream (for the Vertex cache) and a
+cycle estimate for the whole phase (used both for Figure 1's breakdown and
+to check that LIBRA's ranking latency hides under geometry, Section III-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import CACHE_LINE_BYTES
+from .clipping import clip_triangle, cull_backface
+from .mesh import DrawCall
+from .primitive import Primitive
+from .shading import shade_vertices
+from .vecmath import viewport_transform
+
+
+@dataclass
+class GeometryStats:
+    """Event counts produced while running the Geometry Pipeline."""
+
+    draw_calls: int = 0
+    vertices_fetched: int = 0
+    vertices_shaded: int = 0
+    vertex_instructions: int = 0
+    triangles_in: int = 0
+    triangles_culled_frustum: int = 0
+    triangles_clipped: int = 0
+    triangles_culled_backface: int = 0
+    primitives_out: int = 0
+
+
+@dataclass
+class GeometryOutput:
+    """Everything the rest of the frame needs from the Geometry phase."""
+
+    primitives: List[Primitive]
+    vertex_fetch_addresses: List[int]
+    stats: GeometryStats
+    cycles: int = 0
+
+
+@dataclass
+class GeometryPipeline:
+    """Functional + timing model of the Geometry Pipeline.
+
+    ``vertex_processors`` sets the vertex-shading throughput;
+    ``cull_backfaces`` enables the winding test (off by default because 2D
+    sprite content mixes windings; 3D workloads turn it on per run).
+    """
+
+    width: int
+    height: int
+    vertex_processors: int = 2
+    cull_backfaces: bool = False
+    #: Fixed-function per-triangle cost (assembly + cull/clip), cycles.
+    triangle_setup_cycles: float = 2.0
+    #: Cycles to fetch one vertex when it hits in the Vertex cache.
+    vertex_fetch_cycles: float = 0.5
+    #: Serial per-draw-call overhead (command processing, state changes,
+    #: descriptor fetches) — the dominant geometry-phase cost of sprite-
+    #: heavy mobile games, which issue hundreds of small draws per frame.
+    draw_call_cycles: float = 500.0
+
+    def run(self, draws: Sequence[DrawCall],
+            view_projection: np.ndarray) -> GeometryOutput:
+        """Run the pipeline over the draw calls; returns GeometryOutput."""
+        stats = GeometryStats()
+        primitives: List[Primitive] = []
+        fetch_addresses: List[int] = []
+        sequence = 0
+        for draw in draws:
+            stats.draw_calls += 1
+            mesh = draw.mesh
+            stats.vertices_fetched += mesh.num_vertices
+            stats.vertices_shaded += mesh.num_vertices
+            stats.vertex_instructions += (
+                mesh.num_vertices * draw.shader.vertex_instructions)
+            for vertex_index in range(mesh.num_vertices):
+                fetch_addresses.append(mesh.vertex_address(vertex_index))
+            shaded = shade_vertices(draw, view_projection)
+            for tri in mesh.indices:
+                stats.triangles_in += 1
+                clip = shaded.clip[tri]
+                uvs = shaded.uvs[tri]
+                pieces = clip_triangle(clip, uvs)
+                if not pieces:
+                    stats.triangles_culled_frustum += 1
+                    continue
+                if len(pieces) > 1 or pieces[0][0] is not clip:
+                    stats.triangles_clipped += 1
+                for piece_clip, piece_uv in pieces:
+                    prim = self._to_screen(piece_clip, piece_uv, draw,
+                                           sequence)
+                    if prim is None:
+                        stats.triangles_culled_backface += 1
+                        continue
+                    primitives.append(prim)
+                    sequence += 1
+        stats.primitives_out = len(primitives)
+        cycles = self._estimate_cycles(stats)
+        return GeometryOutput(primitives=primitives,
+                              vertex_fetch_addresses=fetch_addresses,
+                              stats=stats, cycles=cycles)
+
+    def _to_screen(self, clip: np.ndarray, uvs: np.ndarray,
+                   draw: DrawCall, sequence: int) -> Primitive | None:
+        """Perspective divide + viewport transform; None when culled."""
+        w = clip[:, 3]
+        inv_w = 1.0 / w
+        ndc = clip[:, :3] * inv_w[:, None]
+        xy = viewport_transform(ndc[:, :2], self.width, self.height)
+        if self.cull_backfaces and cull_backface(xy):
+            return None
+        # Degenerate triangles never produce fragments; drop them here.
+        (ax, ay), (bx, by), (cx, cy) = xy
+        area2 = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+        if area2 == 0.0:
+            return None
+        return Primitive(
+            xy=xy,
+            depth=ndc[:, 2].copy(),
+            inv_w=inv_w.copy(),
+            uv_over_w=uvs * inv_w[:, None],
+            texture_id=draw.texture_id,
+            shader=draw.shader,
+            blend=draw.blend,
+            depth_write=draw.depth_write,
+            late_z=draw.modifies_depth,
+            sequence=sequence,
+        )
+
+    def _estimate_cycles(self, stats: GeometryStats) -> int:
+        """Pipelined-throughput cycle estimate for the Geometry phase.
+
+        The phase is limited by the slowest of: vertex fetch, vertex
+        shading (spread over the vertex processors) and the fixed-function
+        triangle path.  A pipeline works on all three concurrently, so the
+        phase cost is the max, not the sum.
+        """
+        fetch = stats.vertices_fetched * self.vertex_fetch_cycles
+        shade = stats.vertex_instructions / max(self.vertex_processors, 1)
+        setup = stats.triangles_in * self.triangle_setup_cycles
+        draws = stats.draw_calls * self.draw_call_cycles
+        return int(max(fetch, shade, setup) + draws)
+
+
+def vertex_lines(addresses: Sequence[int]) -> List[int]:
+    """Collapse a vertex-fetch byte-address stream to cache-line addresses."""
+    return [addr // CACHE_LINE_BYTES for addr in addresses]

@@ -1,0 +1,80 @@
+"""Screen-space primitives — the interface between Geometry and Tiling.
+
+After vertex shading, clipping and the viewport transform, each surviving
+triangle becomes a :class:`Primitive` carrying everything the Raster
+Pipeline needs: pixel-space positions, per-vertex depth, perspective
+1/w, texture coordinates, and the bound texture/shader state.  Primitives
+keep a monotonically increasing ``sequence`` so per-tile lists preserve
+program order (required for correct blending of overlaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .mesh import ShaderProfile
+
+
+@dataclass
+class Primitive:
+    """One screen-space triangle ready for binning and rasterization."""
+
+    #: (3, 2) pixel-space x/y of the vertices.
+    xy: np.ndarray
+    #: (3,) NDC depth in [-1, 1] (after perspective divide).
+    depth: np.ndarray
+    #: (3,) 1/w for perspective-correct interpolation.
+    inv_w: np.ndarray
+    #: (3, 2) texture coordinates (already divided by w for interpolation).
+    uv_over_w: np.ndarray
+    texture_id: int
+    shader: ShaderProfile
+    blend: str = "opaque"
+    depth_write: bool = True
+    #: Late-Z: the shader modifies depth, so Early-Z is disabled and the
+    #: depth test runs after shading.
+    late_z: bool = False
+    #: Program-order sequence number, unique within a frame.
+    sequence: int = 0
+
+    def __post_init__(self) -> None:
+        self.xy = np.asarray(self.xy, dtype=np.float64)
+        self.depth = np.asarray(self.depth, dtype=np.float64)
+        self.inv_w = np.asarray(self.inv_w, dtype=np.float64)
+        self.uv_over_w = np.asarray(self.uv_over_w, dtype=np.float64)
+        if self.xy.shape != (3, 2):
+            raise ValueError("xy must be (3, 2)")
+        if self.depth.shape != (3,) or self.inv_w.shape != (3,):
+            raise ValueError("depth and inv_w must be (3,)")
+        if self.uv_over_w.shape != (3, 2):
+            raise ValueError("uv_over_w must be (3, 2)")
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """(min_x, min_y, max_x, max_y) in pixel coordinates."""
+        return (float(self.xy[:, 0].min()), float(self.xy[:, 1].min()),
+                float(self.xy[:, 0].max()), float(self.xy[:, 1].max()))
+
+    def signed_area(self) -> float:
+        """Signed double-area; zero means degenerate, sign gives winding."""
+        (ax, ay), (bx, by), (cx, cy) = self.xy
+        return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+    def area(self) -> float:
+        """Unsigned screen-space area in pixels."""
+        return abs(self.signed_area()) * 0.5
+
+    def uv_at_vertex(self, i: int) -> Tuple[float, float]:
+        """Perspective-recovered texture coordinate of vertex ``i``."""
+        w = self.inv_w[i]
+        if w == 0.0:
+            return (0.0, 0.0)
+        return (float(self.uv_over_w[i, 0] / w),
+                float(self.uv_over_w[i, 1] / w))
+
+    def uv_bounds(self) -> Tuple[float, float, float, float]:
+        """(min_u, min_v, max_u, max_v) over the three vertices."""
+        us, vs = zip(*(self.uv_at_vertex(i) for i in range(3)))
+        return (min(us), min(vs), max(us), max(vs))

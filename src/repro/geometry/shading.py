@@ -1,0 +1,39 @@
+"""Vertex shading: object space -> clip space.
+
+The vertex shader is modeled functionally as the standard
+model-view-projection transform plus attribute passthrough; its *cost* is
+whatever the draw call's :class:`~repro.geometry.mesh.ShaderProfile` says.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .mesh import DrawCall
+
+
+@dataclass
+class ShadedVertices:
+    """Output of vertex shading for one draw call.
+
+    ``clip`` is (V, 4) clip-space positions, ``uvs`` the untouched texture
+    coordinates.  Primitive assembly and clipping consume this.
+    """
+
+    clip: np.ndarray
+    uvs: np.ndarray
+
+
+def shade_vertices(draw: DrawCall, view_projection: np.ndarray) -> ShadedVertices:
+    """Run the (modeled) vertex shader for every vertex of a draw call."""
+    positions = draw.mesh.positions
+    homogeneous = np.empty((len(positions), 4), dtype=np.float64)
+    homogeneous[:, :3] = positions
+    homogeneous[:, 3] = 1.0
+    matrix = view_projection
+    if draw.model_matrix is not None:
+        matrix = view_projection @ draw.model_matrix
+    clip = homogeneous @ matrix.T
+    return ShadedVertices(clip=clip, uvs=draw.mesh.uvs)

@@ -1,0 +1,151 @@
+"""Small linear-algebra helpers for the Geometry Pipeline.
+
+Vertices are numpy ``float64`` arrays; matrices are 4x4 numpy arrays in
+row-vector convention (``v' = M @ v`` with column vectors).  Only the
+operations the pipeline needs are provided — this is a substrate, not a
+general math library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def vec3(x: float, y: float, z: float) -> np.ndarray:
+    """A 3-component float64 vector."""
+    return np.array([x, y, z], dtype=np.float64)
+
+
+def vec4(x: float, y: float, z: float, w: float = 1.0) -> np.ndarray:
+    """A 4-component float64 vector (homogeneous, w defaults to 1)."""
+    return np.array([x, y, z, w], dtype=np.float64)
+
+
+def normalize(v: np.ndarray) -> np.ndarray:
+    """Unit-length copy of ``v`` (zero vectors pass through)."""
+    n = np.linalg.norm(v)
+    if n == 0.0:
+        return v.copy()
+    return v / n
+
+
+def identity() -> np.ndarray:
+    """The 4x4 identity matrix."""
+    return np.eye(4, dtype=np.float64)
+
+
+def translation(x: float, y: float, z: float) -> np.ndarray:
+    """A 4x4 translation matrix."""
+    m = identity()
+    m[:3, 3] = (x, y, z)
+    return m
+
+
+def scaling(x: float, y: float, z: float) -> np.ndarray:
+    """A 4x4 axis-aligned scaling matrix."""
+    m = identity()
+    m[0, 0], m[1, 1], m[2, 2] = x, y, z
+    return m
+
+
+def rotation_z(angle: float) -> np.ndarray:
+    """Rotation about the z axis by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    m = identity()
+    m[0, 0], m[0, 1] = c, -s
+    m[1, 0], m[1, 1] = s, c
+    return m
+
+
+def rotation_y(angle: float) -> np.ndarray:
+    """Rotation about the y axis by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    m = identity()
+    m[0, 0], m[0, 2] = c, s
+    m[2, 0], m[2, 2] = -s, c
+    return m
+
+
+def rotation_x(angle: float) -> np.ndarray:
+    """Rotation about the x axis by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    m = identity()
+    m[1, 1], m[1, 2] = c, -s
+    m[2, 1], m[2, 2] = s, c
+    return m
+
+
+def look_at(eye: Sequence[float], target: Sequence[float],
+            up: Sequence[float] = (0.0, 1.0, 0.0)) -> np.ndarray:
+    """Right-handed view matrix looking from ``eye`` toward ``target``."""
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    forward = normalize(target - eye)
+    right = normalize(np.cross(forward, np.asarray(up, dtype=np.float64)))
+    true_up = np.cross(right, forward)
+    m = identity()
+    m[0, :3] = right
+    m[1, :3] = true_up
+    m[2, :3] = -forward
+    m[0, 3] = -right @ eye
+    m[1, 3] = -true_up @ eye
+    m[2, 3] = forward @ eye
+    return m
+
+
+def perspective(fov_y: float, aspect: float, near: float,
+                far: float) -> np.ndarray:
+    """OpenGL-style perspective projection (clip space w = -z_eye)."""
+    if near <= 0 or far <= near:
+        raise ValueError("need 0 < near < far")
+    f = 1.0 / math.tan(fov_y / 2.0)
+    m = np.zeros((4, 4), dtype=np.float64)
+    m[0, 0] = f / aspect
+    m[1, 1] = f
+    m[2, 2] = (far + near) / (near - far)
+    m[2, 3] = 2.0 * far * near / (near - far)
+    m[3, 2] = -1.0
+    return m
+
+
+def orthographic(left: float, right: float, bottom: float, top: float,
+                 near: float = -1.0, far: float = 1.0) -> np.ndarray:
+    """Orthographic projection; the natural camera for 2D mobile games."""
+    if right == left or top == bottom or far == near:
+        raise ValueError("degenerate orthographic volume")
+    m = identity()
+    m[0, 0] = 2.0 / (right - left)
+    m[1, 1] = 2.0 / (top - bottom)
+    m[2, 2] = -2.0 / (far - near)
+    m[0, 3] = -(right + left) / (right - left)
+    m[1, 3] = -(top + bottom) / (top - bottom)
+    m[2, 3] = -(far + near) / (far - near)
+    return m
+
+
+def viewport_transform(ndc_xy: np.ndarray, width: int,
+                       height: int) -> np.ndarray:
+    """Map NDC [-1, 1]^2 coordinates to pixel coordinates.
+
+    The y axis is flipped so that (0, 0) is the top-left screen corner, the
+    convention used by the tile grid.
+    """
+    out = np.empty_like(ndc_xy, dtype=np.float64)
+    out[..., 0] = (ndc_xy[..., 0] + 1.0) * 0.5 * width
+    out[..., 1] = (1.0 - ndc_xy[..., 1]) * 0.5 * height
+    return out
+
+
+def edge_function(ax: float, ay: float, bx: float, by: float,
+                  px: float, py: float) -> float:
+    """Signed double-area of triangle (a, b, p); >0 when p is left of a->b."""
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+
+def triangle_area_2d(v0: Sequence[float], v1: Sequence[float],
+                     v2: Sequence[float]) -> float:
+    """Unsigned area of a screen-space triangle."""
+    return abs(edge_function(v0[0], v0[1], v1[0], v1[1], v2[0], v2[1])) * 0.5

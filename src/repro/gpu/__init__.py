@@ -1,0 +1,25 @@
+"""GPU timing simulator: workloads, Raster Units, intervals, frames."""
+
+from .frame import FrameDriver, FrameResult
+from .pfr import PFRResult, PFRSimulator
+from .raster_unit import RasterUnitStats, TimingRasterUnit
+from .shader_core import CoreCluster
+from .simulator import GPUSimulator, RunResult
+from .timing import RasterPhaseResult, TimingSimulator
+from .workload import FrameTrace, TileWorkload
+
+__all__ = [
+    "GPUSimulator",
+    "RunResult",
+    "FrameDriver",
+    "FrameResult",
+    "PFRSimulator",
+    "PFRResult",
+    "TimingSimulator",
+    "RasterPhaseResult",
+    "TimingRasterUnit",
+    "RasterUnitStats",
+    "CoreCluster",
+    "FrameTrace",
+    "TileWorkload",
+]

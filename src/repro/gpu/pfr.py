@@ -1,0 +1,118 @@
+"""Parallel Frame Rendering (PFR) — a related-work baseline.
+
+The paper's related work cites PFR (Arnau et al., PACT 2013): instead of
+splitting a frame's tiles across clusters, split the *frames* — two
+consecutive frames render concurrently, each on half the shader cores,
+trading one frame of responsiveness for inter-frame texture locality.
+
+This module implements a PFR-style machine on top of the same substrates
+so ablations can compare intra-frame parallelism (PTR/LIBRA) against
+inter-frame parallelism (PFR) under identical workloads: two
+half-size GPU clusters with private texture L1s share the L2/DRAM, and
+each renders a *whole* frame serially in Z-order.
+
+Timing: both frames of a pair advance in lockstep intervals against the
+shared memory (the same interval scheme as
+:class:`~repro.gpu.timing.TimingSimulator`); the pair's cost is the
+slower of the two plus the shared geometry phases.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+from ..config import GPUConfig
+from ..memory.hierarchy import SharedMemory, make_tile_cache
+from ..tiling.orders import morton_order
+from .raster_unit import TimingRasterUnit
+from .workload import FrameTrace, TileWorkload
+
+
+@dataclass
+class PFRResult:
+    """Outcome of a PFR run over a trace sequence."""
+
+    total_cycles: int = 0
+    frames: int = 0
+    #: Per-pair raster cycles (each pair renders two frames).
+    pair_cycles: List[int] = field(default_factory=list)
+    texture_accesses: int = 0
+    texture_latency_sum: float = 0.0
+    dram_accesses: int = 0
+
+    @property
+    def mean_texture_latency(self) -> float:
+        """Average texture access latency in cycles."""
+        if self.texture_accesses == 0:
+            return 0.0
+        return self.texture_latency_sum / self.texture_accesses
+
+
+class PFRSimulator:
+    """Two half-GPU clusters rendering consecutive frames in parallel."""
+
+    MAX_CYCLES = 2_000_000_000
+
+    def __init__(self, config: GPUConfig):
+        if config.num_raster_units != 2:
+            raise ValueError("PFR splits the GPU into exactly two clusters")
+        config.validate()
+        self.config = config
+        self.shared = SharedMemory(config)
+        self.tile_cache = make_tile_cache(config)
+        self.clusters = [
+            TimingRasterUnit(i, config, self.shared, self.tile_cache)
+            for i in range(2)]
+
+    def run(self, traces: Sequence[FrameTrace]) -> PFRResult:
+        """Render the trace sequence as PFR frame pairs."""
+        result = PFRResult()
+        for start in range(0, len(traces), 2):
+            pair = traces[start:start + 2]
+            cycles = self._run_pair(pair)
+            geometry = sum(t.geometry_cycles for t in pair)
+            result.pair_cycles.append(cycles + geometry)
+            result.total_cycles += cycles + geometry
+            result.frames += len(pair)
+            for cluster in self.clusters:
+                result.texture_accesses += cluster.stats.texture_accesses
+                result.texture_latency_sum += \
+                    cluster.stats.texture_latency_sum
+        result.dram_accesses = self.shared.dram.stats.accesses
+        return result
+
+    def _run_pair(self, pair: Sequence[FrameTrace]) -> int:
+        queues: List[Deque[TileWorkload]] = []
+        for trace in pair:
+            order = morton_order(trace.tiles_x, trace.tiles_y)
+            queues.append(deque(trace.workload_for(t) for t in order))
+        while len(queues) < 2:
+            queues.append(deque())
+
+        def fetch_for(index: int):
+            """Work source bound to one frame's tile queue."""
+            def fetch(_ru: int) -> Optional[TileWorkload]:
+                """Pop the next tile workload of this frame."""
+                return queues[index].popleft() if queues[index] else None
+            return fetch
+
+        for cluster in self.clusters:
+            cluster.begin_frame()
+
+        interval = self.config.interval_cycles
+        cycles = 0
+        fetchers = [fetch_for(0), fetch_for(1)]
+        while True:
+            worked = False
+            for cluster, fetch in zip(self.clusters, fetchers):
+                if cluster.step(interval, fetch):
+                    worked = True
+            self.shared.end_interval()
+            if not worked:
+                break
+            cycles += interval
+            if cycles > self.MAX_CYCLES:
+                raise RuntimeError("PFR pair exceeded the cycle ceiling")
+        return cycles + self.shared.dram.drain_cycles()

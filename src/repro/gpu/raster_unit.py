@@ -1,0 +1,216 @@
+"""Timing model of one Raster Unit.
+
+A Raster Unit executes tile workloads one after another (primitives of a
+tile must stay on one unit for program order, Section III-A).  Within an
+interval it advances by whichever budget runs out first:
+
+* **compute** — the core cluster retires instructions at its aggregate
+  rate;
+* **memory** — DRAM-level misses are bounded by the MSHR pool and the
+  *current loaded DRAM latency* (congestion directly throttles progress,
+  which is the coupling LIBRA's scheduler exploits).
+
+Texture accesses flow through the unit's private L1 texture cache into the
+shared L2/DRAM; Parameter Buffer reads go through the shared Tile cache at
+tile start; Frame Buffer writes stream straight to DRAM at tile flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..config import GPUConfig
+from ..memory.cache import Cache
+from ..memory.hierarchy import SharedMemory, make_texture_l1
+from ..memory.traffic import FRAMEBUFFER, PARAMETER, TEXTURE
+from .shader_core import CoreCluster
+from .workload import TileCoord, TileWorkload
+
+_EPS = 1e-9
+
+#: Callable the scheduler-side dispenser exposes to hand out work.
+WorkSource = Callable[[int], Optional[TileWorkload]]
+
+
+@dataclass
+class RasterUnitStats:
+    """Per-frame counters of one Raster Unit."""
+
+    tiles_completed: int = 0
+    instructions: int = 0
+    fragments: int = 0
+    texture_accesses: int = 0
+    texture_latency_sum: float = 0.0
+    dram_texture_misses: int = 0
+    memory_stall_intervals: int = 0
+    busy_intervals: int = 0
+    per_tile_dram: Dict[TileCoord, int] = field(default_factory=dict)
+    per_tile_instructions: Dict[TileCoord, int] = field(default_factory=dict)
+
+    @property
+    def mean_texture_latency(self) -> float:
+        """Average texture access latency in cycles."""
+        if self.texture_accesses == 0:
+            return 0.0
+        return self.texture_latency_sum / self.texture_accesses
+
+
+class TimingRasterUnit:
+    """One Raster Unit of the timing simulator."""
+
+    def __init__(self, index: int, config: GPUConfig, shared: SharedMemory,
+                 tile_cache: Cache, ideal_memory: bool = False):
+        self.index = index
+        self.config = config
+        self.shared = shared
+        self.tile_cache = tile_cache
+        self.ideal_memory = ideal_memory
+        self.cluster = CoreCluster(config.raster_unit, config.shader_core)
+        self.l1 = make_texture_l1(config, name=f"TexL1[{index}]")
+        self._l1_latency = float(config.texture_cache.latency_cycles)
+        self._l2_latency = float(config.l2_cache.latency_cycles)
+        self._compressor = None
+        if config.fb_compression_ratio is not None:
+            from ..memory.compression import FrameBufferCompressor
+            self._compressor = FrameBufferCompressor(
+                fallback_ratio=config.fb_compression_ratio)
+        self._current: Optional[TileWorkload] = None
+        self._cycles_done = 0.0
+        self._cycles_needed = 0.0
+        self._line_idx = 0
+        self._cycles_per_line = 0.0
+        self._tile_dram = 0
+        self.stats = RasterUnitStats()
+
+    # -- frame lifecycle ---------------------------------------------------
+    def begin_frame(self) -> None:
+        """Reset per-frame progress (cache contents persist across frames)."""
+        self._current = None
+        self._cycles_done = 0.0
+        self._cycles_needed = 0.0
+        self._line_idx = 0
+        self._tile_dram = 0
+        self.stats = RasterUnitStats()
+
+    @property
+    def busy(self) -> bool:
+        """True while a tile is in flight on this unit."""
+        return self._current is not None
+
+    # -- interval execution -------------------------------------------------
+    def step(self, cycles: int, fetch_next: WorkSource) -> bool:
+        """Advance up to ``cycles`` cycles; returns True if any work ran."""
+        cycle_budget = float(cycles)
+        if self.ideal_memory:
+            miss_budget = 1 << 62
+        else:
+            memory_latency = (self._l1_latency + self._l2_latency
+                              + self.shared.dram.loaded_latency)
+            miss_budget = self.cluster.miss_budget(cycles, memory_latency)
+        worked = False
+
+        while cycle_budget > _EPS:
+            if self._current is None:
+                workload = fetch_next(self.index)
+                if workload is None:
+                    break
+                cycle_budget -= self._begin_tile(workload)
+                worked = True
+                continue
+            worked = True
+            w = self._current
+            lines = w.texture_lines
+            n_lines = len(lines)
+            if (self._line_idx < n_lines
+                    and self._cycles_done + _EPS
+                    >= self._line_idx * self._cycles_per_line):
+                # The next texture access is due now.
+                level = self._access_texture(lines[self._line_idx])
+                self._line_idx += 1
+                if level == "dram":
+                    miss_budget -= 1
+                    if miss_budget <= 0:
+                        # Memory-limited: the MSHR pool cannot absorb more
+                        # misses this interval; the unit stalls.
+                        self.stats.memory_stall_intervals += 1
+                        cycle_budget = 0.0
+                continue
+            if self._line_idx < n_lines:
+                target = self._line_idx * self._cycles_per_line
+            else:
+                target = self._cycles_needed
+            chunk = min(target - self._cycles_done, cycle_budget)
+            if chunk > 0.0:
+                self._cycles_done += chunk
+                cycle_budget -= chunk
+            if (self._cycles_done + _EPS >= self._cycles_needed
+                    and self._line_idx >= n_lines):
+                cycle_budget -= self._finish_tile()
+
+        if worked:
+            self.stats.busy_intervals += 1
+        return worked
+
+    # -- tile lifecycle -----------------------------------------------------
+    def _begin_tile(self, workload: TileWorkload) -> float:
+        """Start a tile: Parameter Buffer fetch + fixed setup cost."""
+        self._current = workload
+        self._cycles_done = 0.0
+        self._cycles_needed = self.cluster.tile_compute_cycles(workload)
+        self._line_idx = 0
+        self._tile_dram = 0
+        n_lines = len(workload.texture_lines)
+        self._cycles_per_line = (self._cycles_needed / n_lines
+                                 if n_lines else 0.0)
+        if not self.ideal_memory:
+            for line in workload.pb_lines:
+                if not self.tile_cache.lookup(line):
+                    if self.shared.access(line, PARAMETER) == "dram":
+                        self._tile_dram += 1
+        return float(self.config.raster_unit.tile_setup_cycles)
+
+    def _finish_tile(self) -> float:
+        """Flush the Color Buffer; record per-tile statistics."""
+        w = self._current
+        assert w is not None
+        if not self.ideal_memory:
+            fb_lines = w.fb_lines
+            if self._compressor is not None and fb_lines:
+                fb_lines = self._compressor.compress_flush(fb_lines)
+            for line in fb_lines:
+                self.shared.stream_to_dram(line, FRAMEBUFFER)
+            self._tile_dram += len(fb_lines)
+        # Per-fragment fetches beyond the line footprint are filtered by
+        # quad coalescing before the L1; account their energy only (they
+        # do not contribute to the L1 hit ratio or latency statistics).
+        repeats = w.repeat_fetches
+        if repeats:
+            self.l1.record_repeat_hits(repeats)
+        stats = self.stats
+        stats.tiles_completed += 1
+        stats.instructions += w.instructions
+        stats.fragments += w.fragments
+        stats.per_tile_dram[w.tile] = self._tile_dram
+        stats.per_tile_instructions[w.tile] = w.instructions
+        self._current = None
+        return float(self.config.raster_unit.tile_flush_cycles)
+
+    # -- memory path ----------------------------------------------------------
+    def _access_texture(self, line: int) -> str:
+        """One texture line access through L1 -> L2 -> DRAM."""
+        stats = self.stats
+        stats.texture_accesses += 1
+        if self.ideal_memory:
+            stats.texture_latency_sum += self._l1_latency
+            return "l1"
+        if self.l1.lookup(line):
+            stats.texture_latency_sum += self._l1_latency
+            return "l1"
+        level = self.shared.access(line, TEXTURE)
+        latency = self._l1_latency + self.shared.access_latency(level)
+        stats.texture_latency_sum += latency
+        if level == "dram":
+            stats.dram_texture_misses += 1
+            self._tile_dram += 1
+        return level

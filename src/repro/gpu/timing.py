@@ -1,0 +1,128 @@
+"""Interval-based timing simulation of the (possibly parallel) raster phase.
+
+Advances all Raster Units in lockstep intervals of
+``config.interval_cycles`` cycles.  Within an interval each unit makes
+compute- or memory-limited progress against the *same* shared L2/DRAM, and
+at every interval boundary the DRAM model re-derives its loaded latency
+from the utilization the units jointly produced — the feedback loop at the
+heart of the paper's congestion argument.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from ..config import GPUConfig
+from ..core.scheduler import Dispenser
+from ..memory.hierarchy import SharedMemory
+from ..memory.cache import Cache
+from .raster_unit import RasterUnitStats, TimingRasterUnit
+from .workload import FrameTrace, TileWorkload
+
+
+@dataclass
+class RasterPhaseResult:
+    """Outcome of simulating one frame's raster phase."""
+
+    cycles: int
+    intervals: int
+    ru_stats: List[RasterUnitStats]
+    #: Index into the DRAM interval series where this phase started.
+    dram_interval_start: int = 0
+
+    def merged_per_tile_dram(self) -> dict:
+        """Per-tile DRAM access counts merged across units."""
+        merged: dict = {}
+        for stats in self.ru_stats:
+            merged.update(stats.per_tile_dram)
+        return merged
+
+    def merged_per_tile_instructions(self) -> dict:
+        """Per-tile instruction counts merged across units."""
+        merged: dict = {}
+        for stats in self.ru_stats:
+            merged.update(stats.per_tile_instructions)
+        return merged
+
+    @property
+    def tiles_completed(self) -> int:
+        """Tiles finished across all units."""
+        return sum(s.tiles_completed for s in self.ru_stats)
+
+    @property
+    def texture_accesses(self) -> int:
+        """Texture accesses across all units."""
+        return sum(s.texture_accesses for s in self.ru_stats)
+
+    @property
+    def mean_texture_latency(self) -> float:
+        """Average texture access latency in cycles."""
+        accesses = self.texture_accesses
+        if accesses == 0:
+            return 0.0
+        total = sum(s.texture_latency_sum for s in self.ru_stats)
+        return total / accesses
+
+
+class TimingSimulator:
+    """Drives the Raster Units through one frame."""
+
+    #: Hard ceiling on simulated cycles per frame (runaway guard).
+    MAX_CYCLES = 2_000_000_000
+
+    def __init__(self, config: GPUConfig, shared: SharedMemory,
+                 raster_units: List[TimingRasterUnit], tile_cache: Cache):
+        if not raster_units:
+            raise ValueError("need at least one Raster Unit")
+        self.config = config
+        self.shared = shared
+        self.raster_units = raster_units
+        self.tile_cache = tile_cache
+
+    def run_raster_phase(self, trace: FrameTrace,
+                         dispenser: Dispenser) -> RasterPhaseResult:
+        """Simulate the raster phase of one frame; returns its timing."""
+        interval = self.config.interval_cycles
+        pending: List[Deque[TileWorkload]] = [
+            deque() for _ in self.raster_units]
+        dram_start = len(self.shared.dram.stats.interval_requests)
+
+        def fetch_next(ru_index: int) -> Optional[TileWorkload]:
+            """Pull the next workload for a unit from its dispenser."""
+            queue = pending[ru_index]
+            if not queue:
+                batch = dispenser.next_batch(ru_index)
+                if batch is None:
+                    return None
+                queue.extend(trace.workload_for(tile) for tile in batch)
+            return queue.popleft()
+
+        for unit in self.raster_units:
+            unit.begin_frame()
+
+        cycles = 0
+        intervals = 0
+        while True:
+            any_work = False
+            for unit in self.raster_units:
+                if unit.step(interval, fetch_next):
+                    any_work = True
+            self.shared.end_interval()
+            if not any_work:
+                break
+            cycles += interval
+            intervals += 1
+            if cycles > self.MAX_CYCLES:
+                raise RuntimeError(
+                    "raster phase exceeded the cycle ceiling — "
+                    "likely a deadlocked workload or dispenser")
+        # Let the DRAM queue drain; those cycles are part of the frame.
+        cycles += self.shared.dram.drain_cycles()
+        return RasterPhaseResult(
+            cycles=cycles,
+            intervals=intervals,
+            ru_stats=[unit.stats for unit in self.raster_units],
+            dram_interval_start=dram_start,
+        )

@@ -1,0 +1,121 @@
+"""Tile workload descriptors — the input of the timing simulator.
+
+A :class:`TileWorkload` captures everything the timing model needs to
+execute one tile on a Raster Unit: how many shader instructions it costs,
+and the ordered cache-line address streams it generates (texture reads,
+Parameter Buffer reads at tile fetch, Frame Buffer writes at flush).
+A :class:`FrameTrace` bundles the workloads of every tile of one frame
+plus the Geometry-phase quantities.
+
+Traces are produced by :mod:`repro.workloads.traces` (driving the real
+functional rasterizer) and are configuration-independent: the same trace
+is reused across baseline / PTR / LIBRA runs of an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+TileCoord = Tuple[int, int]
+
+
+@dataclass
+class TileWorkload:
+    """The cost and traffic of rendering one tile."""
+
+    tile: TileCoord
+    #: Total shader-core instructions (fragment shading work).
+    instructions: int = 0
+    #: Shaded fragments (post Early-Z).
+    fragments: int = 0
+    #: Ordered texture cache-line footprint (one entry per distinct line
+    #: per primitive, in first-touch order).
+    texture_lines: List[int] = field(default_factory=list)
+    #: Total per-fragment texture fetches; fetches beyond the footprint
+    #: re-hit resident lines and are accounted analytically.
+    texture_fetches: int = 0
+    #: Parameter Buffer lines read by the Tile Fetcher for this tile.
+    pb_lines: List[int] = field(default_factory=list)
+    #: Frame Buffer lines written by the Color Buffer flush (empty when
+    #: transaction elimination suppressed the flush).
+    fb_lines: List[int] = field(default_factory=list)
+    #: Primitives binned into this tile (each costs rasterizer setup).
+    num_primitives: int = 0
+    #: Per-primitive shaded fragment counts (only primitives that shaded
+    #: at least one fragment).  Drives the limited-parallelism model: a
+    #: primitive with few fragments cannot fill a wide core array.
+    prim_fragments: List[int] = field(default_factory=list)
+    #: Per-primitive instruction counts, aligned with ``prim_fragments``.
+    prim_instructions: List[int] = field(default_factory=list)
+
+    @property
+    def repeat_fetches(self) -> int:
+        """Texture fetches guaranteed to re-hit the L1 within this tile."""
+        return max(self.texture_fetches - len(self.texture_lines), 0)
+
+    def validate(self) -> None:
+        """Raise ValueError on negative quantities."""
+        if self.instructions < 0 or self.fragments < 0:
+            raise ValueError("negative workload quantities")
+        if self.texture_fetches < 0:
+            raise ValueError("negative texture fetch count")
+
+
+@dataclass
+class FrameTrace:
+    """One frame of work, tiled and measured, ready for timing simulation."""
+
+    frame_index: int
+    tiles_x: int
+    tiles_y: int
+    tile_size: int
+    workloads: Dict[TileCoord, TileWorkload]
+    #: Geometry-phase duration (cycles), from the Geometry Pipeline model.
+    geometry_cycles: int = 0
+    #: Vertex-fetch cache-line stream of the Geometry phase.
+    vertex_lines: List[int] = field(default_factory=list)
+    #: Shader instructions spent in vertex shading (for energy).
+    vertex_instructions: int = 0
+
+    @property
+    def num_tiles(self) -> int:
+        """Tiles in the frame's grid."""
+        return self.tiles_x * self.tiles_y
+
+    def all_tiles(self) -> List[TileCoord]:
+        """Every tile of the grid, row-major (the schedule domain)."""
+        return [(x, y) for y in range(self.tiles_y)
+                for x in range(self.tiles_x)]
+
+    def workload_for(self, tile: TileCoord) -> TileWorkload:
+        """The workload of a tile; empty tiles get a flush-only workload."""
+        existing = self.workloads.get(tile)
+        if existing is not None:
+            return existing
+        return TileWorkload(tile=tile)
+
+    def total_instructions(self) -> int:
+        """Total shader instructions across all tiles."""
+        return sum(w.instructions for w in self.workloads.values())
+
+    def total_fragments(self) -> int:
+        """Total shaded fragments across all tiles."""
+        return sum(w.fragments for w in self.workloads.values())
+
+    def total_texture_lines(self) -> int:
+        """Total texture-line footprint across all tiles."""
+        return sum(len(w.texture_lines) for w in self.workloads.values())
+
+    def per_tile_metric(self, metric: str) -> Dict[TileCoord, float]:
+        """Per-tile values of a named metric over non-empty tiles."""
+        getters = {
+            "instructions": lambda w: float(w.instructions),
+            "fragments": lambda w: float(w.fragments),
+            "texture_lines": lambda w: float(len(w.texture_lines)),
+        }
+        try:
+            get = getters[metric]
+        except KeyError:
+            raise ValueError(f"unknown metric {metric!r}") from None
+        return {tile: get(w) for tile, w in self.workloads.items()}

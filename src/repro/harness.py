@@ -1,0 +1,254 @@
+"""Experiment harness: shared configs, trace/result caching, run helpers.
+
+Every figure/table reproduction in ``benchmarks/`` goes through this
+module so that:
+
+* all experiments agree on the screen geometry and GPU variants;
+* frame traces (configuration-independent) are built once per benchmark
+  and cached on disk;
+* simulation results are cached on disk too — the figures share runs
+  (e.g. Figures 11-15 all need baseline/PTR/LIBRA on the memory-intensive
+  suite), and a re-run of the bench suite is incremental.
+
+Cache location: ``$REPRO_CACHE_DIR`` or ``.repro_cache/`` under the
+current directory.  Delete it after changing simulator internals (the
+cache key includes a manual generation number plus the experiment
+parameters, not a hash of the source).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import GPUConfig, baseline_config, libra_config
+from .core import (LibraScheduler, StaticSupertileScheduler,
+                   TemperatureScheduler, TileScheduler, ZOrderScheduler)
+from .gpu import FrameTrace, GPUSimulator, RunResult
+from .workloads import TraceBuilder, make_scene_builder
+from .workloads.traces import TRACE_FORMAT_VERSION
+
+#: Screen geometry of all experiments (see DESIGN.md for why not FHD).
+WIDTH = 960
+HEIGHT = 512
+TILE = 32
+
+#: Frames simulated per benchmark (the paper uses 25; results stabilize
+#: after a handful because of frame coherence, and the bench suite must
+#: finish in minutes, not hours).
+FRAMES = 8
+
+#: Bump to invalidate every cached trace and result.
+GENERATION = 1
+
+
+def cache_dir() -> Path:
+    """The trace/result cache directory (env REPRO_CACHE_DIR)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+# -- configurations ----------------------------------------------------------
+
+def make_config(kind: str, raster_units: int = 2, cores_per_unit: int = 4,
+                width: int = WIDTH, height: int = HEIGHT
+                ) -> Tuple[GPUConfig, Optional[TileScheduler]]:
+    """A named GPU variant: (config, scheduler).
+
+    Kinds:
+
+    * ``baseline`` — 1 Raster Unit x (raster_units*cores_per_unit) cores.
+    * ``baseline4`` / ``baseline8`` — single unit with a fixed core count
+      (the Figure 4 core-scaling experiment).
+    * ``ptr`` — parallel tile rendering, interleaved Z-order.
+    * ``libra`` — PTR + the full adaptive temperature scheduler.
+    * ``temperature<N>`` — PTR + fixed-size hot/cold supertile scheduling.
+    * ``supertile<N>`` — PTR + static supertiles, no temperature ranking.
+    """
+    if kind == "baseline":
+        return (baseline_config(screen_width=width, screen_height=height,
+                                raster_unit=_ru(raster_units
+                                                * cores_per_unit)), None)
+    if kind.startswith("baseline") and kind[8:].isdigit():
+        return (baseline_config(screen_width=width, screen_height=height,
+                                raster_unit=_ru(int(kind[8:]))), None)
+    config = libra_config(num_raster_units=raster_units,
+                          cores_per_unit=cores_per_unit,
+                          screen_width=width, screen_height=height)
+    if kind == "ptr":
+        return config, ZOrderScheduler()
+    if kind == "libra":
+        return config, LibraScheduler(config.scheduler)
+    if kind.startswith("temperature"):
+        return config, TemperatureScheduler(int(kind[len("temperature"):]))
+    if kind.startswith("supertile"):
+        return config, StaticSupertileScheduler(int(kind[len("supertile"):]))
+    raise ValueError(f"unknown config kind {kind!r}")
+
+
+def _ru(cores: int):
+    from .config import RasterUnitConfig
+    return RasterUnitConfig(num_cores=cores)
+
+
+# -- traces ----------------------------------------------------------------
+
+def get_traces(benchmark: str, frames: int = FRAMES, width: int = WIDTH,
+               height: int = HEIGHT) -> List[FrameTrace]:
+    """Frame traces for a benchmark, built once and cached on disk."""
+    key = f"trace-g{GENERATION}-{benchmark}-{width}x{height}-f{frames}"
+    path = cache_dir() / f"{key}.v{TRACE_FORMAT_VERSION}.pkl"
+    if path.exists():
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            path.unlink(missing_ok=True)
+    builder = TraceBuilder(make_scene_builder(benchmark, width, height),
+                           width, height, TILE)
+    traces = builder.build_many(frames)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as handle:
+        pickle.dump(traces, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return traces
+
+
+# -- cached simulation runs ---------------------------------------------------
+
+@dataclass
+class RunSummary:
+    """The per-run metrics the figures consume (picklable, compact)."""
+
+    benchmark: str
+    kind: str
+    frames: int
+    total_cycles: int
+    geometry_cycles: int
+    raster_cycles: int
+    fps: float
+    energy_j: float
+    energy_breakdown: Dict[str, float]
+    raster_dram_accesses: int
+    texture_hit_ratio: float
+    texture_latency: float
+    frame_cycles: List[int]
+    frame_orders: List[str]
+    frame_supertile_sizes: List[int]
+    frame_hit_ratios: List[float]
+    frame_dram: List[int]
+    #: Per-interval DRAM request series of the last frame (Figure 7).
+    last_frame_intervals: List[int]
+    #: Per-tile DRAM access maps of the last two frames (Figures 2, 8, 9).
+    per_tile_dram_prev: Dict[Tuple[int, int], int]
+    per_tile_dram_last: Dict[Tuple[int, int], int]
+
+    def speedup_over(self, other: "RunSummary") -> float:
+        """Execution-time speedup of this run over another."""
+        return other.total_cycles / self.total_cycles
+
+
+def run_simulation(benchmark: str, kind: str, frames: int = FRAMES,
+                   raster_units: int = 2, cores_per_unit: int = 4,
+                   ideal_memory: bool = False,
+                   hit_threshold: Optional[float] = None,
+                   order_switch_threshold: Optional[float] = None,
+                   resize_threshold: Optional[float] = None,
+                   use_cache: bool = True) -> RunSummary:
+    """Run (or fetch from cache) one benchmark under one GPU variant.
+
+    The three ``*_threshold`` overrides tweak the LIBRA scheduler's
+    decision thresholds (the Figure 19 sensitivity sweeps).
+    """
+    key = (f"run-g{GENERATION}-{benchmark}-{kind}-f{frames}"
+           f"-r{raster_units}x{cores_per_unit}"
+           f"{'-ideal' if ideal_memory else ''}"
+           f"-h{hit_threshold}-o{order_switch_threshold}"
+           f"-s{resize_threshold}")
+    digest = hashlib.sha1(key.encode()).hexdigest()[:16]
+    path = cache_dir() / f"run-g{GENERATION}-{benchmark}-{kind}-{digest}.pkl"
+    if use_cache and path.exists():
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            path.unlink(missing_ok=True)
+    traces = get_traces(benchmark, frames)
+    config, scheduler = make_config(kind, raster_units, cores_per_unit)
+    if hit_threshold is not None:
+        config.scheduler.hit_ratio_threshold = hit_threshold
+    if order_switch_threshold is not None:
+        config.scheduler.order_switch_threshold = order_switch_threshold
+    if resize_threshold is not None:
+        config.scheduler.supertile_resize_threshold = resize_threshold
+    if (kind == "libra"
+            and (hit_threshold is not None
+                 or order_switch_threshold is not None
+                 or resize_threshold is not None)):
+        # Rebuild the scheduler against the tweaked thresholds.
+        from .core import LibraScheduler
+        scheduler = LibraScheduler(config.scheduler)
+    simulator = GPUSimulator(config, scheduler=scheduler,
+                             ideal_memory=ideal_memory, name=kind)
+    result = simulator.run(traces)
+    summary = summarize(benchmark, kind, result)
+    if use_cache:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            pickle.dump(summary, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return summary
+
+
+def summarize(benchmark: str, kind: str, result: RunResult) -> RunSummary:
+    """Condense a RunResult into a picklable RunSummary."""
+    frames = result.frames
+    last = frames[-1]
+    prev = frames[-2] if len(frames) >= 2 else last
+    breakdown: Dict[str, float] = {}
+    for frame in frames:
+        for component, joules in frame.energy.breakdown().items():
+            breakdown[component] = breakdown.get(component, 0.0) + joules
+    return RunSummary(
+        benchmark=benchmark,
+        kind=kind,
+        frames=len(frames),
+        total_cycles=result.total_cycles,
+        geometry_cycles=result.geometry_cycles,
+        raster_cycles=result.raster_cycles,
+        fps=result.fps,
+        energy_j=result.total_energy_j,
+        energy_breakdown=breakdown,
+        raster_dram_accesses=result.raster_dram_accesses,
+        texture_hit_ratio=result.mean_texture_hit_ratio,
+        texture_latency=result.mean_texture_latency,
+        frame_cycles=[f.total_cycles for f in frames],
+        frame_orders=[f.order for f in frames],
+        frame_supertile_sizes=[f.supertile_size for f in frames],
+        frame_hit_ratios=[f.texture_hit_ratio for f in frames],
+        frame_dram=[f.raster_dram_accesses for f in frames],
+        last_frame_intervals=list(last.dram_interval_requests),
+        per_tile_dram_prev=dict(prev.per_tile_dram),
+        per_tile_dram_last=dict(last.per_tile_dram),
+    )
+
+
+def memory_time_fraction(benchmark: str, frames: int = FRAMES,
+                         kind: str = "ptr") -> float:
+    """Fraction of execution time spent on memory (Figure 6a method).
+
+    Simulates with the real memory system and again with an ideal one
+    (every access hits the L1); the difference is memory time.
+    """
+    real = run_simulation(benchmark, kind, frames)
+    ideal = run_simulation(benchmark, kind, frames, ideal_memory=True)
+    if real.total_cycles == 0:
+        return 0.0
+    return max(1.0 - ideal.total_cycles / real.total_cycles, 0.0)
+
+
+def classify_suite(names: Sequence[str], frames: int = FRAMES,
+                   threshold: float = 0.25) -> Dict[str, float]:
+    """Per-benchmark memory-time fraction (>= threshold => memory-bound)."""
+    return {name: memory_time_fraction(name, frames) for name in names}

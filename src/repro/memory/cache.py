@@ -1,0 +1,184 @@
+"""Set-associative cache simulator with LRU replacement.
+
+This is the workhorse of the memory model: every texture, tile, vertex and
+L2 access in the timing simulator goes through instances of
+:class:`Cache`.  The implementation favors speed (plain lists per set,
+MRU-at-the-end ordering) because experiment runs push hundreds of
+thousands of accesses per frame through it.
+
+Write policy is write-back / write-allocate; dirty evictions are queued on
+``pending_writebacks`` for the caller to drain into the next level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed by every cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    #: Extra hits accounted analytically (see Cache.record_repeat_hits).
+    repeat_hits: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Line-grain hit ratio (repeat hits excluded — see Cache notes)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def hit_ratio_with_repeats(self) -> float:
+        """Hit ratio counting the analytically-accounted repeat hits too."""
+        total = self.accesses + self.repeat_hits
+        if total == 0:
+            return 0.0
+        return (self.hits + self.repeat_hits) / total
+
+    @property
+    def miss_ratio(self) -> float:
+        """1 - hit_ratio."""
+        return 1.0 - self.hit_ratio
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = self.hits = self.misses = 0
+        self.evictions = self.writebacks = self.repeat_hits = 0
+
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        """Element-wise sum of two counter sets."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            writebacks=self.writebacks + other.writebacks,
+            repeat_hits=self.repeat_hits + other.repeat_hits,
+        )
+
+
+class Cache:
+    """One set-associative LRU cache level.
+
+    Addresses are *line* addresses (byte address // line size); the caller
+    is responsible for that conversion, which keeps the hot path free of
+    divisions.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        config.validate()
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self._set_mask = self.num_sets - 1
+        # Per-set list of line addresses, least-recently-used first.
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self._dirty: set = set()
+        #: Dirty victim lines awaiting writeback, drained by the next level.
+        self.pending_writebacks: List[int] = []
+        self.stats = CacheStats()
+
+    def lookup(self, line: int, write: bool = False) -> bool:
+        """Access one line; returns True on hit.
+
+        On a miss the line is allocated; a dirty victim, if any, is
+        appended to ``pending_writebacks``.
+        """
+        stats = self.stats
+        stats.accesses += 1
+        ways = self._sets[line & self._set_mask]
+        try:
+            ways.remove(line)
+        except ValueError:
+            stats.misses += 1
+            if len(ways) >= self.ways:
+                evicted = ways.pop(0)
+                stats.evictions += 1
+                if evicted in self._dirty:
+                    self._dirty.discard(evicted)
+                    stats.writebacks += 1
+                    self.pending_writebacks.append(evicted)
+            ways.append(line)
+            if write:
+                self._dirty.add(line)
+            return False
+        stats.hits += 1
+        ways.append(line)
+        if write:
+            self._dirty.add(line)
+        return True
+
+    def record_repeat_hits(self, count: int) -> None:
+        """Account ``count`` guaranteed-hit accesses analytically.
+
+        The timing model streams each distinct line of a tile's footprint
+        through the cache once; the remaining per-fragment fetches to the
+        same lines are temporal re-hits within a tile-sized working set and
+        are charged here without simulating each one individually.
+        """
+        if count < 0:
+            raise ValueError("repeat hit count must be non-negative")
+        self.stats.repeat_hits += count
+
+    def drain_writebacks(self) -> List[int]:
+        """Return and clear the pending dirty-victim lines."""
+        drained = self.pending_writebacks
+        self.pending_writebacks = []
+        return drained
+
+    def contains(self, line: int) -> bool:
+        """True when the line is resident."""
+        return line in self._sets[line & self._set_mask]
+
+    def resident_lines(self) -> List[int]:
+        """All resident line addresses (unordered across sets)."""
+        out: List[int] = []
+        for ways in self._sets:
+            out.extend(ways)
+        return out
+
+    def flush(self) -> List[int]:
+        """Invalidate everything; returns dirty lines needing writeback."""
+        dirty = sorted(self._dirty)
+        self.stats.writebacks += len(dirty)
+        self._dirty.clear()
+        for ways in self._sets:
+            ways.clear()
+        return dirty
+
+    def reset(self) -> None:
+        """Invalidate contents and zero the statistics."""
+        for ways in self._sets:
+            ways.clear()
+        self._dirty.clear()
+        self.pending_writebacks.clear()
+        self.stats.reset()
+
+
+def replication(caches: List[Cache]) -> Tuple[int, int]:
+    """Measure block replication across sibling caches.
+
+    Returns ``(replicated_lines, total_lines)`` where a line counts as
+    replicated once for each extra copy beyond the first.  The paper uses
+    this to show LIBRA reduces texture-block replication across Raster
+    Units by ~32.5% versus PTR alone (Section V-A.3).
+    """
+    seen: Dict[int, int] = {}
+    total = 0
+    for cache in caches:
+        for line in cache.resident_lines():
+            seen[line] = seen.get(line, 0) + 1
+            total += 1
+    replicated = sum(count - 1 for count in seen.values() if count > 1)
+    return replicated, total

@@ -1,0 +1,159 @@
+"""LPDDR4-like main-memory model.
+
+Two concerns are modeled, both load-bearing for the paper's mechanism:
+
+1. **Row-buffer behaviour** — each bank remembers its open row; a request
+   hitting the open row costs ``row_hit_cycles`` (50), a conflict costs
+   ``row_miss_cycles`` (100, Table I) and counts an activation for the
+   energy model.
+
+2. **Bandwidth-dependent queueing** — the paper's central premise: "the
+   response time of memory increases asymptotically as the utilization
+   factor of the memory bandwidth approaches 100%".  The model advances in
+   fixed intervals; each interval's demand (requests issued plus backlog
+   carried from previous intervals) is served up to the configured
+   bandwidth, and the *loaded* latency seen by the next interval is the
+   unloaded service time scaled by an M/M/1-style ``1/(1-rho)`` factor,
+   capped at ``max_queue_factor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..config import CACHE_LINE_BYTES, DRAMConfig
+
+
+@dataclass
+class DRAMStats:
+    """Counters and per-interval series of the DRAM model."""
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    #: Activations = row misses (a new row had to be opened).
+    activations: int = 0
+    #: Requests per interval, appended once per end_interval().
+    interval_requests: List[int] = field(default_factory=list)
+    #: Utilization (0..1+) per interval.
+    interval_utilization: List[float] = field(default_factory=list)
+    #: Loaded latency per interval (cycles).
+    interval_latency: List[float] = field(default_factory=list)
+
+    @property
+    def accesses(self) -> int:
+        """Total reads plus writes."""
+        return self.reads + self.writes
+
+    @property
+    def row_hit_ratio(self) -> float:
+        """Fraction of requests that hit an open row."""
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class DRAM:
+    """Interval-stepped main memory with banks and a queueing latency."""
+
+    def __init__(self, config: DRAMConfig, interval_cycles: int = 1000):
+        config.validate()
+        self.config = config
+        self.interval_cycles = interval_cycles
+        self._lines_per_row = config.row_bytes // CACHE_LINE_BYTES
+        self._bank_mask = config.num_banks - 1
+        self._bank_bits = max(config.num_banks.bit_length() - 1, 0)
+        self._open_rows: List[int] = [-1] * config.num_banks
+        self._interval_requests = 0
+        self._backlog = 0.0
+        self._loaded_latency = float(config.row_hit_cycles)
+        self._service_cycles_sum = 0.0
+        self._service_count = 0
+        self.stats = DRAMStats()
+
+    # -- request path ----------------------------------------------------
+    def request(self, line: int, write: bool = False) -> float:
+        """Issue one line request; returns its *unloaded* service cycles.
+
+        Bank and row are derived from the line address: consecutive lines
+        fill a row, rows interleave across banks (standard mapping, keeps
+        streaming accesses row-friendly).
+        """
+        row = line // self._lines_per_row
+        bank = row & self._bank_mask
+        row_of_bank = row >> self._bank_bits
+        stats = self.stats
+        if self._open_rows[bank] == row_of_bank:
+            stats.row_hits += 1
+            service = float(self.config.row_hit_cycles)
+        else:
+            stats.row_misses += 1
+            stats.activations += 1
+            self._open_rows[bank] = row_of_bank
+            service = float(self.config.row_miss_cycles)
+        if write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        self._interval_requests += 1
+        self._service_cycles_sum += service
+        self._service_count += 1
+        return service
+
+    # -- interval stepping -------------------------------------------------
+    @property
+    def loaded_latency(self) -> float:
+        """Latency (cycles) a new request would observe this interval."""
+        return self._loaded_latency
+
+    @property
+    def capacity_per_interval(self) -> float:
+        """Line requests servable per interval at full bandwidth."""
+        return self.config.requests_per_cycle * self.interval_cycles
+
+    def end_interval(self) -> None:
+        """Close the current interval and derive the next loaded latency."""
+        capacity = self.capacity_per_interval
+        demand = self._interval_requests + self._backlog
+        served = min(demand, capacity)
+        self._backlog = demand - served
+        utilization = served / capacity if capacity else 1.0
+        if self._service_count:
+            unloaded = self._service_cycles_sum / self._service_count
+        else:
+            unloaded = float(self.config.row_hit_cycles)
+        queue_factor = 1.0 / max(1.0 - utilization, 1e-9)
+        queue_factor = min(queue_factor, self.config.max_queue_factor)
+        backlog_delay = (self._backlog / self.config.requests_per_cycle
+                         if self._backlog else 0.0)
+        self._loaded_latency = min(
+            unloaded * queue_factor + backlog_delay,
+            unloaded * self.config.max_queue_factor)
+        self.stats.interval_requests.append(self._interval_requests)
+        self.stats.interval_utilization.append(
+            min(demand / capacity if capacity else 1.0, 2.0))
+        self.stats.interval_latency.append(self._loaded_latency)
+        self._interval_requests = 0
+        self._service_cycles_sum = 0.0
+        self._service_count = 0
+
+    @property
+    def backlog(self) -> float:
+        """Requests carried over from saturated intervals."""
+        return self._backlog
+
+    def drain_cycles(self) -> int:
+        """Cycles needed to drain the remaining backlog at full bandwidth."""
+        if self._backlog <= 0:
+            return 0
+        return int(self._backlog / self.config.requests_per_cycle) + 1
+
+    def reset(self) -> None:
+        """Clear all state and statistics."""
+        self._open_rows = [-1] * self.config.num_banks
+        self._interval_requests = 0
+        self._backlog = 0.0
+        self._loaded_latency = float(self.config.row_hit_cycles)
+        self._service_cycles_sum = 0.0
+        self._service_count = 0
+        self.stats = DRAMStats()

@@ -1,0 +1,98 @@
+"""Shared memory-side of the hierarchy: the L2 cache in front of DRAM.
+
+Every L1 miss in the system — texture L1s of all Raster Units, the Tile
+cache of the Tile Fetcher, the Vertex cache of the Geometry Pipeline —
+funnels through one :class:`SharedMemory` instance, so cross-Raster-Unit
+interference in the L2 and contention in DRAM are real simulated effects,
+not analytical approximations.
+"""
+
+from __future__ import annotations
+
+from ..config import CacheConfig, GPUConfig
+from .cache import Cache
+from .dram import DRAM
+from .traffic import TrafficBreakdown, WRITEBACK
+
+
+class SharedMemory:
+    """The shared L2 + DRAM pair, with per-source traffic accounting."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.l2 = Cache(config.l2_cache, name="L2")
+        self.dram = DRAM(config.dram, interval_cycles=config.interval_cycles)
+        self.traffic = TrafficBreakdown()
+
+    def access(self, line: int, source: str, write: bool = False) -> str:
+        """Issue one L2-level access; returns 'l2' or 'dram'.
+
+        On an L2 miss the request goes to DRAM (tagged with ``source``);
+        dirty L2 victims are written back to DRAM as well.
+        """
+        hit = self.l2.lookup(line, write=write)
+        level = "l2"
+        if not hit:
+            self.dram.request(line, write=False)
+            self.traffic.add(source)
+            level = "dram"
+        for victim in self.l2.drain_writebacks():
+            self.dram.request(victim, write=True)
+            self.traffic.add(WRITEBACK)
+        return level
+
+    def stream_to_dram(self, line: int, source: str,
+                       write: bool = True) -> None:
+        """Bypass the L2 entirely (streaming Color Buffer flush traffic)."""
+        self.dram.request(line, write=write)
+        self.traffic.add(source)
+
+    def access_latency(self, level: str) -> float:
+        """Cycles a demand access observes when served at ``level``."""
+        if level == "l2":
+            return float(self.config.l2_cache.latency_cycles)
+        if level == "dram":
+            return (self.config.l2_cache.latency_cycles
+                    + self.dram.loaded_latency)
+        raise ValueError(f"unknown level {level!r}")
+
+    def end_interval(self) -> None:
+        """Close the DRAM's current accounting interval."""
+        self.dram.end_interval()
+
+    def reset(self) -> None:
+        """Clear the L2, the DRAM and the traffic breakdown."""
+        self.l2.reset()
+        self.dram.reset()
+        self.traffic = TrafficBreakdown()
+
+
+def make_texture_l1(config: GPUConfig, name: str = "TexL1") -> Cache:
+    """The texture L1 of one Raster Unit.
+
+    Table I gives each shader core a private 32 KB texture cache; the
+    model aggregates the cores of a Raster Unit into one cache of
+    ``num_cores x 32 KB`` (same total capacity, same ways-per-core).  All
+    cores of a unit shade fragments of the *same* tile, so their private
+    caches hold near-identical content; aggregating preserves capacity and
+    the cross-Raster-Unit replication/locality effects the paper studies
+    (Figure 13) while keeping the simulation tractable; see DESIGN.md.
+    """
+    per_core = config.texture_cache
+    aggregated = CacheConfig(
+        size_bytes=per_core.size_bytes * config.raster_unit.num_cores,
+        ways=per_core.ways * config.raster_unit.num_cores,
+        line_bytes=per_core.line_bytes,
+        latency_cycles=per_core.latency_cycles,
+    )
+    return Cache(aggregated, name=name)
+
+
+def make_tile_cache(config: GPUConfig) -> Cache:
+    """The Tile cache used by the Tile Fetcher for Parameter Buffer reads."""
+    return Cache(config.tile_cache, name="TileCache")
+
+
+def make_vertex_cache(config: GPUConfig) -> Cache:
+    """The Vertex cache used by the Geometry Pipeline's Vertex Fetcher."""
+    return Cache(config.vertex_cache, name="VertexCache")

@@ -1,0 +1,32 @@
+"""Raster Pipeline substrate: rasterizer, Z-buffer, fragment stage,
+blending, color/frame buffers and textures."""
+
+from .blending import BLEND_MODES, blend
+from .fragment import FragmentProcessor, pick_mip_level, touched_lines
+from .framebuffer import FrameBuffer, TileColorBuffer, tile_flush_lines
+from .pipeline import RasterPipeline, TileRenderResult
+from .rasterizer import FragmentBatch, rasterize_in_region
+from .texture import BLOCK, TEXELS_PER_LINE, Texture, TextureSet, select_mip
+from .zbuffer import TileZBuffer, filter_batch
+
+__all__ = [
+    "blend",
+    "BLEND_MODES",
+    "FragmentProcessor",
+    "pick_mip_level",
+    "touched_lines",
+    "FrameBuffer",
+    "TileColorBuffer",
+    "tile_flush_lines",
+    "RasterPipeline",
+    "TileRenderResult",
+    "FragmentBatch",
+    "rasterize_in_region",
+    "Texture",
+    "TextureSet",
+    "select_mip",
+    "BLOCK",
+    "TEXELS_PER_LINE",
+    "TileZBuffer",
+    "filter_batch",
+]

@@ -1,0 +1,33 @@
+"""The Blending Unit: combines shaded colors into the Color Buffer.
+
+Supports the three modes the workload generator emits: ``opaque``
+(replace), ``alpha`` (source-over) and ``additive`` (saturating add) —
+enough to express the sprite stacks, UI overlays and particle effects of
+the modeled mobile games.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLEND_MODES = ("opaque", "alpha", "additive")
+
+
+def blend(dst: np.ndarray, src: np.ndarray, mode: str) -> np.ndarray:
+    """Blend source RGBA over destination RGBA (float arrays in [0, 1]).
+
+    Works element-wise on arrays of shape (..., 4); returns the new
+    destination values (the caller stores them back into the Color
+    Buffer).
+    """
+    if mode == "opaque":
+        return src.copy()
+    if mode == "alpha":
+        alpha = src[..., 3:4]
+        out = src[..., :3] * alpha + dst[..., :3] * (1.0 - alpha)
+        out_a = alpha + dst[..., 3:4] * (1.0 - alpha)
+        return np.concatenate([out, out_a], axis=-1)
+    if mode == "additive":
+        return np.clip(dst + src, 0.0, 1.0)
+    raise ValueError(f"unknown blend mode {mode!r}; "
+                     f"choose from {BLEND_MODES}")

@@ -1,0 +1,69 @@
+"""Tile-sized Z-Buffer and the Early-Z / Late-Z visibility tests.
+
+The Z-Buffer is an on-chip, tile-sized buffer (Section II-A): it never
+touches main memory, which is why TBR GPUs get depth testing "for free"
+bandwidth-wise.  Early-Z rejects fragments occluded by previously processed
+ones; when a shader modifies depth, the test must instead run after shading
+(Late-Z), which the pipeline selects per draw call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rasterizer import FragmentBatch
+
+
+class TileZBuffer:
+    """Depth buffer covering one tile, depth test LESS, cleared to +inf."""
+
+    def __init__(self, tile_size: int):
+        if tile_size < 1:
+            raise ValueError("tile size must be positive")
+        self.tile_size = tile_size
+        self._depth = np.full((tile_size, tile_size), np.inf)
+        self._origin_x = 0
+        self._origin_y = 0
+
+    def reset(self, origin_x: int, origin_y: int) -> None:
+        """Rebind the buffer to a new tile and clear it."""
+        self._depth.fill(np.inf)
+        self._origin_x = origin_x
+        self._origin_y = origin_y
+
+    def test(self, batch: FragmentBatch,
+             depth_write: bool = True) -> np.ndarray:
+        """Run the depth test for a fragment batch.
+
+        Returns the boolean pass mask; passing fragments update the buffer
+        when ``depth_write`` is set.  Fragments must lie inside the bound
+        tile.
+        """
+        if batch.count == 0:
+            return np.zeros(0, dtype=bool)
+        lx = batch.xs - self._origin_x
+        ly = batch.ys - self._origin_y
+        if (lx < 0).any() or (ly < 0).any() \
+                or (lx >= self.tile_size).any() \
+                or (ly >= self.tile_size).any():
+            raise ValueError("fragment outside the bound tile")
+        current = self._depth[ly, lx]
+        passed = batch.depth < current
+        if depth_write and passed.any():
+            # np.minimum.at handles duplicate pixels within one batch
+            # (top-left rule prevents them for a single triangle, but a
+            # batch may alias after clipping splits).
+            np.minimum.at(self._depth, (ly[passed], lx[passed]),
+                          batch.depth[passed])
+        return passed
+
+    def depth_at(self, x: int, y: int) -> float:
+        """Stored depth at a pixel of the bound tile."""
+        return float(self._depth[y - self._origin_y, x - self._origin_x])
+
+
+def filter_batch(batch: FragmentBatch, mask: np.ndarray) -> FragmentBatch:
+    """Keep only the fragments selected by ``mask``."""
+    return FragmentBatch(
+        xs=batch.xs[mask], ys=batch.ys[mask], depth=batch.depth[mask],
+        u=batch.u[mask], v=batch.v[mask])

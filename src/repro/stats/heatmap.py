@@ -1,0 +1,81 @@
+"""Per-tile heatmaps (the paper's Figures 2 and 9).
+
+Turns per-tile metric dictionaries (e.g. DRAM accesses per tile) into 2D
+arrays, optionally aggregated to supertile granularity, and renders them
+as ASCII art for terminal inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+TileCoord = Tuple[int, int]
+
+_SHADES = " .:-=+*#%@"
+
+
+def tile_matrix(per_tile: Dict[TileCoord, float], tiles_x: int,
+                tiles_y: int) -> np.ndarray:
+    """(tiles_y, tiles_x) array of a per-tile metric (missing tiles -> 0)."""
+    matrix = np.zeros((tiles_y, tiles_x))
+    for (tx, ty), value in per_tile.items():
+        if 0 <= tx < tiles_x and 0 <= ty < tiles_y:
+            matrix[ty, tx] = value
+    return matrix
+
+
+def supertile_matrix(matrix: np.ndarray, size: int) -> np.ndarray:
+    """Aggregate a tile matrix to ``size x size`` supertile sums."""
+    if size < 1:
+        raise ValueError("supertile size must be >= 1")
+    tiles_y, tiles_x = matrix.shape
+    out_y = -(-tiles_y // size)
+    out_x = -(-tiles_x // size)
+    out = np.zeros((out_y, out_x))
+    for sy in range(out_y):
+        for sx in range(out_x):
+            block = matrix[sy * size:(sy + 1) * size,
+                           sx * size:(sx + 1) * size]
+            out[sy, sx] = block.sum()
+    return out
+
+
+def render_ascii(matrix: np.ndarray, width: int = 0) -> str:
+    """ASCII heatmap: one character per cell, darkest = hottest."""
+    if matrix.size == 0:
+        return ""
+    peak = matrix.max()
+    lines = []
+    for row in matrix:
+        if peak > 0:
+            indices = np.minimum(
+                (row / peak * (len(_SHADES) - 1)).astype(int),
+                len(_SHADES) - 1)
+        else:
+            indices = np.zeros(len(row), dtype=int)
+        lines.append("".join(_SHADES[i] for i in indices))
+    return "\n".join(lines)
+
+
+def hot_cold_summary(per_tile: Dict[TileCoord, float],
+                     hot_fraction: float = 0.1) -> Dict[str, float]:
+    """Contrast between the hottest tiles and the rest.
+
+    Returns the share of total accesses produced by the hottest
+    ``hot_fraction`` of tiles — the imbalance LIBRA exploits.
+    """
+    if not 0 < hot_fraction <= 1:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    values = sorted(per_tile.values(), reverse=True)
+    if not values:
+        return {"hot_share": 0.0, "hot_tiles": 0, "total": 0.0}
+    count = max(int(len(values) * hot_fraction), 1)
+    total = float(sum(values))
+    hot = float(sum(values[:count]))
+    return {
+        "hot_share": hot / total if total else 0.0,
+        "hot_tiles": count,
+        "total": total,
+    }

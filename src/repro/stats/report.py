@@ -1,0 +1,81 @@
+"""Plain-text tables and series used by the benchmark harness.
+
+Every experiment prints its results through these helpers so the output of
+``pytest benchmarks/`` reads like the paper's tables: one row per
+benchmark, one aggregate row, plus a short "paper says / we measure"
+header that EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """A fixed-width table with an optional title line."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: Sequence[float],
+                  max_points: int = 40) -> str:
+    """A compact sparkline-style rendering of a numeric series."""
+    if not values:
+        return f"{name}: (empty)"
+    step = max(len(values) // max_points, 1)
+    sampled = [max(values[i:i + step]) for i in range(0, len(values), step)]
+    peak = max(sampled) or 1.0
+    blocks = " ▁▂▃▄▅▆▇█"
+    chars = "".join(
+        blocks[min(int(v / peak * (len(blocks) - 1)), len(blocks) - 1)]
+        for v in sampled)
+    return f"{name}: [{chars}] peak={peak:g}"
+
+
+def experiment_header(figure: str, paper_claim: str) -> str:
+    """The standard banner every benchmark prints before its table."""
+    bar = "=" * 72
+    return (f"\n{bar}\n"
+            f"EXPERIMENT {figure}\n"
+            f"paper: {paper_claim}\n"
+            f"{bar}")
+
+
+def summary_line(key: str, measured, paper=None) -> str:
+    """One 'measured vs paper' line, grep-friendly for EXPERIMENTS.md."""
+    if paper is None:
+        return f"RESULT {key}: measured={_fmt(measured)}"
+    return (f"RESULT {key}: measured={_fmt(measured)} "
+            f"paper={_fmt(paper)}")
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.1f}%"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def rows_from_dicts(dicts: List[Dict], keys: Sequence[str]) -> List[List]:
+    """Extract table rows from dictionaries by key order."""
+    return [[d.get(k, "") for k in keys] for d in dicts]

@@ -1,0 +1,27 @@
+"""Tiling Engine substrate: traversal orders, binning, supertiles."""
+
+from .binning import (BinningStats, ParameterBuffer, PolygonListBuilder,
+                      triangle_overlaps_rect)
+from .engine import TiledFrame, TilingEngine
+from .orders import (boustrophedon_order, hilbert_order, morton_decode,
+                     morton_encode, morton_order, scanline_order,
+                     traversal_order)
+from .supertile import SupertileGrid, flatten_supertiles_to_tiles
+
+__all__ = [
+    "PolygonListBuilder",
+    "ParameterBuffer",
+    "BinningStats",
+    "triangle_overlaps_rect",
+    "TilingEngine",
+    "TiledFrame",
+    "morton_encode",
+    "morton_decode",
+    "morton_order",
+    "scanline_order",
+    "hilbert_order",
+    "boustrophedon_order",
+    "traversal_order",
+    "SupertileGrid",
+    "flatten_supertiles_to_tiles",
+]

@@ -1,0 +1,150 @@
+"""The Polygon List Builder and Parameter Buffer (Tiling Engine).
+
+Bins every screen-space primitive into the tiles it overlaps, keeping
+program order within each tile's list (Section II-A: "a list in program
+order for each tile with all the primitives that totally (or partially)
+fall inside it").  The per-tile lists live in the Parameter Buffer, a main
+memory region; reads of it during tile fetch are one of the four DRAM
+traffic sources the paper identifies, so the model synthesizes line
+addresses for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..config import CACHE_LINE_BYTES
+from ..geometry.primitive import Primitive
+
+TileCoord = Tuple[int, int]
+
+
+def triangle_overlaps_rect(xy, rx0: float, ry0: float,
+                           rx1: float, ry1: float) -> bool:
+    """Exact triangle/axis-aligned-rectangle overlap test (separating axes).
+
+    ``xy`` is the (3, 2) vertex array of a screen-space triangle; the
+    rectangle is [rx0, rx1) x [ry0, ry1).  Used to refine the conservative
+    bounding-box bin so thin diagonal triangles are not binned into tiles
+    they never touch.
+    """
+    (ax, ay), (bx, by), (cx, cy) = xy
+    # Axis-aligned separating axes (the rectangle's edges).
+    if max(ax, bx, cx) <= rx0 or min(ax, bx, cx) >= rx1:
+        return False
+    if max(ay, by, cy) <= ry0 or min(ay, by, cy) >= ry1:
+        return False
+    # Triangle-edge separating axes.
+    corners = ((rx0, ry0), (rx1, ry0), (rx1, ry1), (rx0, ry1))
+    vertices = ((ax, ay), (bx, by), (cx, cy))
+    for i in range(3):
+        ex0, ey0 = vertices[i]
+        ex1, ey1 = vertices[(i + 1) % 3]
+        nx, ny = ey1 - ey0, ex0 - ex1  # outward-ish normal of the edge
+        # Which side is the triangle's third vertex on?
+        ox, oy = vertices[(i + 2) % 3]
+        tri_side = nx * (ox - ex0) + ny * (oy - ey0)
+        if tri_side == 0.0:
+            continue  # degenerate edge; no separation information
+        if tri_side < 0.0:
+            nx, ny = -nx, -ny
+        # If every rectangle corner is strictly outside this edge, separated.
+        if all(nx * (px - ex0) + ny * (py - ey0) < 0.0
+               for px, py in corners):
+            return False
+    return True
+
+
+@dataclass
+class ParameterBuffer:
+    """Model of the main-memory Parameter Buffer.
+
+    Stores, per tile, the primitive list produced by binning, and exposes
+    the line addresses the Tile Fetcher reads when streaming that list into
+    the Raster Pipeline.  Entries are ``entry_bytes`` each (a compressed
+    triangle record: three vertices of screen position, depth, 1/w and UV).
+    """
+
+    base_address: int = 0x4000_0000
+    entry_bytes: int = 48
+    lists: Dict[TileCoord, List[Primitive]] = field(default_factory=dict)
+    _offsets: Dict[TileCoord, int] = field(default_factory=dict)
+    total_entries: int = 0
+
+    def finalize(self) -> None:
+        """Lay per-tile lists out contiguously and record their offsets."""
+        offset = 0
+        self._offsets.clear()
+        for tile in sorted(self.lists):
+            self._offsets[tile] = offset
+            offset += len(self.lists[tile])
+        self.total_entries = offset
+
+    def size_bytes(self) -> int:
+        """Total Parameter Buffer size in bytes."""
+        return self.total_entries * self.entry_bytes
+
+    def fetch_addresses(self, tile: TileCoord) -> List[int]:
+        """Cache-line addresses read to fetch one tile's primitive list."""
+        primitives = self.lists.get(tile, [])
+        if not primitives:
+            return []
+        start_byte = (self.base_address
+                      + self._offsets.get(tile, 0) * self.entry_bytes)
+        end_byte = start_byte + len(primitives) * self.entry_bytes
+        first_line = start_byte // CACHE_LINE_BYTES
+        last_line = (end_byte - 1) // CACHE_LINE_BYTES
+        return list(range(first_line, last_line + 1))
+
+
+@dataclass
+class BinningStats:
+    """Counters produced while binning one frame."""
+    primitives_binned: int = 0
+    tile_entries: int = 0
+    max_entries_per_tile: int = 0
+    nonempty_tiles: int = 0
+
+
+class PolygonListBuilder:
+    """Bins screen-space primitives into per-tile, program-ordered lists."""
+
+    def __init__(self, tiles_x: int, tiles_y: int, tile_size: int,
+                 exact: bool = True):
+        if tiles_x < 1 or tiles_y < 1:
+            raise ValueError("grid must have at least one tile per axis")
+        self.tiles_x = tiles_x
+        self.tiles_y = tiles_y
+        self.tile_size = tile_size
+        self.exact = exact
+
+    def bin(self, primitives: Sequence[Primitive]
+            ) -> Tuple[ParameterBuffer, BinningStats]:
+        """Bin primitives into per-tile lists; returns (buffer, stats)."""
+        buffer = ParameterBuffer()
+        stats = BinningStats()
+        size = self.tile_size
+        for prim in primitives:
+            min_x, min_y, max_x, max_y = prim.bounding_box()
+            tx0 = max(int(min_x // size), 0)
+            ty0 = max(int(min_y // size), 0)
+            tx1 = min(int(max_x // size), self.tiles_x - 1)
+            ty1 = min(int(max_y // size), self.tiles_y - 1)
+            if tx1 < tx0 or ty1 < ty0:
+                continue  # entirely off-screen
+            stats.primitives_binned += 1
+            for ty in range(ty0, ty1 + 1):
+                for tx in range(tx0, tx1 + 1):
+                    if self.exact and not triangle_overlaps_rect(
+                            prim.xy, tx * size, ty * size,
+                            (tx + 1) * size, (ty + 1) * size):
+                        continue
+                    buffer.lists.setdefault((tx, ty), []).append(prim)
+                    stats.tile_entries += 1
+        buffer.finalize()
+        stats.nonempty_tiles = len(buffer.lists)
+        if buffer.lists:
+            stats.max_entries_per_tile = max(
+                len(lst) for lst in buffer.lists.values())
+        return buffer, stats

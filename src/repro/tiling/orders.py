@@ -1,0 +1,131 @@
+"""Tile traversal orders: scanline, Morton (Z-order) and Hilbert.
+
+The baseline GPU traverses tiles in Morton order (Section II-B of the
+paper); scanline and Hilbert are provided for comparison experiments and as
+references in related-work ablations (DTexL uses Hilbert).  All orders are
+permutations of the tile grid — a property the test suite checks for every
+grid shape, including non-square and non-power-of-two grids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+TileCoord = Tuple[int, int]
+
+
+def morton_encode(x: int, y: int) -> int:
+    """Interleave the bits of (x, y) into a Morton (Z-order) code."""
+    if x < 0 or y < 0:
+        raise ValueError("Morton codes are defined for non-negative coords")
+    code = 0
+    shift = 0
+    while x or y:
+        code |= (x & 1) << (2 * shift)
+        code |= (y & 1) << (2 * shift + 1)
+        x >>= 1
+        y >>= 1
+        shift += 1
+    return code
+
+
+def morton_decode(code: int) -> TileCoord:
+    """Inverse of :func:`morton_encode`."""
+    if code < 0:
+        raise ValueError("Morton codes are non-negative")
+    x = y = 0
+    shift = 0
+    while code:
+        x |= (code & 1) << shift
+        code >>= 1
+        y |= (code & 1) << shift
+        code >>= 1
+        shift += 1
+    return x, y
+
+
+def scanline_order(tiles_x: int, tiles_y: int) -> List[TileCoord]:
+    """Row-major traversal."""
+    return [(x, y) for y in range(tiles_y) for x in range(tiles_x)]
+
+
+def morton_order(tiles_x: int, tiles_y: int) -> List[TileCoord]:
+    """Z-order traversal of an arbitrary rectangular grid.
+
+    Coordinates are sorted by their Morton code; for non-power-of-two grids
+    this is the standard "sorted Z" traversal hardware uses (skip codes that
+    fall outside the grid).
+    """
+    coords = [(x, y) for y in range(tiles_y) for x in range(tiles_x)]
+    coords.sort(key=lambda c: morton_encode(c[0], c[1]))
+    return coords
+
+
+def _hilbert_d2xy(order: int, d: int) -> TileCoord:
+    """Convert a distance along the Hilbert curve of 2**order size to x/y."""
+    rx = ry = 0
+    x = y = 0
+    t = d
+    s = 1
+    while s < (1 << order):
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def hilbert_order(tiles_x: int, tiles_y: int) -> List[TileCoord]:
+    """Hilbert-curve traversal, restricted to the grid."""
+    side = 1
+    order = 0
+    while side < max(tiles_x, tiles_y):
+        side *= 2
+        order += 1
+    out: List[TileCoord] = []
+    for d in range(side * side):
+        x, y = _hilbert_d2xy(order, d)
+        if x < tiles_x and y < tiles_y:
+            out.append((x, y))
+    return out
+
+
+def boustrophedon_order(tiles_x: int, tiles_y: int) -> List[TileCoord]:
+    """Serpentine scanline (alternate row direction); cheap locality order."""
+    out: List[TileCoord] = []
+    for y in range(tiles_y):
+        row = range(tiles_x) if y % 2 == 0 else range(tiles_x - 1, -1, -1)
+        out.extend((x, y) for x in row)
+    return out
+
+
+_ORDERS = {
+    "scanline": scanline_order,
+    "morton": morton_order,
+    "zorder": morton_order,
+    "hilbert": hilbert_order,
+    "boustrophedon": boustrophedon_order,
+}
+
+
+def traversal_order(name: str, tiles_x: int, tiles_y: int) -> List[TileCoord]:
+    """Look up a traversal order by name."""
+    try:
+        fn = _ORDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traversal order {name!r}; "
+            f"choose from {sorted(set(_ORDERS))}") from None
+    return fn(tiles_x, tiles_y)
+
+
+def iter_order_names() -> Iterator[str]:
+    """Names of the available traversal orders."""
+    yield from sorted(set(_ORDERS) - {"zorder"})

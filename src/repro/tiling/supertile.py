@@ -1,0 +1,97 @@
+"""Supertiles: square groups of adjacent tiles scheduled as a unit.
+
+A supertile of size ``s`` covers an ``s x s`` block of tiles (Section III-C).
+The grid maps tiles to supertile IDs and back, aggregates per-tile metrics
+to supertile granularity (the stats-buffer update of Section III-E), and
+enumerates a supertile's member tiles in Z-order ("tiles within a supertile
+are always traversed in Z-order", Section III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .orders import morton_encode
+
+TileCoord = Tuple[int, int]
+
+
+class SupertileGrid:
+    """Tile <-> supertile mapping for one frame resolution and size."""
+
+    def __init__(self, tiles_x: int, tiles_y: int, size: int):
+        if size < 1:
+            raise ValueError("supertile size must be >= 1")
+        if tiles_x < 1 or tiles_y < 1:
+            raise ValueError("grid must have at least one tile per axis")
+        self.tiles_x = tiles_x
+        self.tiles_y = tiles_y
+        self.size = size
+        self.supertiles_x = -(-tiles_x // size)
+        self.supertiles_y = -(-tiles_y // size)
+
+    @property
+    def num_supertiles(self) -> int:
+        """Supertiles covering the grid."""
+        return self.supertiles_x * self.supertiles_y
+
+    def supertile_of(self, tile: TileCoord) -> int:
+        """Supertile ID containing a tile coordinate."""
+        tx, ty = tile
+        if not (0 <= tx < self.tiles_x and 0 <= ty < self.tiles_y):
+            raise ValueError(f"tile {tile} outside {self.tiles_x}x{self.tiles_y}")
+        sx, sy = tx // self.size, ty // self.size
+        return sy * self.supertiles_x + sx
+
+    def supertile_coord(self, supertile_id: int) -> TileCoord:
+        """(sx, sy) coordinate of a supertile ID."""
+        if not 0 <= supertile_id < self.num_supertiles:
+            raise ValueError("supertile id out of range")
+        return (supertile_id % self.supertiles_x,
+                supertile_id // self.supertiles_x)
+
+    def tiles_of(self, supertile_id: int) -> List[TileCoord]:
+        """Member tiles of a supertile, in Z-order within the block."""
+        sx, sy = self.supertile_coord(supertile_id)
+        tiles = []
+        for dy in range(self.size):
+            ty = sy * self.size + dy
+            if ty >= self.tiles_y:
+                break
+            for dx in range(self.size):
+                tx = sx * self.size + dx
+                if tx >= self.tiles_x:
+                    break
+                tiles.append((tx, ty))
+        tiles.sort(key=lambda t: morton_encode(t[0] - sx * self.size,
+                                               t[1] - sy * self.size))
+        return tiles
+
+    def aggregate(self, per_tile: Dict[TileCoord, float]) -> List[float]:
+        """Sum a per-tile metric up to supertile granularity.
+
+        This is the hardware buffer update of Section III-E: "the per-tile
+        memory accesses and instruction count metrics of the previous frame
+        are first aggregated at the chosen supertile granularity".
+        """
+        totals = [0.0] * self.num_supertiles
+        for tile, value in per_tile.items():
+            totals[self.supertile_of(tile)] += value
+        return totals
+
+    def all_supertiles_zorder(self) -> List[int]:
+        """All supertile IDs in Z-order over the supertile grid."""
+        coords = [(x, y) for y in range(self.supertiles_y)
+                  for x in range(self.supertiles_x)]
+        coords.sort(key=lambda c: morton_encode(c[0], c[1]))
+        return [y * self.supertiles_x + x for x, y in coords]
+
+
+def flatten_supertiles_to_tiles(grid: SupertileGrid,
+                                supertile_ids: Sequence[int]
+                                ) -> List[TileCoord]:
+    """Expand an ordered supertile schedule into the tile schedule."""
+    tiles: List[TileCoord] = []
+    for sid in supertile_ids:
+        tiles.extend(grid.tiles_of(sid))
+    return tiles

@@ -1,0 +1,29 @@
+"""Synthetic benchmark suite: parameters, scenes, traces (Table II)."""
+
+from .params import HotspotSpec, WorkloadParams
+from .scene import Scene, SceneBuilder
+from .suite import (BENCHMARKS, EXPERIMENT_HEIGHT, EXPERIMENT_WIDTH,
+                    benchmark_names, compute_intensive_names, get_params,
+                    make_scene_builder, memory_intensive_names, table2_rows)
+from .trace_io import load_traces, save_traces
+from .traces import TraceBuilder, TraceCache
+
+__all__ = [
+    "WorkloadParams",
+    "HotspotSpec",
+    "Scene",
+    "SceneBuilder",
+    "TraceBuilder",
+    "TraceCache",
+    "save_traces",
+    "load_traces",
+    "BENCHMARKS",
+    "benchmark_names",
+    "memory_intensive_names",
+    "compute_intensive_names",
+    "get_params",
+    "make_scene_builder",
+    "table2_rows",
+    "EXPERIMENT_WIDTH",
+    "EXPERIMENT_HEIGHT",
+]

@@ -1,0 +1,102 @@
+"""Per-benchmark workload parameters.
+
+Each synthetic "game" is described by a :class:`WorkloadParams` record; the
+knobs correspond to the scene properties the paper's motivation sections
+identify as the drivers of per-tile memory behaviour: spatially-clustered
+hot regions (detailed characters, HUD, dense object stacks) versus cold
+background, texture working-set size, shader compute intensity, and
+frame-to-frame motion (coherence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass
+class HotspotSpec:
+    """One spatially-clustered dense region of the scene.
+
+    ``center`` is in screen fractions; the cluster orbits that anchor
+    smoothly over time (frame coherence).  ``layers`` controls overdraw
+    (stacked detailed sprites), the main source of per-tile heat.
+    """
+
+    center: Tuple[float, float]
+    radius: float = 0.12
+    sprites: int = 12
+    layers: int = 3
+    sprite_size: float = 0.10
+    #: Texel density multiplier of the cluster's sprites (1.0 = one texel
+    #: per pixel — native-resolution detail, the hot case).
+    uv_scale: float = 1.0
+    drift: float = 0.004
+    #: Distinct sprite-sheet cells the cluster's sprites draw from (candy
+    #: types, coin frames, ...); smaller values mean more texture reuse.
+    cells: int = 16
+
+
+@dataclass
+class WorkloadParams:
+    """Full description of one synthetic benchmark."""
+
+    name: str
+    title: str
+    style: str  # '2D', '2.5D' or '3D'
+    seed: int
+    #: Expected classification (>=25% of time on memory accesses).
+    memory_intensive: bool
+
+    # -- scene structure --------------------------------------------------
+    background_layers: int = 1
+    #: Freely-moving mid-ground sprites outside hotspots.
+    roaming_sprites: int = 30
+    roaming_size: Tuple[float, float] = (0.04, 0.10)
+    hotspots: Tuple[HotspotSpec, ...] = ()
+    #: HUD bars at the top/bottom edges (alpha-blended, always hot).
+    hud_elements: int = 6
+    #: Terrain grid (cells per axis) for 3D-style content; 0 disables.
+    terrain_cells: int = 0
+
+    # -- shader cost profile ----------------------------------------------
+    fragment_instructions: int = 24
+    texture_fetches: int = 1
+    vertex_instructions: int = 16
+
+    # -- texture working set ----------------------------------------------
+    num_textures: int = 8
+    texture_size: int = 256
+    #: Texture size used by hotspot sprites (their detail level).
+    detail_texture_size: int = 512
+
+    # -- sampling ------------------------------------------------------------
+    #: Texels sampled per screen pixel for ordinary sprites.  1.0 means
+    #: native-resolution sprite sheets (every covered pixel pulls a fresh
+    #: texel — bandwidth-hungry); values < 1 mean minified content whose
+    #: footprint the mip chain collapses (bandwidth-light).
+    texel_density: float = 1.0
+    #: Texel density of the terrain layer.  Terrain covers half the screen,
+    #: so a low density keeps it a *cold* region (the railways and station
+    #: roof of the paper's Figure 2), letting the hotspot clusters dominate
+    #: the DRAM heat distribution.
+    terrain_density: float = 0.2
+
+    # -- motion (frame coherence) -----------------------------------------
+    scroll_speed: float = 8.0  # pixels per frame
+    wobble: float = 2.0        # pixels of sinusoidal wobble
+
+    def __post_init__(self) -> None:
+        if self.style not in ("2D", "2.5D", "3D"):
+            raise ValueError(f"unknown style {self.style!r}")
+        if self.num_textures < 1:
+            raise ValueError("need at least one texture")
+        for size in (self.texture_size, self.detail_texture_size):
+            if size & (size - 1) or size < 4:
+                raise ValueError("texture sizes must be powers of two >= 4")
+
+    @property
+    def total_sprites(self) -> int:
+        """All sprites per frame, including hotspot layers."""
+        return (self.roaming_sprites
+                + sum(h.sprites * h.layers for h in self.hotspots))

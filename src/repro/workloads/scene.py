@@ -1,0 +1,275 @@
+"""Procedural per-frame scene synthesis.
+
+Turns a :class:`~repro.workloads.params.WorkloadParams` into the draw-call
+list of any frame index, deterministically: object base positions come from
+the benchmark's seed, and frame-to-frame evolution is smooth (scroll +
+sinusoidal wobble), which is what gives the suite its frame coherence
+(Figure 8 of the paper).
+
+Scenes are built in pixel space and rendered through an orthographic
+camera; 3D-style benchmarks add a perspective-projected terrain grid and
+depth-tested object stacks so the clipping and Z paths of the pipeline are
+exercised.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..geometry.mesh import DrawCall, Mesh, ShaderProfile, grid_mesh, quad_mesh
+from ..geometry.vecmath import orthographic
+from ..raster.texture import TextureSet
+from .params import HotspotSpec, WorkloadParams
+
+
+@dataclass
+class Scene:
+    """One frame's draw calls plus the camera that renders them."""
+
+    draws: List[DrawCall]
+    view_projection: np.ndarray
+
+
+class SceneBuilder:
+    """Builds the per-frame scenes of one benchmark."""
+
+    def __init__(self, params: WorkloadParams, width: int, height: int):
+        self.params = params
+        self.width = width
+        self.height = height
+        self.textures = TextureSet()
+        self._allocate_textures()
+        self._rng = np.random.default_rng(params.seed)
+        self._roamers = self._place_roamers()
+
+    # -- texture set ----------------------------------------------------------
+    def _allocate_textures(self) -> None:
+        p = self.params
+        styles = ("noise", "checker", "gradient")
+        # Texture 0 is the background; hotspot textures are the large
+        # "detail" ones; the rest are shared sprite sheets.
+        self.textures.add(p.texture_size, p.texture_size, seed=p.seed,
+                          style="gradient")
+        for i in range(1, p.num_textures):
+            size = (p.detail_texture_size
+                    if i <= len(p.hotspots) * 2 else p.texture_size)
+            self.textures.add(size, size, seed=p.seed + i,
+                              style=styles[i % len(styles)])
+
+    def _place_roamers(self) -> List[Tuple]:
+        """(x0, y0, size, texture, phase, wu, wv) per roamer, frame 0.
+
+        ``(wu, wv)`` anchors the sprite's window in its sprite sheet.
+        """
+        p = self.params
+        roamers = []
+        # Roamers of the same texture share a small palette of sheet
+        # cells, like repeated props (coins, rocks, clouds) in real games.
+        palettes = {
+            t: [(float(self._rng.uniform(0.0, 0.9)),
+                 float(self._rng.uniform(0.0, 0.9))) for _ in range(4)]
+            for t in range(1, p.num_textures)}
+        for i in range(p.roaming_sprites):
+            x = float(self._rng.uniform(0, self.width))
+            y = float(self._rng.uniform(0, self.height))
+            size = float(self._rng.uniform(*p.roaming_size)) * self.height
+            texture = int(self._rng.integers(1, p.num_textures))
+            phase = float(self._rng.uniform(0, 2 * math.pi))
+            wu, wv = palettes[texture][int(self._rng.integers(0, 4))]
+            roamers.append((x, y, size, texture, phase, wu, wv))
+        return roamers
+
+    def _uv_window(self, size_px: float, texture_id: int, density: float,
+                   wu: float, wv: float, anim: float) -> Tuple:
+        """Sprite-sheet window for a sprite of ``size_px`` pixels.
+
+        The window spans ``size_px * density`` texels (1:1 texel density at
+        ``density`` = 1), anchored at (wu, wv) and drifting with the
+        animation phase — slow enough that consecutive frames touch almost
+        the same texels (frame coherence).
+        """
+        texture = self.textures[texture_id]
+        span = min(size_px * density / texture.width, 1.0)
+        u0 = (wu + anim) % max(1.0 - span, 1e-6)
+        v0 = wv % max(1.0 - span, 1e-6)
+        return (u0, v0, u0 + span, v0 + span)
+
+    # -- frame assembly ---------------------------------------------------
+    def frame(self, index: int) -> Scene:
+        """Build the scene (draws + camera) of one frame index."""
+        p = self.params
+        draws: List[DrawCall] = []
+        depth = _DepthAllocator()
+        self._add_background(draws, index, depth)
+        if p.terrain_cells:
+            self._add_terrain(draws, index, depth)
+        self._add_roamers(draws, index, depth)
+        for k, hotspot in enumerate(p.hotspots):
+            self._add_hotspot(draws, hotspot, k, index, depth)
+        self._add_hud(draws, depth)
+        camera = orthographic(0.0, float(self.width),
+                              0.0, float(self.height), -10.0, 10.0)
+        return Scene(draws=draws, view_projection=camera)
+
+    # -- scene layers ---------------------------------------------------------
+    def _add_background(self, draws: List[DrawCall], index: int,
+                        depth: "_DepthAllocator") -> None:
+        p = self.params
+        shader = ShaderProfile(
+            vertex_instructions=p.vertex_instructions,
+            fragment_instructions=max(p.fragment_instructions // 2, 4),
+            texture_fetches=1)
+        scroll = (index * p.scroll_speed) / self.width
+        for layer in range(p.background_layers):
+            # Parallax: deeper layers scroll slower.
+            offset = scroll / (layer + 1)
+            mesh = quad_mesh(-0.02 * self.width, -0.02 * self.height,
+                             1.04 * self.width, 1.04 * self.height,
+                             z=depth.next_back(), uv_scale=1.0)
+            mesh = _shift_uvs(mesh, offset, 0.0)
+            draws.append(DrawCall(mesh=mesh, texture_id=0, shader=shader,
+                                  blend="opaque", depth_write=True))
+
+    def _add_terrain(self, draws: List[DrawCall], index: int,
+                     depth: "_DepthAllocator") -> None:
+        p = self.params
+        shader = ShaderProfile(
+            vertex_instructions=p.vertex_instructions,
+            fragment_instructions=p.fragment_instructions,
+            texture_fetches=p.texture_fetches)
+        phase = index * p.scroll_speed / self.width
+        terrain_texture = 1 if p.num_textures > 1 else 0
+        # Size the terrain's UV window for the configured texel density so
+        # the mip chain sees minified content (a cold region).
+        texture = self.textures[terrain_texture]
+        covered_px = self.width * 0.55 * self.height
+        span = math.sqrt(p.terrain_density * covered_px
+                         / (texture.width * texture.height))
+        span = min(span, 1.0)
+        mesh = grid_mesh(
+            0.0, 0.45 * self.height, float(self.width),
+            0.55 * self.height, p.terrain_cells, max(p.terrain_cells // 2, 1),
+            z=depth.next_back())
+        mesh = Mesh(mesh.positions, mesh.uvs * span, mesh.indices,
+                    buffer_base=mesh.buffer_base)
+        mesh = _shift_uvs(mesh, phase * span, 0.0)
+        draws.append(DrawCall(mesh=mesh, texture_id=terrain_texture,
+                              shader=shader, blend="opaque"))
+
+    def _add_roamers(self, draws: List[DrawCall], index: int,
+                     depth: "_DepthAllocator") -> None:
+        p = self.params
+        shader = ShaderProfile(
+            vertex_instructions=p.vertex_instructions,
+            fragment_instructions=p.fragment_instructions,
+            texture_fetches=p.texture_fetches)
+        for (x0, y0, size, texture, phase, wu, wv) in self._roamers:
+            x = (x0 + index * p.scroll_speed
+                 + p.wobble * math.sin(0.3 * index + phase))
+            y = y0 + p.wobble * math.cos(0.23 * index + phase)
+            x = x % (self.width + size) - size  # wrap around the screen
+            window = self._uv_window(size, texture, p.texel_density,
+                                     wu, wv, anim=0.002 * index)
+            mesh = quad_mesh(x, y, size, size, z=depth.next_front(),
+                             uv_rect=window)
+            draws.append(DrawCall(mesh=mesh, texture_id=texture,
+                                  shader=shader, blend="opaque"))
+
+    def _add_hotspot(self, draws: List[DrawCall], hotspot: HotspotSpec,
+                     hotspot_index: int, index: int,
+                     depth: "_DepthAllocator") -> None:
+        p = self.params
+        shader = ShaderProfile(
+            vertex_instructions=p.vertex_instructions,
+            fragment_instructions=p.fragment_instructions,
+            texture_fetches=p.texture_fetches)
+        cx = (hotspot.center[0]
+              + hotspot.drift * index) % 1.0 * self.width
+        cy = hotspot.center[1] * self.height
+        radius = hotspot.radius * min(self.width, self.height)
+        size = hotspot.sprite_size * self.height
+        rng = np.random.default_rng(p.seed * 7919 + hotspot_index)
+        detail_textures = [1 + (hotspot_index * 2) % (p.num_textures - 1),
+                           1 + (hotspot_index * 2 + 1) % (p.num_textures - 1)]
+        # Sprites draw from a small palette of sprite-sheet cells (candy
+        # types, coin frames, ...) — the source of texture reuse between
+        # overlapping sprites and adjacent tiles.
+        palette = [(float(rng.uniform(0.0, 0.9)), float(rng.uniform(0.0, 0.9)))
+                   for _ in range(max(hotspot.cells, 1))]
+        for layer in range(hotspot.layers):
+            blend = "opaque" if layer == 0 else "alpha"
+            for s in range(hotspot.sprites):
+                angle = float(rng.uniform(0, 2 * math.pi))
+                dist = float(rng.uniform(0, radius))
+                wob = p.wobble * math.sin(0.41 * index + s + layer)
+                x = cx + dist * math.cos(angle) + wob - size / 2
+                y = cy + dist * math.sin(angle) - size / 2
+                texture = detail_textures[(s + layer) % 2]
+                cell = int(rng.integers(0, len(palette)))
+                wu, wv = palette[cell]
+                window = self._uv_window(
+                    size, texture, hotspot.uv_scale,
+                    wu=wu, wv=wv, anim=0.003 * index)
+                mesh = quad_mesh(x, y, size, size, z=depth.next_front(),
+                                 uv_rect=window)
+                draws.append(DrawCall(
+                    mesh=mesh,
+                    texture_id=texture,
+                    shader=shader, blend=blend,
+                    depth_write=(blend == "opaque")))
+
+    def _add_hud(self, draws: List[DrawCall],
+                 depth: "_DepthAllocator") -> None:
+        p = self.params
+        if not p.hud_elements:
+            return
+        shader = ShaderProfile(
+            vertex_instructions=p.vertex_instructions,
+            fragment_instructions=max(p.fragment_instructions // 2, 4),
+            texture_fetches=2)
+        bar_h = 0.06 * self.height
+        slot_w = self.width / max(p.hud_elements, 1)
+        for i in range(p.hud_elements):
+            y = 0.01 * self.height if i % 2 == 0 \
+                else self.height - bar_h - 0.01 * self.height
+            texture = 1 + i % max(len(self.textures.ids()) - 1, 1)
+            window = self._uv_window(0.8 * slot_w, texture, 1.0,
+                                     wu=0.05 * i, wv=0.3, anim=0.0)
+            mesh = quad_mesh(i * slot_w + 0.1 * slot_w, y,
+                             0.8 * slot_w, bar_h,
+                             z=depth.next_front(), uv_rect=window)
+            draws.append(DrawCall(mesh=mesh, texture_id=texture,
+                                  shader=shader, blend="alpha",
+                                  depth_write=False))
+
+
+class _DepthAllocator:
+    """Monotonic z values: later draws land in front (painter's order).
+
+    With the orthographic camera used here, larger world z maps to smaller
+    NDC depth (closer to the viewer under the LESS depth test).
+    """
+
+    def __init__(self) -> None:
+        self._front = 0.0
+        self._back = -9.0
+
+    def next_front(self) -> float:
+        """Next z value in front of everything drawn so far."""
+        self._front += 0.001
+        return self._front
+
+    def next_back(self) -> float:
+        """Next background z value (far plane side)."""
+        self._back += 0.001
+        return self._back
+
+
+def _shift_uvs(mesh: Mesh, du: float, dv: float) -> Mesh:
+    """A copy of the mesh with translated texture coordinates."""
+    return Mesh(mesh.positions.copy(), mesh.uvs + np.array([du, dv]),
+                mesh.indices.copy(), buffer_base=mesh.buffer_base)

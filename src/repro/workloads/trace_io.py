@@ -1,0 +1,118 @@
+"""Trace interchange: export/import FrameTraces as JSON.
+
+Pickle caches (see :class:`~repro.workloads.traces.TraceCache`) are fast
+but Python-specific; this module provides a stable, human-inspectable
+JSON format so traces can be versioned, diffed, shipped to other tools,
+or regenerated deterministically elsewhere.
+
+Format (one JSON object per trace)::
+
+    {"version": 1, "frame_index": 0, "tiles_x": 30, "tiles_y": 16,
+     "tile_size": 32, "geometry_cycles": 67064,
+     "vertex_instructions": 21344,
+     "vertex_lines": [...],
+     "tiles": {"4,7": {"instructions": ..., "fragments": ...,
+                        "texture_lines": [...], ...}, ...}}
+
+Empty tiles are omitted; ``FrameTrace.workload_for`` regenerates them.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import List, Union
+
+from ..gpu.workload import FrameTrace, TileWorkload
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def trace_to_dict(trace: FrameTrace) -> dict:
+    """Serialize one trace to a JSON-compatible dictionary."""
+    tiles = {}
+    for (tx, ty), workload in trace.workloads.items():
+        if (workload.instructions == 0 and not workload.texture_lines
+                and not workload.fb_lines and not workload.pb_lines):
+            continue
+        tiles[f"{tx},{ty}"] = {
+            "instructions": workload.instructions,
+            "fragments": workload.fragments,
+            "texture_lines": workload.texture_lines,
+            "texture_fetches": workload.texture_fetches,
+            "pb_lines": workload.pb_lines,
+            "fb_lines": workload.fb_lines,
+            "num_primitives": workload.num_primitives,
+            "prim_fragments": workload.prim_fragments,
+            "prim_instructions": workload.prim_instructions,
+        }
+    return {
+        "version": FORMAT_VERSION,
+        "frame_index": trace.frame_index,
+        "tiles_x": trace.tiles_x,
+        "tiles_y": trace.tiles_y,
+        "tile_size": trace.tile_size,
+        "geometry_cycles": trace.geometry_cycles,
+        "vertex_instructions": trace.vertex_instructions,
+        "vertex_lines": trace.vertex_lines,
+        "tiles": tiles,
+    }
+
+
+def trace_from_dict(data: dict) -> FrameTrace:
+    """Deserialize a trace dictionary (inverse of :func:`trace_to_dict`)."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    workloads = {}
+    for key, fields in data["tiles"].items():
+        tx_str, ty_str = key.split(",")
+        tile = (int(tx_str), int(ty_str))
+        workloads[tile] = TileWorkload(
+            tile=tile,
+            instructions=fields["instructions"],
+            fragments=fields["fragments"],
+            texture_lines=list(fields["texture_lines"]),
+            texture_fetches=fields["texture_fetches"],
+            pb_lines=list(fields["pb_lines"]),
+            fb_lines=list(fields["fb_lines"]),
+            num_primitives=fields["num_primitives"],
+            prim_fragments=list(fields["prim_fragments"]),
+            prim_instructions=list(fields["prim_instructions"]),
+        )
+    return FrameTrace(
+        frame_index=data["frame_index"],
+        tiles_x=data["tiles_x"],
+        tiles_y=data["tiles_y"],
+        tile_size=data["tile_size"],
+        workloads=workloads,
+        geometry_cycles=data["geometry_cycles"],
+        vertex_lines=list(data["vertex_lines"]),
+        vertex_instructions=data["vertex_instructions"],
+    )
+
+
+def save_traces(traces: List[FrameTrace], path: PathLike) -> None:
+    """Write traces as (optionally gzipped) JSON lines."""
+    path = Path(path)
+    payload = "\n".join(json.dumps(trace_to_dict(t)) for t in traces)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt") as handle:
+            handle.write(payload)
+    else:
+        path.write_text(payload)
+
+
+def load_traces(path: PathLike) -> List[FrameTrace]:
+    """Read traces written by :func:`save_traces`."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt") as handle:
+            text = handle.read()
+    else:
+        text = path.read_text()
+    return [trace_from_dict(json.loads(line))
+            for line in text.splitlines() if line.strip()]

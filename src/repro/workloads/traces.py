@@ -1,0 +1,185 @@
+"""Trace building: scenes -> FrameTrace, via the real pipelines.
+
+Each frame of a benchmark runs through the actual Geometry Pipeline,
+Tiling Engine and (trace-mode) Raster Pipeline, so the per-tile workload
+descriptors fed to the timing simulator are *measured*, not estimated:
+fragment counts come from real edge-function rasterization with Early-Z,
+texture line footprints from real UV interpolation and mip selection.
+
+Traces depend only on the frame content and screen geometry — never on
+the GPU configuration — so one trace is shared by the baseline, PTR and
+LIBRA runs of an experiment (and can be cached on disk, see
+:class:`TraceCache`).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..config import CACHE_LINE_BYTES
+from ..geometry.pipeline import GeometryPipeline
+from ..gpu.workload import FrameTrace, TileWorkload
+from ..raster.framebuffer import FrameBuffer, tile_flush_lines
+from ..raster.pipeline import RasterPipeline
+from ..tiling.engine import TilingEngine
+from .scene import Scene, SceneBuilder
+
+#: Bump when the trace format or generator behaviour changes, to invalidate
+#: any on-disk caches.
+TRACE_FORMAT_VERSION = 3
+
+
+class TraceBuilder:
+    """Builds FrameTraces for one benchmark at one screen geometry."""
+
+    def __init__(self, scene_builder: SceneBuilder, width: int, height: int,
+                 tile_size: int, transaction_elimination: bool = True):
+        self.scenes = scene_builder
+        self.width = width
+        self.height = height
+        self.tile_size = tile_size
+        self.tiles_x = -(-width // tile_size)
+        self.tiles_y = -(-height // tile_size)
+        #: ARM-style transaction elimination: a tile whose content is
+        #: unchanged from the previous frame skips its Frame Buffer flush.
+        self.transaction_elimination = transaction_elimination
+        self._geometry = GeometryPipeline(width, height)
+        self._tiling = TilingEngine(self.tiles_x, self.tiles_y, tile_size)
+        self._previous_signatures: Dict[tuple, int] = {}
+
+    def build(self, frame_index: int) -> FrameTrace:
+        """Build the FrameTrace of one frame index."""
+        scene = self.scenes.frame(frame_index)
+        return self.build_from_scene(scene, frame_index)
+
+    def build_from_scene(self, scene: Scene, frame_index: int) -> FrameTrace:
+        """Build a FrameTrace from an explicit scene."""
+        geometry = self._geometry.run(scene.draws, scene.view_projection)
+        tiled = self._tiling.tile_frame(geometry.primitives)
+        raster = RasterPipeline(
+            self.width, self.height, self.tile_size,
+            textures=self.scenes.textures,
+            shade_colors=False, collect_lines=True,
+            framebuffer=FrameBuffer(self.width, self.height,
+                                    store_pixels=False))
+        workloads: Dict[tuple, TileWorkload] = {}
+        signatures: Dict[tuple, int] = {}
+        for tile, primitives in tiled.parameter_buffer.lists.items():
+            measured = raster.process_tile(tile, primitives)
+            signature = _tile_signature(measured)
+            fb_lines = measured.framebuffer_lines
+            if (self.transaction_elimination
+                    and self._previous_signatures.get(tile) == signature):
+                fb_lines = []
+            signatures[tile] = signature
+            workloads[tile] = TileWorkload(
+                tile=tile,
+                instructions=measured.instructions,
+                fragments=measured.fragments_shaded,
+                texture_lines=measured.texture_lines,
+                texture_fetches=measured.texture_fetches,
+                pb_lines=tiled.parameter_buffer.fetch_addresses(tile),
+                fb_lines=fb_lines,
+                num_primitives=measured.num_primitives,
+                prim_fragments=measured.prim_fragments,
+                prim_instructions=measured.prim_instructions,
+            )
+        # Empty tiles flush their cleared Color Buffer once, then the
+        # unchanged-tile elimination suppresses further flushes.
+        empty_signature = -1
+        for ty in range(self.tiles_y):
+            for tx in range(self.tiles_x):
+                tile = (tx, ty)
+                if tile in workloads:
+                    continue
+                signatures[tile] = empty_signature
+                flushed = not (
+                    self.transaction_elimination
+                    and self._previous_signatures.get(tile)
+                    == empty_signature)
+                workloads[tile] = TileWorkload(
+                    tile=tile,
+                    fb_lines=tile_flush_lines(
+                        tx * self.tile_size, ty * self.tile_size,
+                        self.tile_size, self.width, self.height)
+                    if flushed else [])
+        self._previous_signatures = signatures
+        return FrameTrace(
+            frame_index=frame_index,
+            tiles_x=self.tiles_x,
+            tiles_y=self.tiles_y,
+            tile_size=self.tile_size,
+            workloads=workloads,
+            geometry_cycles=geometry.cycles,
+            vertex_lines=[a // CACHE_LINE_BYTES
+                          for a in geometry.vertex_fetch_addresses],
+            vertex_instructions=geometry.stats.vertex_instructions,
+        )
+
+    def build_many(self, num_frames: int,
+                   start: int = 0) -> List[FrameTrace]:
+        """Build consecutive frames starting at ``start``."""
+        return [self.build(start + i) for i in range(num_frames)]
+
+
+def _tile_signature(measured) -> int:
+    """Content signature of a rendered tile (for transaction elimination).
+
+    Hashes the shading-relevant measurements; any content change (moved
+    sprite, shifted UVs, different overdraw) perturbs at least one of
+    them.  Mirrors the CRC signature ARM GPUs compute over the tile's
+    pixels, without requiring trace mode to produce pixels.
+    """
+    return hash((
+        measured.instructions,
+        measured.fragments_shaded,
+        measured.num_primitives,
+        len(measured.texture_lines),
+        tuple(measured.texture_lines[:16]),
+        tuple(measured.prim_fragments[:16]),
+    ))
+
+
+class TraceCache:
+    """Disk cache of built traces (benchmarks are deterministic).
+
+    Experiments sweep many GPU configurations over the same frames; the
+    trace is configuration-independent, so caching it cuts experiment
+    time by the trace-building share.
+    """
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.v{TRACE_FORMAT_VERSION}.pkl"
+
+    def get(self, key: str) -> Optional[List[FrameTrace]]:
+        """Cached traces for a key, or None."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError):
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, key: str, traces: List[FrameTrace]) -> None:
+        """Store traces under a key."""
+        with self._path(key).open("wb") as handle:
+            pickle.dump(traces, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def get_or_build(self, key: str, builder: TraceBuilder,
+                     num_frames: int, start: int = 0) -> List[FrameTrace]:
+        """Fetch cached traces or build and cache them."""
+        cached = self.get(key)
+        if cached is not None and len(cached) >= num_frames:
+            return cached[:num_frames]
+        traces = builder.build_many(num_frames, start=start)
+        self.put(key, traces)
+        return traces

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Tests run at tiny resolutions (128-256 px) so the whole suite stays fast;
+experiment-scale behaviour is exercised by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GPUConfig, RasterUnitConfig, small_config
+from repro.geometry import DrawCall, ShaderProfile, quad_mesh
+from repro.geometry.vecmath import orthographic
+from repro.raster.texture import TextureSet
+
+
+@pytest.fixture
+def tiny_config() -> GPUConfig:
+    """A 128x128, 4-tile-per-side configuration for unit tests."""
+    cfg = small_config(screen_width=128, screen_height=128, tile_size=32)
+    return cfg
+
+
+@pytest.fixture
+def dual_ru_config() -> GPUConfig:
+    cfg = small_config(screen_width=128, screen_height=128, tile_size=32,
+                       num_raster_units=2,
+                       raster_unit=RasterUnitConfig(num_cores=4))
+    return cfg
+
+
+@pytest.fixture
+def textures() -> TextureSet:
+    ts = TextureSet()
+    ts.add(64, 64, seed=1, style="noise")
+    ts.add(64, 64, seed=2, style="checker")
+    ts.add(128, 128, seed=3, style="gradient")
+    return ts
+
+
+@pytest.fixture
+def ortho_camera() -> np.ndarray:
+    """Pixel-space orthographic camera for a 128x128 screen."""
+    return orthographic(0.0, 128.0, 0.0, 128.0, -10.0, 10.0)
+
+
+def make_sprite(x: float, y: float, size: float, texture_id: int = 0,
+                z: float = 0.0, uv_rect=None, blend: str = "opaque",
+                fragment_instructions: int = 8,
+                texture_fetches: int = 1) -> DrawCall:
+    """A square textured sprite draw call (module-level test helper)."""
+    return DrawCall(
+        mesh=quad_mesh(x, y, size, size, z=z, uv_rect=uv_rect),
+        texture_id=texture_id,
+        shader=ShaderProfile(fragment_instructions=fragment_instructions,
+                             texture_fetches=texture_fetches),
+        blend=blend,
+        depth_write=(blend == "opaque"),
+    )
+
+
+@pytest.fixture
+def sprite_factory():
+    return make_sprite

@@ -1,0 +1,130 @@
+"""Tests for LIBRA's adaptive FSMs (Figure 10 + supertile resizing)."""
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.core.adaptive import (FrameObservation, OrderSelector,
+                                 SupertileResizer, TEMPERATURE, Z_ORDER)
+
+
+def obs(cycles, hit):
+    return FrameObservation(raster_cycles=cycles, texture_hit_ratio=hit)
+
+
+class TestOrderSelector:
+    def make(self):
+        return OrderSelector(SchedulerConfig())
+
+    def test_no_history_uses_zorder(self):
+        assert self.make().decide() == Z_ORDER
+
+    def test_high_hit_ratio_prefers_zorder(self):
+        fsm = self.make()
+        fsm.observe(obs(1000, 0.95))
+        assert fsm.decide() == Z_ORDER
+
+    def test_low_hit_ratio_prefers_temperature(self):
+        fsm = self.make()
+        fsm.observe(obs(1000, 0.5))
+        assert fsm.decide() == TEMPERATURE
+
+    def test_threshold_is_80_percent(self):
+        fsm = self.make()
+        fsm.observe(obs(1000, 0.81))
+        assert fsm.decide() == Z_ORDER
+        fsm = self.make()
+        fsm.observe(obs(1000, 0.79))
+        assert fsm.decide() == TEMPERATURE
+
+    def test_small_variation_keeps_current_order(self):
+        fsm = self.make()
+        fsm.observe(obs(1000, 0.5))
+        assert fsm.decide() == TEMPERATURE
+        # Hit ratio recovers above threshold but cycles move only 1%
+        # (< 3% threshold): stick with the current scheme.
+        fsm.observe(obs(1010, 0.9))
+        assert fsm.decide() == TEMPERATURE
+
+    def test_significant_variation_reevaluates(self):
+        fsm = self.make()
+        fsm.observe(obs(1000, 0.5))
+        fsm.decide()
+        fsm.observe(obs(1200, 0.9))  # +20% cycles, high hit ratio
+        assert fsm.decide() == Z_ORDER
+
+    def test_double_degradation_switches_scheme(self):
+        fsm = self.make()
+        fsm.observe(obs(1000, 0.95))
+        assert fsm.decide() == Z_ORDER
+        # Both performance and hit ratio degrade -> try the alternative
+        # even though the hit ratio is still above the threshold.
+        fsm.observe(obs(1200, 0.85))
+        assert fsm.decide() == TEMPERATURE
+
+    def test_tiny_hit_drop_does_not_count_as_degradation(self):
+        fsm = self.make()
+        fsm.observe(obs(1000, 0.95))
+        fsm.decide()
+        fsm.observe(obs(1200, 0.949))  # noise-level hit change
+        assert fsm.decide() == Z_ORDER
+
+
+class TestSupertileResizer:
+    def make(self, threshold=0.0025, initial=4):
+        cfg = SchedulerConfig(supertile_resize_threshold=threshold,
+                              initial_supertile_size=initial)
+        return SupertileResizer(cfg)
+
+    def test_initial_size(self):
+        assert self.make().size == 4
+
+    def test_first_observation_no_change(self):
+        r = self.make()
+        r.observe(1000)
+        assert r.size == 4
+
+    def test_improvement_grows(self):
+        r = self.make()
+        r.observe(1000)
+        r.observe(900)  # 10% better
+        assert r.size == 8
+
+    def test_degradation_reverses(self):
+        r = self.make()
+        r.observe(1000)
+        r.observe(1100)  # worse -> reverse (was growing) -> shrink
+        assert r.size == 2
+
+    def test_within_threshold_holds(self):
+        r = self.make()
+        r.observe(1000)
+        r.observe(1001)  # 0.1% < 0.25%? no: 0.1% < 0.25% -> hold
+        assert r.size == 4
+
+    def test_bounces_at_max(self):
+        r = self.make()
+        r.observe(1000)
+        r.observe(900)   # -> 8
+        r.observe(800)   # -> 16
+        r.observe(700)   # at max: bounce, stay 16 with flipped direction
+        assert r.size == 16
+        r.observe(600)   # improving while shrinking now -> 8
+        assert r.size == 8
+
+    def test_invalidate_resets_baseline(self):
+        r = self.make()
+        r.observe(1000)
+        r.invalidate()
+        r.observe(100)  # no baseline: no resize
+        assert r.size == 4
+
+    def test_rejects_bad_initial_size(self):
+        cfg = SchedulerConfig(initial_supertile_size=5)
+        with pytest.raises(ValueError):
+            SupertileResizer(cfg)
+
+    def test_rejects_empty_sizes(self):
+        cfg = SchedulerConfig(supertile_sizes=(),
+                              initial_supertile_size=4)
+        with pytest.raises(ValueError):
+            SupertileResizer(cfg)

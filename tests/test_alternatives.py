@@ -1,0 +1,140 @@
+"""Tests for the ablation schedulers and the affinity dispenser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.alternatives import (OracleTemperatureScheduler,
+                                     RandomScheduler, ReverseFrameScheduler,
+                                     TraversalScheduler)
+from repro.core.scheduler import AffinityQueueDispenser
+from repro.gpu.workload import FrameTrace, TileWorkload
+
+
+def trace(tiles_x=4, tiles_y=4, workloads=None):
+    return FrameTrace(frame_index=0, tiles_x=tiles_x, tiles_y=tiles_y,
+                      tile_size=32, workloads=workloads or {})
+
+
+def drain_all(dispenser, pattern=(0, 1)):
+    tiles = []
+    i = 0
+    while True:
+        batch = dispenser.next_batch(pattern[i % len(pattern)])
+        if batch is None:
+            return tiles
+        tiles.extend(batch)
+        i += 1
+
+
+class TestAffinityQueueDispenser:
+    def test_tiles_one_at_a_time(self):
+        d = AffinityQueueDispenser([[1, 2], [3, 4]])
+        assert d.next_batch(0) == [1]
+        assert d.next_batch(0) == [2]
+
+    def test_units_get_distinct_supertiles(self):
+        d = AffinityQueueDispenser([[1, 2], [3, 4]])
+        assert d.next_batch(0) == [1]
+        assert d.next_batch(1) == [3]
+        assert d.next_batch(1) == [4]
+        assert d.next_batch(0) == [2]
+
+    def test_steal_at_tail(self):
+        d = AffinityQueueDispenser([[1, 2, 3, 4]])
+        assert d.next_batch(0) == [1]
+        assert d.next_batch(1) == [4]  # stolen from unit 0's queue end
+        assert sorted(b[0] for b in (d.next_batch(0), d.next_batch(1))) \
+            == [2, 3]
+        assert d.next_batch(0) is None
+
+    @given(n=st.integers(0, 20), pattern=st.lists(st.integers(0, 2),
+                                                  min_size=1, max_size=4))
+    def test_conservation(self, n, pattern):
+        batches = [[(i, j) for j in range(2)] for i in range(n)]
+        d = AffinityQueueDispenser(batches)
+        tiles = drain_all(d, pattern)
+        assert sorted(tiles) == sorted(t for b in batches for t in b)
+
+
+class TestTraversalScheduler:
+    @pytest.mark.parametrize("order", ["scanline", "hilbert",
+                                       "boustrophedon"])
+    def test_covers_grid(self, order):
+        decision = TraversalScheduler(order).begin_frame(trace())
+        tiles = drain_all(decision.dispenser)
+        assert len(set(tiles)) == 16
+        assert decision.order == order
+
+    def test_unknown_order_fails_at_frame(self):
+        scheduler = TraversalScheduler("spiral")
+        with pytest.raises(ValueError):
+            scheduler.begin_frame(trace())
+
+
+class TestRandomScheduler:
+    def test_covers_grid(self):
+        decision = RandomScheduler(size=2, seed=1).begin_frame(trace())
+        tiles = drain_all(decision.dispenser)
+        assert len(set(tiles)) == 16
+
+    def test_deterministic_per_seed(self):
+        a = drain_all(RandomScheduler(seed=5).begin_frame(trace()).dispenser)
+        b = drain_all(RandomScheduler(seed=5).begin_frame(trace()).dispenser)
+        assert a == b
+
+    def test_varies_across_frames(self):
+        scheduler = RandomScheduler(seed=5)
+        a = drain_all(scheduler.begin_frame(trace()).dispenser)
+        b = drain_all(scheduler.begin_frame(trace()).dispenser)
+        assert a != b  # reshuffled every frame
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(size=0)
+
+
+class TestOracleScheduler:
+    def test_ranks_by_current_frame(self):
+        workloads = {
+            (0, 0): TileWorkload(tile=(0, 0), instructions=1000,
+                                 texture_lines=list(range(500)),
+                                 texture_fetches=500),
+            (3, 3): TileWorkload(tile=(3, 3), instructions=1000,
+                                 texture_lines=[1], texture_fetches=1),
+        }
+        decision = OracleTemperatureScheduler(2).begin_frame(
+            trace(workloads=workloads))
+        assert decision.order == "temperature"
+        hot_first = [decision.dispenser.next_batch(0)[0]
+                     for _ in range(4)]
+        assert (0, 0) in hot_first
+
+    def test_covers_grid(self):
+        decision = OracleTemperatureScheduler(2).begin_frame(trace())
+        tiles = drain_all(decision.dispenser)
+        assert len(set(tiles)) == 16
+
+
+class TestReverseFrameScheduler:
+    def test_first_frame_morton(self):
+        scheduler = ReverseFrameScheduler()
+        first = drain_all(scheduler.begin_frame(trace()).dispenser,
+                          pattern=(0,))
+        assert first[0] == (0, 0)
+
+    def test_second_frame_reversed(self):
+        scheduler = ReverseFrameScheduler()
+        first = drain_all(scheduler.begin_frame(trace()).dispenser,
+                          pattern=(0,))
+        second = drain_all(scheduler.begin_frame(trace()).dispenser,
+                           pattern=(0,))
+        assert second == list(reversed(first))
+
+    def test_third_frame_reverses_again(self):
+        scheduler = ReverseFrameScheduler()
+        first = drain_all(scheduler.begin_frame(trace()).dispenser,
+                          pattern=(0,))
+        drain_all(scheduler.begin_frame(trace()).dispenser, pattern=(0,))
+        third = drain_all(scheduler.begin_frame(trace()).dispenser,
+                          pattern=(0,))
+        assert third == first

@@ -1,0 +1,146 @@
+"""Tests for the Polygon List Builder and Parameter Buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import CACHE_LINE_BYTES
+from repro.geometry.mesh import ShaderProfile
+from repro.geometry.primitive import Primitive
+from repro.tiling.binning import (ParameterBuffer, PolygonListBuilder,
+                                  triangle_overlaps_rect)
+
+
+def prim(xy, sequence=0):
+    return Primitive(
+        xy=np.array(xy, dtype=np.float64),
+        depth=np.zeros(3), inv_w=np.ones(3),
+        uv_over_w=np.zeros((3, 2)),
+        texture_id=0, shader=ShaderProfile(), sequence=sequence)
+
+
+class TestOverlapTest:
+    def test_triangle_inside_rect(self):
+        assert triangle_overlaps_rect(
+            np.array([[1, 1], [2, 1], [1, 2]]), 0, 0, 4, 4)
+
+    def test_rect_inside_triangle(self):
+        assert triangle_overlaps_rect(
+            np.array([[-10, -10], [50, -10], [-10, 50]]), 0, 0, 4, 4)
+
+    def test_disjoint(self):
+        assert not triangle_overlaps_rect(
+            np.array([[10, 10], [12, 10], [10, 12]]), 0, 0, 4, 4)
+
+    def test_thin_diagonal_misses_corner_tile(self):
+        # A sliver along the anti-diagonal of a 64x64 area overlaps the two
+        # corner tiles it passes through, not the opposite corners.
+        xy = np.array([[0.0, 63.0], [63.0, 0.0], [63.5, 0.5]])
+        assert not triangle_overlaps_rect(xy, 0, 0, 16, 16)
+        assert triangle_overlaps_rect(xy, 48, 0, 64, 16)
+
+    def test_bbox_overlap_but_no_true_overlap(self):
+        xy = np.array([[0.0, 0.0], [20.0, 0.0], [0.0, 20.0]])
+        # Rect sits in the triangle's bbox but beyond the hypotenuse.
+        assert not triangle_overlaps_rect(xy, 15, 15, 20, 20)
+
+    @given(seed=st.integers(0, 5_000))
+    def test_exact_is_subset_of_bbox(self, seed):
+        rng = np.random.default_rng(seed)
+        xy = rng.uniform(0, 64, size=(3, 2))
+        rx0, ry0 = rng.uniform(0, 48, size=2)
+        rx1, ry1 = rx0 + 16, ry0 + 16
+        if triangle_overlaps_rect(xy, rx0, ry0, rx1, ry1):
+            assert xy[:, 0].max() > rx0 and xy[:, 0].min() < rx1
+            assert xy[:, 1].max() > ry0 and xy[:, 1].min() < ry1
+
+
+class TestBinning:
+    def test_single_tile_primitive(self):
+        builder = PolygonListBuilder(4, 4, 32)
+        buffer, stats = builder.bin([prim([[2, 2], [10, 2], [2, 10]])])
+        assert list(buffer.lists) == [(0, 0)]
+        assert stats.tile_entries == 1
+
+    def test_spanning_primitive_in_all_overlapped_tiles(self):
+        builder = PolygonListBuilder(4, 4, 32)
+        buffer, _ = builder.bin(
+            [prim([[0, 0], [128, 0], [0, 128]])])
+        # The hypotenuse cuts the grid; the fully-covered lower-left
+        # triangle of tiles must all contain it.
+        assert (0, 0) in buffer.lists
+        assert (1, 1) in buffer.lists
+        assert (3, 3) not in buffer.lists
+
+    def test_program_order_preserved_per_tile(self):
+        builder = PolygonListBuilder(2, 2, 32)
+        prims = [prim([[0, 0], [60, 0], [0, 60]], sequence=i)
+                 for i in range(5)]
+        buffer, _ = builder.bin(prims)
+        for lst in buffer.lists.values():
+            sequences = [p.sequence for p in lst]
+            assert sequences == sorted(sequences)
+
+    def test_offscreen_primitive_skipped(self):
+        builder = PolygonListBuilder(2, 2, 32)
+        buffer, stats = builder.bin(
+            [prim([[200, 200], [210, 200], [200, 210]])])
+        assert stats.primitives_binned == 0
+        assert not buffer.lists
+
+    def test_conservative_mode_uses_bbox(self):
+        xy = [[0.0, 0.0], [63.0, 0.0], [0.0, 63.0]]
+        exact_buffer, _ = PolygonListBuilder(2, 2, 32).bin([prim(xy)])
+        loose_buffer, _ = PolygonListBuilder(2, 2, 32, exact=False).bin(
+            [prim(xy)])
+        assert (1, 1) not in exact_buffer.lists
+        assert (1, 1) in loose_buffer.lists
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            PolygonListBuilder(0, 2, 32)
+
+    def test_stats_max_entries(self):
+        builder = PolygonListBuilder(2, 2, 32)
+        prims = [prim([[0, 0], [10, 0], [0, 10]], sequence=i)
+                 for i in range(3)]
+        _, stats = builder.bin(prims)
+        assert stats.max_entries_per_tile == 3
+        assert stats.nonempty_tiles == 1
+
+
+class TestParameterBuffer:
+    def _filled(self):
+        builder = PolygonListBuilder(2, 2, 32)
+        prims = [prim([[0, 0], [60, 0], [0, 60]], sequence=i)
+                 for i in range(4)]
+        buffer, _ = builder.bin(prims)
+        return buffer
+
+    def test_size_counts_all_entries(self):
+        buffer = self._filled()
+        assert buffer.size_bytes() == buffer.total_entries * buffer.entry_bytes
+
+    def test_fetch_addresses_cover_list_bytes(self):
+        buffer = self._filled()
+        for tile, lst in buffer.lists.items():
+            lines = buffer.fetch_addresses(tile)
+            needed = len(lst) * buffer.entry_bytes
+            covered = len(lines) * CACHE_LINE_BYTES
+            assert covered >= needed
+            assert lines == sorted(lines)
+
+    def test_fetch_addresses_empty_tile(self):
+        buffer = self._filled()
+        assert buffer.fetch_addresses((9, 9)) == []
+
+    def test_tiles_have_disjoint_interiors(self):
+        buffer = self._filled()
+        tiles = list(buffer.lists)
+        # Interior lines (excluding boundary lines that two lists can
+        # legitimately share) must not overlap between tiles.
+        for i, a in enumerate(tiles):
+            for b in tiles[i + 1:]:
+                la, lb = buffer.fetch_addresses(a), buffer.fetch_addresses(b)
+                shared = set(la[1:-1]) & set(lb[1:-1])
+                assert not shared

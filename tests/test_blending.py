@@ -1,0 +1,65 @@
+"""Tests for the Blending Unit."""
+
+import numpy as np
+import pytest
+
+from repro.raster.blending import BLEND_MODES, blend
+
+RED = np.array([1.0, 0.0, 0.0, 1.0])
+BLUE = np.array([0.0, 0.0, 1.0, 1.0])
+
+
+class TestOpaque:
+    def test_replaces_destination(self):
+        assert np.allclose(blend(BLUE, RED, "opaque"), RED)
+
+    def test_does_not_alias_source(self):
+        out = blend(BLUE, RED, "opaque")
+        out[0] = 0.5
+        assert RED[0] == 1.0
+
+
+class TestAlpha:
+    def test_full_alpha_is_replace(self):
+        assert np.allclose(blend(BLUE, RED, "alpha")[:3], RED[:3])
+
+    def test_zero_alpha_keeps_destination(self):
+        transparent = np.array([1.0, 0.0, 0.0, 0.0])
+        assert np.allclose(blend(BLUE, transparent, "alpha")[:3], BLUE[:3])
+
+    def test_half_alpha_mixes(self):
+        half_red = np.array([1.0, 0.0, 0.0, 0.5])
+        out = blend(BLUE, half_red, "alpha")
+        assert out[0] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(0.5)
+
+    def test_alpha_accumulates(self):
+        half = np.array([0.0, 0.0, 0.0, 0.5])
+        dst = np.array([0.0, 0.0, 0.0, 0.5])
+        out = blend(dst, half, "alpha")
+        assert out[3] == pytest.approx(0.75)
+
+    def test_batched_shapes(self):
+        dst = np.tile(BLUE, (10, 1))
+        src = np.tile(np.array([1.0, 0, 0, 0.5]), (10, 1))
+        out = blend(dst, src, "alpha")
+        assert out.shape == (10, 4)
+
+
+class TestAdditive:
+    def test_adds(self):
+        out = blend(RED, BLUE, "additive")
+        assert np.allclose(out, [1, 0, 1, 1])
+
+    def test_saturates_at_one(self):
+        out = blend(RED, RED, "additive")
+        assert out.max() == 1.0
+
+
+class TestErrors:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            blend(RED, BLUE, "multiply")
+
+    def test_modes_list(self):
+        assert set(BLEND_MODES) == {"opaque", "alpha", "additive"}

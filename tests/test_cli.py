@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--benchmark", "CCS"])
+        assert args.config == "libra"
+        assert args.frames == 8
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--benchmark", "NOPE"])
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--benchmark", "CCS", "--config", "magic"])
+
+
+class TestCommands:
+    def test_list_prints_suite(self, capsys):
+        assert main(["--width", "256", "--height", "128", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "CCS" in out and "GDL" in out
+
+    def test_run_small(self, capsys):
+        code = main(["--width", "256", "--height", "128",
+                     "run", "--benchmark", "GDL", "--config", "ptr",
+                     "--frames", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GDL on ptr" in out
+        assert "raster cyc" in out
+
+    def test_compare_small(self, capsys):
+        code = main(["--width", "256", "--height", "128",
+                     "compare", "--benchmark", "GDL", "--frames", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "libra" in out
+        assert "speedup" in out
+
+    def test_heatmap_small(self, capsys):
+        code = main(["--width", "256", "--height", "128",
+                     "heatmap", "--benchmark", "CCS"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-tile DRAM accesses" in out
+
+    def test_trace_export(self, capsys, tmp_path):
+        out_path = str(tmp_path / "t.jsonl.gz")
+        code = main(["--width", "256", "--height", "128",
+                     "trace", "--benchmark", "GDL", "--frames", "2",
+                     "--out", out_path])
+        assert code == 0
+        from repro.workloads import load_traces
+        assert len(load_traces(out_path)) == 2

@@ -1,0 +1,90 @@
+"""Tests for repro.geometry.clipping (frustum cull + Sutherland-Hodgman)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.clipping import (classify_triangle, clip_triangle,
+                                     cull_backface)
+
+
+def tri(*vertices):
+    return np.array(vertices, dtype=np.float64)
+
+
+UVS = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+
+
+class TestClassify:
+    def test_inside(self):
+        clip = tri([0, 0, 0, 1], [0.5, 0, 0, 1], [0, 0.5, 0, 1])
+        assert classify_triangle(clip) == "inside"
+
+    def test_outside_one_plane(self):
+        clip = tri([2, 0, 0, 1], [3, 0, 0, 1], [2, 1, 0, 1])
+        assert classify_triangle(clip) == "outside"
+
+    def test_straddling(self):
+        clip = tri([0, 0, 0, 1], [3, 0, 0, 1], [0, 1, 0, 1])
+        assert classify_triangle(clip) == "straddling"
+
+    def test_spanning_vertices_outside_different_planes(self):
+        # Each vertex is outside a different plane, but the triangle still
+        # crosses the frustum -> must not be trivially rejected.
+        clip = tri([-3, 0, 0, 1], [3, 0.1, 0, 1], [0, 3, 0, 1])
+        assert classify_triangle(clip) == "straddling"
+
+
+class TestClipTriangle:
+    def test_inside_passthrough(self):
+        clip = tri([0, 0, 0, 1], [0.5, 0, 0, 1], [0, 0.5, 0, 1])
+        out = clip_triangle(clip, UVS)
+        assert len(out) == 1
+        assert np.allclose(out[0][0], clip)
+
+    def test_outside_removed(self):
+        clip = tri([0, 0, 5, 1], [1, 0, 5, 1], [0, 1, 5, 1])
+        assert clip_triangle(clip, UVS) == []
+
+    def test_corner_clip_produces_fan(self):
+        # A triangle poking out of the right plane gets clipped into >= 1
+        # triangles whose vertices all satisfy |x| <= w.
+        clip = tri([0, 0, 0, 1], [2, 0, 0, 1], [0, 0.5, 0, 1])
+        out = clip_triangle(clip, UVS)
+        assert len(out) >= 1
+        for positions, _ in out:
+            assert (positions[:, 0] <= positions[:, 3] + 1e-9).all()
+
+    def test_clip_preserves_total_containment(self):
+        clip = tri([-2, -2, 0, 1], [2, -2, 0, 1], [0, 3, 0, 1])
+        for positions, _ in clip_triangle(clip, UVS):
+            w = positions[:, 3]
+            for axis in range(3):
+                assert (np.abs(positions[:, axis]) <= w + 1e-9).all()
+
+    def test_uv_interpolated_at_boundary(self):
+        # Edge from u=0 to u=1 clipped at x=w midpoint -> u=0.5 appears.
+        clip = tri([0, 0, 0, 1], [2, 0, 0, 1], [0, 1, 0, 1])
+        out = clip_triangle(clip, UVS)
+        all_uvs = np.concatenate([uv for _, uv in out])
+        assert np.any(np.isclose(all_uvs[:, 0], 0.5))
+
+    @given(st.integers(0, 10_000))
+    def test_clipped_output_always_inside(self, seed):
+        rng = np.random.default_rng(seed)
+        clip = rng.uniform(-3, 3, size=(3, 4))
+        clip[:, 3] = rng.uniform(0.5, 2.0, size=3)
+        for positions, _ in clip_triangle(clip, UVS):
+            w = positions[:, 3]
+            for axis in range(3):
+                assert (np.abs(positions[:, axis]) <= w + 1e-6).all()
+
+
+class TestBackfaceCull:
+    def test_degenerate_always_culled(self):
+        assert cull_backface([(0, 0), (1, 1), (2, 2)])
+
+    def test_opposite_windings_differ(self):
+        ccw = [(0, 0), (1, 0), (0, 1)]
+        cw = [(0, 0), (0, 1), (1, 0)]
+        assert cull_backface(ccw) != cull_backface(cw)

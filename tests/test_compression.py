@@ -1,0 +1,92 @@
+"""Tests for the frame-buffer compression extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import RasterUnitConfig, small_config
+from repro.core.scheduler import ZOrderScheduler
+from repro.gpu.frame import FrameDriver
+from repro.gpu.workload import FrameTrace, TileWorkload
+from repro.memory.compression import BLOCK, FrameBufferCompressor
+
+
+class TestCompressor:
+    def test_fallback_ratio_applied(self):
+        c = FrameBufferCompressor(fallback_ratio=0.5)
+        out = c.compress_flush(list(range(64)))
+        assert len(out) == 32
+        assert out == list(range(32))
+
+    def test_empty_flush(self):
+        c = FrameBufferCompressor()
+        assert c.compress_flush([]) == []
+
+    def test_at_least_one_line(self):
+        c = FrameBufferCompressor(fallback_ratio=0.26, minimum_ratio=0.01)
+        assert len(c.compress_flush([1, 2])) == 1
+
+    def test_stats_accumulate(self):
+        c = FrameBufferCompressor(fallback_ratio=0.5)
+        c.compress_flush(list(range(10)))
+        c.compress_flush(list(range(10)))
+        assert c.stats.tiles_compressed == 2
+        assert c.stats.lines_before == 20
+        assert c.stats.ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_rejects_bad_ratios(self):
+        with pytest.raises(ValueError):
+            FrameBufferCompressor(fallback_ratio=0.0)
+        with pytest.raises(ValueError):
+            FrameBufferCompressor(fallback_ratio=0.5, minimum_ratio=0.9)
+
+    def test_uniform_tile_compresses_hard(self):
+        c = FrameBufferCompressor()
+        flat = np.zeros((32, 32, 4))
+        noisy = np.random.default_rng(0).uniform(size=(32, 32, 4))
+        # Flat tiles hit the header floor; noisy ones barely compress.
+        assert c.estimate_ratio(flat) == pytest.approx(c.minimum_ratio)
+        assert c.estimate_ratio(noisy) > 0.5
+        assert c.estimate_ratio(flat) < c.estimate_ratio(noisy)
+
+    def test_estimate_rejects_bad_shape(self):
+        c = FrameBufferCompressor()
+        with pytest.raises(ValueError):
+            c.estimate_ratio(np.zeros((32, 32)))
+
+    def test_tiny_tile_falls_back(self):
+        c = FrameBufferCompressor()
+        assert c.estimate_ratio(np.zeros((2, 2, 4))) == c.fallback_ratio
+
+    def test_block_constant(self):
+        assert BLOCK == 4
+
+
+class TestTimingIntegration:
+    def _trace(self):
+        workloads = {
+            (x, y): TileWorkload(
+                tile=(x, y), instructions=1000, fragments=100,
+                fb_lines=list(range((y * 2 + x) * 100,
+                                    (y * 2 + x) * 100 + 64)),
+                num_primitives=1, prim_fragments=[100],
+                prim_instructions=[1000])
+            for x in range(2) for y in range(2)}
+        return FrameTrace(frame_index=0, tiles_x=2, tiles_y=2,
+                          tile_size=32, workloads=workloads,
+                          geometry_cycles=100)
+
+    def test_compression_reduces_fb_writes(self):
+        plain_cfg = small_config(
+            num_raster_units=2, raster_unit=RasterUnitConfig(num_cores=4))
+        compressed_cfg = small_config(
+            num_raster_units=2, raster_unit=RasterUnitConfig(num_cores=4),
+            fb_compression_ratio=0.5)
+        plain = FrameDriver(plain_cfg, ZOrderScheduler()).run_frame(
+            self._trace())
+        squeezed = FrameDriver(compressed_cfg,
+                               ZOrderScheduler()).run_frame(self._trace())
+        assert squeezed.raster_dram_accesses < plain.raster_dram_accesses
+
+    def test_config_validates_ratio(self):
+        with pytest.raises(ValueError):
+            small_config(fb_compression_ratio=1.5)

@@ -1,0 +1,98 @@
+"""Balance properties of the dispensers under heterogeneous loads.
+
+The dispensers only decide *order*; balance emerges from units polling at
+their own pace. These tests emulate units with different speeds and check
+no unit starves and the hot/cold split behaves as Section V-D describes.
+"""
+
+from repro.core.scheduler import (AffinityQueueDispenser, HotColdDispenser,
+                                  QueueDispenser)
+
+
+def simulate_polling(dispenser, speeds, num_units=2):
+    """Emulate units polling proportionally to their speeds.
+
+    ``speeds`` maps unit index -> how many tiles it consumes per round.
+    Returns the list of tiles each unit received.
+    """
+    received = {u: [] for u in range(num_units)}
+    progress = True
+    while progress:
+        progress = False
+        for unit in range(num_units):
+            for _ in range(speeds.get(unit, 1)):
+                batch = dispenser.next_batch(unit)
+                if batch is None:
+                    continue
+                received[unit].extend(batch)
+                progress = True
+    return received
+
+
+class TestHotColdBalance:
+    def ranked(self, n=12, size=4):
+        # n supertiles of `size` tiles, hottest first: tile ids encode rank.
+        return [[(rank, i) for i in range(size)] for rank in range(n)]
+
+    def test_equal_speeds_split_work_evenly(self):
+        d = HotColdDispenser(self.ranked())
+        received = simulate_polling(d, {0: 1, 1: 1})
+        assert abs(len(received[0]) - len(received[1])) <= 1
+
+    def test_slow_hot_unit_offloads_to_cold(self):
+        # Unit 0 (hot) polls 1 tile/round; unit 1 polls 3 -> unit 1 does
+        # roughly 3x the tiles. Nobody idles while work remains.
+        d = HotColdDispenser(self.ranked())
+        received = simulate_polling(d, {0: 1, 1: 3})
+        assert len(received[1]) > 2 * len(received[0])
+        assert len(received[0]) + len(received[1]) == 48
+
+    def test_hot_unit_sees_hotter_ranks_on_average(self):
+        d = HotColdDispenser(self.ranked())
+        received = simulate_polling(d, {0: 1, 1: 1})
+        mean_rank = lambda tiles: sum(r for r, _ in tiles) / len(tiles)
+        assert mean_rank(received[0]) < mean_rank(received[1])
+
+    def test_hottest_supertile_goes_entirely_to_unit_zero(self):
+        d = HotColdDispenser(self.ranked())
+        received = simulate_polling(d, {0: 1, 1: 1})
+        hottest = [t for t in received[1] if t[0] == 0]
+        assert not hottest  # unit 1 never touched rank-0 tiles
+
+
+class TestAffinityBalance:
+    def test_faster_unit_takes_more_supertiles(self):
+        batches = [[(b, i) for i in range(4)] for b in range(10)]
+        d = AffinityQueueDispenser(batches)
+        received = simulate_polling(d, {0: 1, 1: 4})
+        assert len(received[1]) > len(received[0])
+        assert len(received[0]) + len(received[1]) == 40
+
+    def test_supertiles_not_interleaved_between_units(self):
+        batches = [[(b, i) for i in range(4)] for b in range(10)]
+        d = AffinityQueueDispenser(batches)
+        received = simulate_polling(d, {0: 1, 1: 1})
+        # Count supertiles whose tiles were split across units (only the
+        # final stolen ones may split).
+        split = 0
+        for b in range(10):
+            owners = {0 if (b, i) in set(received[0]) else 1
+                      for i in range(4)}
+            if len(owners) > 1:
+                split += 1
+        assert split <= 2
+
+
+class TestQueueOrdering:
+    def test_shared_queue_preserves_global_order(self):
+        batches = [[i] for i in range(20)]
+        d = QueueDispenser(batches)
+        seen = []
+        unit = 0
+        while True:
+            batch = d.next_batch(unit)
+            if batch is None:
+                break
+            seen.extend(batch)
+            unit = 1 - unit
+        assert seen == list(range(20))

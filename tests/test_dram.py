@@ -1,0 +1,137 @@
+"""Tests for the LPDDR4-like DRAM model."""
+
+import pytest
+
+from repro.config import DRAMConfig
+from repro.memory.dram import DRAM
+
+
+def dram(**kwargs):
+    return DRAM(DRAMConfig(**kwargs), interval_cycles=1000)
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        d = dram()
+        service = d.request(0)
+        assert service == 100.0
+        assert d.stats.row_misses == 1
+        assert d.stats.activations == 1
+
+    def test_same_row_hits(self):
+        d = dram()
+        d.request(0)
+        service = d.request(1)  # same 2KB row
+        assert service == 50.0
+        assert d.stats.row_hits == 1
+
+    def test_distant_line_maps_to_other_bank_or_row(self):
+        d = dram()
+        d.request(0)
+        d.request(10_000)
+        assert d.stats.row_misses == 2
+
+    def test_bank_conflict_reopens_row(self):
+        d = dram(num_banks=8)
+        lines_per_row = 2048 // 64
+        # Rows 0 and 8 share bank 0.
+        d.request(0)
+        d.request(8 * lines_per_row)
+        d.request(0)
+        assert d.stats.row_misses == 3
+
+    def test_read_write_counted(self):
+        d = dram()
+        d.request(0)
+        d.request(1, write=True)
+        assert d.stats.reads == 1
+        assert d.stats.writes == 1
+
+
+class TestQueueing:
+    def test_unloaded_latency_low(self):
+        d = dram()
+        for line in range(10):
+            d.request(line * 100)
+        d.end_interval()
+        assert d.loaded_latency < 200
+
+    def test_latency_grows_with_utilization(self):
+        low = dram()
+        for line in range(10):
+            low.request(line)
+        low.end_interval()
+
+        high = dram()
+        capacity = int(high.capacity_per_interval)
+        for line in range(int(capacity * 0.95)):
+            high.request(line)
+        high.end_interval()
+        assert high.loaded_latency > low.loaded_latency
+
+    def test_latency_capped(self):
+        d = dram(max_queue_factor=8.0)
+        for line in range(int(d.capacity_per_interval * 5)):
+            d.request(line)
+        d.end_interval()
+        assert d.loaded_latency <= 100 * 8.0
+
+    def test_overload_builds_backlog(self):
+        d = dram()
+        for line in range(int(d.capacity_per_interval * 2)):
+            d.request(line)
+        d.end_interval()
+        assert d.backlog > 0
+        assert d.drain_cycles() > 0
+
+    def test_backlog_drains_in_idle_intervals(self):
+        d = dram()
+        for line in range(int(d.capacity_per_interval * 2)):
+            d.request(line)
+        d.end_interval()
+        d.end_interval()  # idle interval serves the backlog
+        assert d.backlog == 0
+
+    def test_idle_interval_latency_recovers(self):
+        d = dram()
+        for line in range(int(d.capacity_per_interval * 0.9)):
+            d.request(line)
+        d.end_interval()
+        inflated = d.loaded_latency
+        d.end_interval()
+        assert d.loaded_latency < inflated
+
+
+class TestSeries:
+    def test_interval_request_series_recorded(self):
+        d = dram()
+        d.request(0)
+        d.request(1)
+        d.end_interval()
+        d.end_interval()
+        d.request(2)
+        d.end_interval()
+        assert d.stats.interval_requests == [2, 0, 1]
+
+    def test_utilization_series_bounded(self):
+        d = dram()
+        for line in range(int(d.capacity_per_interval * 10)):
+            d.request(line)
+        d.end_interval()
+        assert d.stats.interval_utilization[-1] <= 2.0
+
+    def test_reset(self):
+        d = dram()
+        d.request(0)
+        d.end_interval()
+        d.reset()
+        assert d.stats.accesses == 0
+        assert d.stats.interval_requests == []
+        assert d.backlog == 0
+
+    def test_row_hit_ratio(self):
+        d = dram()
+        d.request(0)
+        d.request(1)
+        d.request(2)
+        assert d.stats.row_hit_ratio == pytest.approx(2 / 3)

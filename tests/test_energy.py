@@ -1,0 +1,65 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.energy.model import (EnergyCounts, EnergyModel, EnergyParams,
+                                EnergyReport)
+
+
+class TestEvaluation:
+    def test_zero_counts_zero_energy(self):
+        report = EnergyModel().evaluate(EnergyCounts())
+        assert report.total_j == 0.0
+
+    def test_static_energy_scales_with_cycles(self):
+        model = EnergyModel()
+        short = model.evaluate(EnergyCounts(cycles=1_000_000))
+        long = model.evaluate(EnergyCounts(cycles=2_000_000))
+        assert long.static_j == pytest.approx(2 * short.static_j)
+
+    def test_static_energy_formula(self):
+        params = EnergyParams(static_power_w=0.5, frequency_hz=1_000_000)
+        report = EnergyModel(params).evaluate(EnergyCounts(cycles=2_000_000))
+        assert report.static_j == pytest.approx(1.0)  # 2 s x 0.5 W
+
+    def test_dram_dominates_per_event(self):
+        params = EnergyParams()
+        assert params.dram_read_nj > params.l2_access_nj > params.l1_access_nj
+
+    def test_dram_energy_counts_all_event_types(self):
+        model = EnergyModel()
+        report = model.evaluate(EnergyCounts(dram_reads=10, dram_writes=5,
+                                             dram_activations=3))
+        p = model.params
+        expected = (10 * p.dram_read_nj + 5 * p.dram_write_nj
+                    + 3 * p.dram_activate_nj) * 1e-9
+        assert report.dynamic_dram_j == pytest.approx(expected)
+
+    def test_total_is_sum_of_parts(self):
+        report = EnergyModel().evaluate(EnergyCounts(
+            core_instructions=1000, l1_accesses=500, l2_accesses=100,
+            dram_reads=10, cycles=10_000))
+        assert report.total_j == pytest.approx(
+            report.dynamic_j + report.static_j)
+        assert report.dynamic_j == pytest.approx(
+            sum(v for k, v in report.breakdown().items() if k != "static"))
+
+    def test_monotonic_in_events(self):
+        model = EnergyModel()
+        low = model.evaluate(EnergyCounts(dram_reads=10, cycles=100))
+        high = model.evaluate(EnergyCounts(dram_reads=100, cycles=100))
+        assert high.total_j > low.total_j
+
+
+class TestCounts:
+    def test_merge(self):
+        merged = EnergyCounts(dram_reads=3, cycles=10).merged_with(
+            EnergyCounts(dram_reads=4, cycles=5, l1_accesses=2))
+        assert merged.dram_reads == 7
+        assert merged.cycles == 15
+        assert merged.l1_accesses == 2
+
+    def test_breakdown_keys(self):
+        report = EnergyModel().evaluate(EnergyCounts(cycles=100))
+        assert set(report.breakdown()) == {"core", "l1", "l2", "dram",
+                                           "static"}

@@ -1,0 +1,95 @@
+"""Property tests bounding texture footprints against screen coverage.
+
+The timing model's DRAM demand comes from per-tile texture-line
+footprints; these properties pin the relationship between screen
+coverage, texel density and footprint size that the workload design
+relies on (docs/workloads.md).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.geometry.mesh import DrawCall, ShaderProfile, quad_mesh
+from repro.geometry.pipeline import GeometryPipeline
+from repro.geometry.vecmath import orthographic
+from repro.raster.pipeline import RasterPipeline
+from repro.raster.texture import TEXELS_PER_LINE, TextureSet
+from repro.tiling.engine import TilingEngine
+
+CAMERA = orthographic(0.0, 128.0, 0.0, 128.0, -10.0, 10.0)
+
+
+def render_tile_footprints(size_px, window_span, fetches=1):
+    """Footprint lines of one sprite sampling a UV window."""
+    textures = TextureSet()
+    textures.add(256, 256, seed=0)
+    textures.add(256, 256, seed=1)
+    draw = DrawCall(
+        mesh=quad_mesh(4, 4, size_px, size_px,
+                       uv_rect=(0.1, 0.1, 0.1 + window_span,
+                                0.1 + window_span)),
+        texture_id=0,
+        shader=ShaderProfile(texture_fetches=fetches))
+    geometry = GeometryPipeline(128, 128).run([draw], CAMERA)
+    tiled = TilingEngine(4, 4, 32).tile_frame(geometry.primitives)
+    pipeline = RasterPipeline(128, 128, 32, textures, shade_colors=False)
+    lines = []
+    fragments = 0
+    for tile in tiled.default_order:
+        result = pipeline.process_tile(tile, tiled.primitives_for(tile))
+        lines.extend(result.texture_lines)
+        fragments += result.fragments_shaded
+    return lines, fragments
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(size_px=st.integers(8, 100))
+def test_native_density_footprint_tracks_coverage(size_px):
+    """At ~1 texel/pixel, total footprint lines ~= pixels / 16."""
+    window = size_px / 256.0  # 1:1 texel density on a 256 texture
+    lines, fragments = render_tile_footprints(size_px, window)
+    assert fragments > 0
+    expected = fragments / TEXELS_PER_LINE
+    # Block misalignment and tile splitting inflate the footprint by a
+    # bounded factor; it can never exceed ~4x nor undershoot ~1/4.
+    assert expected / 4 <= len(lines) <= 4 * expected + 8
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(size_px=st.integers(16, 100))
+def test_mip_chain_normalizes_minified_footprint(size_px):
+    """A whole-texture window (massively minified) costs about the same
+    lines as a native 1:1 window: the mip chain collapses the sampled
+    density back to ~1 texel/pixel.  Without mips it would cost the full
+    4096-line level-0 footprint."""
+    native_lines, fragments = render_tile_footprints(
+        size_px, size_px / 256.0)
+    minified_lines, _ = render_tile_footprints(size_px, 1.0)
+    if fragments >= 64:
+        # Mip selection keeps the density in [1, 4) texels/pixel, so the
+        # footprint is within ~4x of native (block alignment adds slack)
+        # rather than the full 4096-line level-0 footprint.
+        assert len(minified_lines) <= 3 * len(native_lines) + 32
+        assert len(minified_lines) <= 4 * fragments / 16 * 2 + 64
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(size_px=st.integers(16, 80), fetches=st.integers(1, 4))
+def test_multitexturing_scales_footprint(size_px, fetches):
+    """k sampled maps cost ~k distinct footprints."""
+    one, fragments = render_tile_footprints(size_px, size_px / 256.0, 1)
+    many, _ = render_tile_footprints(size_px, size_px / 256.0, fetches)
+    if fragments >= 64:
+        assert len(many) >= fetches * len(one) * 0.8
+        assert len(many) <= fetches * len(one) * 1.2 + 8
+
+
+def test_footprints_are_real_texture_lines():
+    textures = TextureSet()
+    first = textures.add(256, 256, seed=0)
+    lines, _ = render_tile_footprints(64, 0.25)
+    base = first.base_address // 64
+    end = base + first.size_bytes() // 64
+    assert all(base <= line < end for line in lines)

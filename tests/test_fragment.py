@@ -1,0 +1,131 @@
+"""Tests for the Fragment Stage helpers (shading, footprints, mips)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mesh import ShaderProfile
+from repro.geometry.primitive import Primitive
+from repro.raster.fragment import (FragmentProcessor, batch_uv_bounds,
+                                   pick_mip_level, touched_lines)
+from repro.raster.rasterizer import FragmentBatch, rasterize_in_region
+from repro.raster.texture import TextureSet
+
+
+def batch(us, vs):
+    n = len(us)
+    return FragmentBatch(
+        xs=np.arange(n), ys=np.zeros(n, dtype=np.int64),
+        depth=np.zeros(n), u=np.asarray(us, dtype=np.float64),
+        v=np.asarray(vs, dtype=np.float64))
+
+
+def textures():
+    ts = TextureSet()
+    ts.add(64, 64, seed=0)
+    ts.add(64, 64, seed=1)
+    return ts
+
+
+def full_tile_prim(texture_id=0, fetches=1, insts=8):
+    return Primitive(
+        xy=np.array([[0.0, 0.0], [64.0, 0.0], [0.0, 64.0]]),
+        depth=np.zeros(3), inv_w=np.ones(3),
+        uv_over_w=np.array([[0, 0], [1, 0], [0, 1]], dtype=np.float64),
+        texture_id=texture_id,
+        shader=ShaderProfile(fragment_instructions=insts,
+                             texture_fetches=fetches))
+
+
+class TestMipSelection:
+    def test_empty_batch_level_zero(self):
+        ts = textures()
+        assert pick_mip_level(ts[0], batch([], [])) == 0
+
+    def test_dense_sampling_higher_level(self):
+        ts = textures()
+        # 4 fragments spanning the whole texture: massively minified.
+        wide = batch([0.0, 1.0, 0.0, 1.0], [0.0, 0.0, 1.0, 1.0])
+        assert pick_mip_level(ts[0], wide) > 0
+
+    def test_native_sampling_level_zero(self):
+        ts = textures()
+        # 64 fragments across 1/64th of a 64-texel texture: ~1 texel each.
+        us = np.linspace(0, 1 / 64, 64)
+        assert pick_mip_level(ts[0], batch(us, us)) == 0
+
+
+class TestTouchedLines:
+    def test_unique_and_in_first_touch_order(self):
+        ts = textures()
+        b = batch([0.9, 0.05, 0.9, 0.05], [0.05, 0.05, 0.05, 0.05])
+        lines = touched_lines(ts[0], b, 0)
+        assert len(lines) == 2
+        assert len(set(lines)) == 2
+        # 0.9 was touched first, so its block's line comes first.
+        assert lines[0] > lines[1]
+
+    def test_wrapped_coordinates(self):
+        ts = textures()
+        a = touched_lines(ts[0], batch([0.25], [0.25]), 0)
+        b = touched_lines(ts[0], batch([1.25], [-0.75]), 0)
+        assert a == b
+
+    def test_empty_batch(self):
+        ts = textures()
+        assert touched_lines(ts[0], batch([], []), 0) == []
+
+    def test_level_changes_addresses(self):
+        ts = textures()
+        b = batch([0.5], [0.5])
+        assert touched_lines(ts[0], b, 0) != touched_lines(ts[0], b, 1)
+
+
+class TestFragmentProcessor:
+    def test_charge_accumulates(self):
+        proc = FragmentProcessor(textures())
+        prim = full_tile_prim(fetches=2, insts=10)
+        proc.charge(prim, 100)
+        proc.charge(prim, 50)
+        assert proc.fragments_shaded == 150
+        assert proc.instructions == 1500
+        assert proc.texture_fetches == 300
+
+    def test_shade_returns_unit_colors(self):
+        proc = FragmentProcessor(textures())
+        prim = full_tile_prim()
+        frags = rasterize_in_region(prim, 0, 0, 32, 32)
+        colors = proc.shade(prim, frags)
+        assert colors.shape == (frags.count, 4)
+        assert colors.min() >= 0.0 and colors.max() <= 1.0
+
+    def test_shade_unknown_texture_flat_color(self):
+        proc = FragmentProcessor(textures())
+        prim = full_tile_prim(texture_id=99)
+        frags = rasterize_in_region(prim, 0, 0, 8, 8)
+        colors = proc.shade(prim, frags)
+        # Flat: every fragment gets the same color.
+        assert np.allclose(colors, colors[0])
+
+    def test_alpha_blend_reduces_alpha(self):
+        proc = FragmentProcessor(textures())
+        prim = full_tile_prim()
+        prim.blend = "alpha"
+        frags = rasterize_in_region(prim, 0, 0, 8, 8)
+        colors = proc.shade(prim, frags)
+        assert colors[:, 3].max() <= 0.8 + 1e-9
+
+    def test_shade_empty_batch(self):
+        proc = FragmentProcessor(textures())
+        empty = rasterize_in_region(full_tile_prim(), 200, 200, 8, 8)
+        colors = proc.shade(full_tile_prim(), empty)
+        assert colors.shape == (0, 4)
+
+
+class TestBatchUVBounds:
+    def test_bounds(self):
+        b = batch([0.1, 0.5, 0.3], [0.2, 0.9, 0.4])
+        assert batch_uv_bounds(b) == (0.1, 0.2, 0.5, 0.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            batch_uv_bounds(batch([], []))

@@ -1,0 +1,82 @@
+"""Multi-frame behaviors of the frame driver: warm-up, isolation, reuse."""
+
+from repro.config import RasterUnitConfig, small_config
+from repro.core.scheduler import ZOrderScheduler
+from repro.gpu.frame import FrameDriver
+from repro.gpu.workload import FrameTrace, TileWorkload
+
+
+def trace(frame_index=0, lines_base=0):
+    workloads = {}
+    for y in range(2):
+        for x in range(2):
+            start = lines_base + (y * 2 + x) * 100
+            workloads[(x, y)] = TileWorkload(
+                tile=(x, y), instructions=2000, fragments=250,
+                texture_lines=list(range(start, start + 30)),
+                texture_fetches=60, num_primitives=1,
+                prim_fragments=[250], prim_instructions=[2000])
+    return FrameTrace(frame_index=frame_index, tiles_x=2, tiles_y=2,
+                      tile_size=32, workloads=workloads,
+                      geometry_cycles=500)
+
+
+def driver():
+    cfg = small_config(num_raster_units=2,
+                       raster_unit=RasterUnitConfig(num_cores=4))
+    return FrameDriver(cfg, ZOrderScheduler())
+
+
+class TestCacheWarmup:
+    def test_repeated_identical_frame_gets_cheaper(self):
+        d = driver()
+        first = d.run_frame(trace(0))
+        second = d.run_frame(trace(1))
+        # Same texture lines: the second frame hits in L1/L2.
+        assert second.raster_dram_accesses < first.raster_dram_accesses
+        assert second.texture_hit_ratio > first.texture_hit_ratio
+
+    def test_disjoint_frame_stays_cold(self):
+        d = driver()
+        d.run_frame(trace(0, lines_base=0))
+        cold = d.run_frame(trace(1, lines_base=1_000_000))
+        warm_driver = driver()
+        warm_driver.run_frame(trace(0, lines_base=0))
+        warm = warm_driver.run_frame(trace(1, lines_base=0))
+        assert cold.raster_dram_accesses > warm.raster_dram_accesses
+
+
+class TestPerFrameIsolation:
+    def test_stats_do_not_leak_across_frames(self):
+        d = driver()
+        first = d.run_frame(trace(0))
+        second = d.run_frame(trace(1))
+        # Energy counts are per frame, not cumulative.
+        assert second.energy_counts.core_instructions == \
+            first.energy_counts.core_instructions
+        assert second.tiles_completed == 4
+
+    def test_interval_series_is_per_frame(self):
+        d = driver()
+        first = d.run_frame(trace(0))
+        second = d.run_frame(trace(1))
+        # The second frame's series is a fresh slice beginning at its own
+        # raster phase: its total matches the frame's raster DRAM count
+        # (geometry intervals land in no raster slice).
+        assert abs(sum(second.dram_interval_requests)
+                   - second.raster_dram_accesses) <= 5
+        # And it does not contain the first frame's traffic.
+        assert sum(second.dram_interval_requests) < \
+            sum(first.dram_interval_requests)
+
+
+class TestDeterminismAcrossDrivers:
+    def test_fresh_drivers_reproduce_exactly(self):
+        a = driver()
+        b = driver()
+        results_a = [a.run_frame(trace(i)) for i in range(3)]
+        results_b = [b.run_frame(trace(i)) for i in range(3)]
+        for ra, rb in zip(results_a, results_b):
+            assert ra.total_cycles == rb.total_cycles
+            assert ra.raster_dram_accesses == rb.raster_dram_accesses
+            assert ra.per_tile_dram == rb.per_tile_dram

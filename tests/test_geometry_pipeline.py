@@ -1,0 +1,114 @@
+"""Tests for the Geometry Pipeline (vertex shading -> screen primitives)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import DrawCall, GeometryPipeline, quad_mesh
+from repro.geometry.pipeline import vertex_lines
+from repro.geometry.vecmath import orthographic, translation
+
+CAMERA = orthographic(0.0, 128.0, 0.0, 128.0, -10.0, 10.0)
+
+
+def run(draws, **kwargs):
+    return GeometryPipeline(128, 128, **kwargs).run(draws, CAMERA)
+
+
+class TestFunctionalOutput:
+    def test_quad_produces_two_primitives(self):
+        out = run([DrawCall(mesh=quad_mesh(10, 10, 20, 20))])
+        assert out.stats.primitives_out == 2
+
+    def test_screen_coordinates(self):
+        out = run([DrawCall(mesh=quad_mesh(0, 0, 128, 128))])
+        xs = np.concatenate([p.xy[:, 0] for p in out.primitives])
+        ys = np.concatenate([p.xy[:, 1] for p in out.primitives])
+        assert xs.min() == pytest.approx(0.0)
+        assert xs.max() == pytest.approx(128.0)
+        assert ys.min() == pytest.approx(0.0)
+        assert ys.max() == pytest.approx(128.0)
+
+    def test_y_flip_world_bottom_is_screen_bottom(self):
+        # World y=0 (orthographic bottom) must land at screen y=128
+        # (pixel rows grow downward).
+        out = run([DrawCall(mesh=quad_mesh(0, 0, 10, 10))])
+        ys = np.concatenate([p.xy[:, 1] for p in out.primitives])
+        assert ys.max() == pytest.approx(128.0)
+
+    def test_model_matrix_applied(self):
+        draw = DrawCall(mesh=quad_mesh(0, 0, 10, 10),
+                        model_matrix=translation(50, 0, 0))
+        out = run([draw])
+        xs = np.concatenate([p.xy[:, 0] for p in out.primitives])
+        assert xs.min() == pytest.approx(50.0)
+
+    def test_offscreen_quad_culled(self):
+        out = run([DrawCall(mesh=quad_mesh(500, 500, 10, 10))])
+        assert out.stats.primitives_out == 0
+        assert out.stats.triangles_culled_frustum == 2
+
+    def test_partially_visible_quad_clipped(self):
+        out = run([DrawCall(mesh=quad_mesh(120, 120, 30, 30))])
+        assert out.stats.triangles_clipped >= 1
+        assert out.stats.primitives_out >= 1
+
+    def test_sequence_numbers_monotonic(self):
+        out = run([DrawCall(mesh=quad_mesh(0, 0, 50, 50)),
+                   DrawCall(mesh=quad_mesh(20, 20, 50, 50))])
+        sequences = [p.sequence for p in out.primitives]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+    def test_primitive_carries_draw_state(self):
+        draw = DrawCall(mesh=quad_mesh(0, 0, 10, 10), texture_id=7,
+                        blend="alpha", depth_write=False)
+        out = run([draw])
+        prim = out.primitives[0]
+        assert prim.texture_id == 7
+        assert prim.blend == "alpha"
+        assert not prim.depth_write
+
+
+class TestStatsAndTiming:
+    def test_vertex_counts(self):
+        out = run([DrawCall(mesh=quad_mesh(0, 0, 10, 10))])
+        assert out.stats.vertices_fetched == 4
+        assert out.stats.vertices_shaded == 4
+
+    def test_vertex_instructions_counted(self):
+        out = run([DrawCall(mesh=quad_mesh(0, 0, 10, 10))])
+        expected = 4 * out.stats.vertex_instructions // 4
+        assert out.stats.vertex_instructions == expected
+        assert out.stats.vertex_instructions > 0
+
+    def test_fetch_addresses_one_per_vertex(self):
+        out = run([DrawCall(mesh=quad_mesh(0, 0, 10, 10, buffer_base=0)),
+                   DrawCall(mesh=quad_mesh(0, 0, 10, 10,
+                                           buffer_base=4096))])
+        assert len(out.vertex_fetch_addresses) == 8
+        assert len(set(out.vertex_fetch_addresses)) == 8
+
+    def test_cycles_positive_and_scale_with_work(self):
+        small = run([DrawCall(mesh=quad_mesh(0, 0, 10, 10))])
+        big = run([DrawCall(mesh=quad_mesh(0, 0, 10, 10))
+                   for _ in range(50)])
+        assert small.cycles > 0
+        assert big.cycles > small.cycles
+
+    def test_vertex_lines_collapse_addresses(self):
+        lines = vertex_lines([0, 32, 64, 100, 128])
+        assert lines == [0, 0, 1, 1, 2]
+
+
+class TestBackfaceOption:
+    def test_disabled_by_default(self):
+        out = run([DrawCall(mesh=quad_mesh(0, 0, 10, 10))])
+        assert out.stats.triangles_culled_backface == 0
+
+    def test_enabled_culls_one_winding(self):
+        out = run([DrawCall(mesh=quad_mesh(0, 0, 10, 10))],
+                  cull_backfaces=True)
+        # The quad's two triangles share a winding: either both survive or
+        # both are culled, and flipping must invert the outcome.
+        survived = out.stats.primitives_out
+        assert survived in (0, 2)

@@ -1,0 +1,66 @@
+"""Tests for the Late-Z path (shaders that modify depth)."""
+
+import numpy as np
+
+from repro.geometry import DrawCall, GeometryPipeline, quad_mesh
+from repro.geometry.vecmath import orthographic
+from repro.raster.pipeline import RasterPipeline
+from repro.raster.texture import TextureSet
+from repro.tiling.engine import TilingEngine
+
+CAMERA = orthographic(0.0, 64.0, 0.0, 64.0, -10.0, 10.0)
+
+
+def render(draws, shade=False):
+    textures = TextureSet()
+    textures.add(64, 64, seed=0)
+    geometry = GeometryPipeline(64, 64).run(draws, CAMERA)
+    tiled = TilingEngine(2, 2, 32).tile_frame(geometry.primitives)
+    pipeline = RasterPipeline(64, 64, 32, textures, shade_colors=shade)
+    results = [pipeline.process_tile(t, tiled.primitives_for(t))
+               for t in tiled.default_order]
+    return results, pipeline
+
+
+class TestLateZ:
+    def test_flag_propagates_to_primitive(self):
+        draw = DrawCall(mesh=quad_mesh(0, 0, 10, 10), modifies_depth=True)
+        out = GeometryPipeline(64, 64).run([draw], CAMERA)
+        assert all(p.late_z for p in out.primitives)
+
+    def test_late_z_shades_occluded_fragments(self):
+        # Near opaque quad first, then an occluded far quad.  Early-Z
+        # rejects the far quad before shading; Late-Z shades it anyway.
+        near = DrawCall(mesh=quad_mesh(0, 0, 64, 64, z=1.0))
+        far_early = DrawCall(mesh=quad_mesh(0, 0, 64, 64, z=0.0))
+        far_late = DrawCall(mesh=quad_mesh(0, 0, 64, 64, z=0.0),
+                            modifies_depth=True)
+        early_results, _ = render([near, far_early])
+        late_results, _ = render([near, far_late])
+        early_shaded = sum(r.fragments_shaded for r in early_results)
+        late_shaded = sum(r.fragments_shaded for r in late_results)
+        assert late_shaded > early_shaded
+        assert late_shaded == 2 * early_shaded  # every fragment shaded
+
+    def test_late_z_does_not_change_image(self):
+        # The visibility outcome is identical; only the cost differs.
+        near = DrawCall(mesh=quad_mesh(0, 0, 64, 64, z=1.0), texture_id=0)
+        far_early = DrawCall(mesh=quad_mesh(0, 0, 64, 64, z=0.0),
+                             texture_id=0)
+        far_late = DrawCall(mesh=quad_mesh(0, 0, 64, 64, z=0.0),
+                            texture_id=0, modifies_depth=True)
+        _, early_pipe = render([near, far_early], shade=True)
+        _, late_pipe = render([near, far_late], shade=True)
+        assert np.allclose(early_pipe.framebuffer.image(),
+                           late_pipe.framebuffer.image())
+
+    def test_late_z_increases_trace_cost(self):
+        near = DrawCall(mesh=quad_mesh(0, 0, 64, 64, z=1.0))
+        far = DrawCall(mesh=quad_mesh(0, 0, 64, 64, z=0.0),
+                       modifies_depth=True)
+        results, _ = render([near, far])
+        total_instructions = sum(r.instructions for r in results)
+        baseline_results, _ = render([near])
+        baseline_instructions = sum(r.instructions
+                                    for r in baseline_results)
+        assert total_instructions == 2 * baseline_instructions

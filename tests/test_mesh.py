@@ -1,0 +1,121 @@
+"""Tests for repro.geometry.mesh."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mesh import (DrawCall, Mesh, ShaderProfile, disk_mesh,
+                                 grid_mesh, quad_mesh)
+
+
+class TestMeshValidation:
+    def test_valid_mesh(self):
+        mesh = quad_mesh(0, 0, 10, 10)
+        assert mesh.num_vertices == 4
+        assert mesh.num_triangles == 2
+
+    def test_rejects_bad_positions_shape(self):
+        with pytest.raises(ValueError):
+            Mesh(np.zeros((3, 2)), np.zeros((3, 2)),
+                 np.array([[0, 1, 2]]))
+
+    def test_rejects_mismatched_uvs(self):
+        with pytest.raises(ValueError):
+            Mesh(np.zeros((4, 3)), np.zeros((3, 2)),
+                 np.array([[0, 1, 2]]))
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            Mesh(np.zeros((3, 3)), np.zeros((3, 2)),
+                 np.array([[0, 1, 3]]))
+
+    def test_vertex_addresses_are_strided(self):
+        mesh = quad_mesh(0, 0, 1, 1, buffer_base=1024)
+        assert mesh.vertex_address(0) == 1024
+        assert mesh.vertex_address(2) == 1024 + 2 * Mesh.VERTEX_STRIDE
+
+
+class TestQuadMesh:
+    def test_covers_rectangle(self):
+        mesh = quad_mesh(5, 7, 10, 20)
+        xs = mesh.positions[:, 0]
+        ys = mesh.positions[:, 1]
+        assert xs.min() == 5 and xs.max() == 15
+        assert ys.min() == 7 and ys.max() == 27
+
+    def test_uv_scale_repeats(self):
+        mesh = quad_mesh(0, 0, 1, 1, uv_scale=3.0)
+        assert mesh.uvs.max() == pytest.approx(3.0)
+
+    def test_uv_rect_window(self):
+        mesh = quad_mesh(0, 0, 1, 1, uv_rect=(0.25, 0.5, 0.5, 0.75))
+        assert mesh.uvs[:, 0].min() == pytest.approx(0.25)
+        assert mesh.uvs[:, 0].max() == pytest.approx(0.5)
+        assert mesh.uvs[:, 1].min() == pytest.approx(0.5)
+        assert mesh.uvs[:, 1].max() == pytest.approx(0.75)
+
+
+class TestGridMesh:
+    def test_cell_count(self):
+        mesh = grid_mesh(0, 0, 10, 10, 4, 3)
+        assert mesh.num_triangles == 4 * 3 * 2
+        assert mesh.num_vertices == 5 * 4
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ValueError):
+            grid_mesh(0, 0, 1, 1, 0, 1)
+
+    def test_height_function_applied(self):
+        mesh = grid_mesh(0, 0, 1, 1, 1, 1, z=1.0,
+                         height_fn=lambda u, v: u + v)
+        zs = mesh.positions[:, 2]
+        assert zs.min() == pytest.approx(1.0)
+        assert zs.max() == pytest.approx(3.0)
+
+    def test_uvs_span_unit_square(self):
+        mesh = grid_mesh(0, 0, 5, 5, 2, 2)
+        assert mesh.uvs.min() == 0.0
+        assert mesh.uvs.max() == 1.0
+
+
+class TestDiskMesh:
+    def test_triangle_count_matches_segments(self):
+        mesh = disk_mesh(0, 0, 1, segments=8)
+        assert mesh.num_triangles == 8
+
+    def test_rejects_too_few_segments(self):
+        with pytest.raises(ValueError):
+            disk_mesh(0, 0, 1, segments=2)
+
+    def test_radius_respected(self):
+        mesh = disk_mesh(10, 10, 3, segments=16)
+        d = np.linalg.norm(mesh.positions[1:, :2] - [10, 10], axis=1)
+        assert np.allclose(d, 3.0)
+
+
+class TestShaderProfile:
+    def test_defaults_positive(self):
+        p = ShaderProfile()
+        assert p.fragment_instructions > 0
+
+    def test_rejects_negative_instructions(self):
+        with pytest.raises(ValueError):
+            ShaderProfile(fragment_instructions=-1)
+
+    def test_rejects_negative_fetches(self):
+        with pytest.raises(ValueError):
+            ShaderProfile(texture_fetches=-1)
+
+
+class TestDrawCall:
+    def test_rejects_unknown_blend(self):
+        with pytest.raises(ValueError):
+            DrawCall(mesh=quad_mesh(0, 0, 1, 1), blend="screen")
+
+    def test_rejects_bad_matrix_shape(self):
+        with pytest.raises(ValueError):
+            DrawCall(mesh=quad_mesh(0, 0, 1, 1),
+                     model_matrix=np.eye(3))
+
+    def test_accepts_model_matrix(self):
+        call = DrawCall(mesh=quad_mesh(0, 0, 1, 1), model_matrix=np.eye(4))
+        assert call.model_matrix.shape == (4, 4)

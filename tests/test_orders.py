@@ -1,0 +1,91 @@
+"""Tests for tile traversal orders (Morton/scanline/Hilbert)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tiling.orders import (boustrophedon_order, hilbert_order,
+                                 iter_order_names, morton_decode,
+                                 morton_encode, morton_order,
+                                 scanline_order, traversal_order)
+
+grid_dims = st.integers(min_value=1, max_value=40)
+
+
+class TestMortonCode:
+    def test_known_values(self):
+        assert morton_encode(0, 0) == 0
+        assert morton_encode(1, 0) == 1
+        assert morton_encode(0, 1) == 2
+        assert morton_encode(1, 1) == 3
+        assert morton_encode(2, 0) == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            morton_encode(-1, 0)
+        with pytest.raises(ValueError):
+            morton_decode(-1)
+
+    @given(x=st.integers(0, 10_000), y=st.integers(0, 10_000))
+    def test_roundtrip(self, x, y):
+        assert morton_decode(morton_encode(x, y)) == (x, y)
+
+    @given(code=st.integers(0, 1_000_000))
+    def test_inverse_roundtrip(self, code):
+        x, y = morton_decode(code)
+        assert morton_encode(x, y) == code
+
+    def test_z_pattern_for_2x2(self):
+        assert morton_order(2, 2) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+
+class TestPermutationProperty:
+    @given(tx=grid_dims, ty=grid_dims,
+           name=st.sampled_from(["scanline", "morton", "hilbert",
+                                 "boustrophedon"]))
+    def test_every_order_is_a_permutation(self, tx, ty, name):
+        order = traversal_order(name, tx, ty)
+        assert len(order) == tx * ty
+        assert len(set(order)) == tx * ty
+        for x, y in order:
+            assert 0 <= x < tx and 0 <= y < ty
+
+
+class TestScanline:
+    def test_row_major(self):
+        assert scanline_order(3, 2) == [(0, 0), (1, 0), (2, 0),
+                                        (0, 1), (1, 1), (2, 1)]
+
+
+class TestBoustrophedon:
+    def test_alternating_rows(self):
+        order = boustrophedon_order(3, 2)
+        assert order[:3] == [(0, 0), (1, 0), (2, 0)]
+        assert order[3:] == [(2, 1), (1, 1), (0, 1)]
+
+    @given(tx=grid_dims, ty=grid_dims)
+    def test_adjacent_steps_are_neighbors(self, tx, ty):
+        order = boustrophedon_order(tx, ty)
+        for (x0, y0), (x1, y1) in zip(order, order[1:]):
+            assert abs(x0 - x1) + abs(y0 - y1) == 1
+
+
+class TestHilbert:
+    @given(side=st.sampled_from([2, 4, 8, 16]))
+    def test_square_grid_steps_are_neighbors(self, side):
+        order = hilbert_order(side, side)
+        for (x0, y0), (x1, y1) in zip(order, order[1:]):
+            assert abs(x0 - x1) + abs(y0 - y1) == 1
+
+
+class TestLookup:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            traversal_order("spiral", 4, 4)
+
+    def test_zorder_alias(self):
+        assert traversal_order("zorder", 4, 4) == traversal_order(
+            "morton", 4, 4)
+
+    def test_iter_names(self):
+        names = list(iter_order_names())
+        assert "morton" in names and "hilbert" in names

@@ -1,0 +1,70 @@
+"""Tests for the Parallel Frame Rendering (PFR) baseline."""
+
+import pytest
+
+from repro.config import RasterUnitConfig, small_config
+from repro.gpu.pfr import PFRSimulator
+from repro.gpu.workload import FrameTrace, TileWorkload
+
+
+def traces(n=4, insts=3000):
+    out = []
+    for frame in range(n):
+        workloads = {}
+        for y in range(2):
+            for x in range(2):
+                base = (y * 2 + x) * 1000
+                workloads[(x, y)] = TileWorkload(
+                    tile=(x, y), instructions=insts, fragments=insts // 8,
+                    texture_lines=[base + i for i in range(10)],
+                    texture_fetches=20, num_primitives=1,
+                    prim_fragments=[insts // 8],
+                    prim_instructions=[insts])
+        out.append(FrameTrace(frame_index=frame, tiles_x=2, tiles_y=2,
+                              tile_size=32, workloads=workloads,
+                              geometry_cycles=500))
+    return out
+
+
+def config():
+    return small_config(num_raster_units=2,
+                        raster_unit=RasterUnitConfig(num_cores=4))
+
+
+class TestPFR:
+    def test_requires_two_clusters(self):
+        with pytest.raises(ValueError):
+            PFRSimulator(small_config(num_raster_units=1))
+
+    def test_runs_all_frames(self):
+        result = PFRSimulator(config()).run(traces(4))
+        assert result.frames == 4
+        assert len(result.pair_cycles) == 2
+        assert result.total_cycles == sum(result.pair_cycles)
+
+    def test_odd_frame_count(self):
+        result = PFRSimulator(config()).run(traces(3))
+        assert result.frames == 3
+        assert len(result.pair_cycles) == 2
+
+    def test_pair_faster_than_serial_frames(self):
+        pfr = PFRSimulator(config()).run(traces(2))
+        # A single 4-core cluster rendering both frames back to back
+        # takes roughly twice as long as the pair in parallel.
+        solo = PFRSimulator(config())
+        one = solo.run(traces(1))
+        assert pfr.pair_cycles[0] < 2 * one.pair_cycles[0]
+
+    def test_stats_accumulate(self):
+        result = PFRSimulator(config()).run(traces(4))
+        assert result.texture_accesses > 0
+        assert result.mean_texture_latency > 0
+        assert result.dram_accesses > 0
+
+    def test_interframe_texture_locality(self):
+        # Consecutive frames share texture lines; the second frame of a
+        # pair should see L1/L2 hits from the first, so per-frame DRAM
+        # is lower than 2x a single frame's.
+        pair = PFRSimulator(config()).run(traces(2))
+        single = PFRSimulator(config()).run(traces(1))
+        assert pair.dram_accesses < 2 * single.dram_accesses

@@ -1,0 +1,76 @@
+"""Tests for screen-space primitives."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mesh import ShaderProfile
+from repro.geometry.primitive import Primitive
+
+
+def prim(xy=((0, 0), (4, 0), (0, 4)), inv_w=(1, 1, 1),
+         uvs=((0, 0), (1, 0), (0, 1))):
+    iw = np.array(inv_w, dtype=np.float64)
+    return Primitive(
+        xy=np.array(xy, dtype=np.float64),
+        depth=np.zeros(3), inv_w=iw,
+        uv_over_w=np.array(uvs, dtype=np.float64) * iw[:, None],
+        texture_id=0, shader=ShaderProfile())
+
+
+class TestValidation:
+    def test_bad_xy_shape(self):
+        with pytest.raises(ValueError):
+            Primitive(xy=np.zeros((4, 2)), depth=np.zeros(3),
+                      inv_w=np.ones(3), uv_over_w=np.zeros((3, 2)),
+                      texture_id=0, shader=ShaderProfile())
+
+    def test_bad_depth_shape(self):
+        with pytest.raises(ValueError):
+            Primitive(xy=np.zeros((3, 2)), depth=np.zeros(4),
+                      inv_w=np.ones(3), uv_over_w=np.zeros((3, 2)),
+                      texture_id=0, shader=ShaderProfile())
+
+    def test_bad_uv_shape(self):
+        with pytest.raises(ValueError):
+            Primitive(xy=np.zeros((3, 2)), depth=np.zeros(3),
+                      inv_w=np.ones(3), uv_over_w=np.zeros((2, 2)),
+                      texture_id=0, shader=ShaderProfile())
+
+
+class TestGeometry:
+    def test_bounding_box(self):
+        p = prim(xy=((1, 2), (5, 1), (3, 7)))
+        assert p.bounding_box() == (1.0, 1.0, 5.0, 7.0)
+
+    def test_area(self):
+        p = prim(xy=((0, 0), (4, 0), (0, 4)))
+        assert p.area() == pytest.approx(8.0)
+
+    def test_signed_area_flips_with_winding(self):
+        ccw = prim(xy=((0, 0), (4, 0), (0, 4)))
+        cw = prim(xy=((0, 0), (0, 4), (4, 0)))
+        assert ccw.signed_area() == -cw.signed_area()
+
+    def test_degenerate_zero_area(self):
+        p = prim(xy=((0, 0), (1, 1), (2, 2)))
+        assert p.area() == 0.0
+
+
+class TestUVRecovery:
+    def test_affine_uv(self):
+        p = prim()
+        assert p.uv_at_vertex(1) == pytest.approx((1.0, 0.0))
+
+    def test_perspective_uv_recovered(self):
+        # Vertex with inv_w=2 stores uv/w = uv*2; recovery divides back.
+        p = prim(inv_w=(2.0, 1.0, 1.0))
+        assert p.uv_at_vertex(0) == pytest.approx((0.0, 0.0))
+        assert p.uv_at_vertex(1) == pytest.approx((1.0, 0.0))
+
+    def test_uv_bounds(self):
+        p = prim(uvs=((0.2, 0.1), (0.8, 0.3), (0.4, 0.9)))
+        assert p.uv_bounds() == pytest.approx((0.2, 0.1, 0.8, 0.9))
+
+    def test_zero_w_guard(self):
+        p = prim(inv_w=(0.0, 1.0, 1.0))
+        assert p.uv_at_vertex(0) == (0.0, 0.0)

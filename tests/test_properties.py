@@ -1,0 +1,136 @@
+"""Cross-module property-based tests on system invariants.
+
+These go beyond per-module unit tests: they generate random scenes /
+schedules and check invariants that the whole stack must preserve.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import RasterUnitConfig, small_config
+from repro.core.scheduler import (HotColdDispenser, QueueDispenser,
+                                  supertile_batches_zorder,
+                                  zorder_tile_batches)
+from repro.geometry import DrawCall, GeometryPipeline, quad_mesh
+from repro.geometry.vecmath import orthographic
+from repro.gpu.frame import FrameDriver
+from repro.gpu.workload import FrameTrace, TileWorkload
+from repro.core.scheduler import ZOrderScheduler
+from repro.raster.pipeline import RasterPipeline
+from repro.raster.texture import TextureSet
+from repro.tiling.engine import TilingEngine
+
+CAMERA = orthographic(0.0, 128.0, 0.0, 128.0, -10.0, 10.0)
+
+sprite_lists = st.lists(
+    st.tuples(st.floats(-20, 140), st.floats(-20, 140),
+              st.floats(1, 60), st.integers(0, 2)),
+    min_size=1, max_size=8)
+
+
+def _render_fragments(sprites):
+    """Total shaded fragments of a random sprite scene."""
+    textures = TextureSet()
+    for i in range(3):
+        textures.add(64, 64, seed=i)
+    draws = []
+    for i, (x, y, size, tex) in enumerate(sprites):
+        draws.append(DrawCall(mesh=quad_mesh(x, y, size, size,
+                                             z=0.001 * i),
+                              texture_id=tex))
+    geometry = GeometryPipeline(128, 128).run(draws, CAMERA)
+    tiled = TilingEngine(4, 4, 32).tile_frame(geometry.primitives)
+    pipeline = RasterPipeline(128, 128, 32, textures, shade_colors=False)
+    return {tile: pipeline.process_tile(tile, tiled.primitives_for(tile))
+            for tile in tiled.default_order}
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sprites=sprite_lists)
+def test_fragments_bounded_by_coverage(sprites):
+    """Shaded fragments never exceed rasterized fragments, which never
+    exceed the total screen area times the number of primitives."""
+    results = _render_fragments(sprites)
+    for result in results.values():
+        assert result.fragments_shaded <= result.fragments_rasterized
+        assert result.fragments_shaded + result.fragments_early_rejected \
+            == result.fragments_rasterized
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sprites=sprite_lists)
+def test_opaque_full_screen_coverage_invariant(sprites):
+    """With an opaque full-screen backdrop drawn first, every pixel of
+    every tile is shaded at least once (no holes in the pipeline)."""
+    textures = TextureSet()
+    textures.add(64, 64, seed=0)
+    draws = [DrawCall(mesh=quad_mesh(0, 0, 128, 128, z=0.0))]
+    for i, (x, y, size, _) in enumerate(sprites):
+        draws.append(DrawCall(mesh=quad_mesh(x, y, size, size,
+                                             z=0.001 * (i + 1))))
+    geometry = GeometryPipeline(128, 128).run(draws, CAMERA)
+    tiled = TilingEngine(4, 4, 32).tile_frame(geometry.primitives)
+    pipeline = RasterPipeline(128, 128, 32, textures, shade_colors=False)
+    for tile in tiled.default_order:
+        result = pipeline.process_tile(tile, tiled.primitives_for(tile))
+        assert result.fragments_shaded >= 32 * 32
+
+
+@settings(max_examples=30, deadline=None)
+@given(tx=st.integers(1, 10), ty=st.integers(1, 10),
+       size=st.sampled_from([2, 4, 8]),
+       pattern=st.lists(st.integers(0, 1), min_size=1, max_size=4))
+def test_dispensers_conserve_tiles(tx, ty, size, pattern):
+    """Every dispenser hands out each tile of the frame exactly once,
+    regardless of which unit polls in which order."""
+    trace = FrameTrace(frame_index=0, tiles_x=tx, tiles_y=ty,
+                       tile_size=32, workloads={})
+    for dispenser in (QueueDispenser(zorder_tile_batches(trace)),
+                      QueueDispenser(supertile_batches_zorder(trace, size)),
+                      HotColdDispenser(
+                          supertile_batches_zorder(trace, size))):
+        seen = []
+        i = 0
+        while True:
+            batch = dispenser.next_batch(pattern[i % len(pattern)])
+            if batch is None:
+                break
+            seen.extend(batch)
+            i += 1
+        assert sorted(seen) == sorted(
+            (x, y) for x in range(tx) for y in range(ty))
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_timing_conserves_work(seed):
+    """The timing simulator completes every tile and attributes every
+    instruction, whatever the workload distribution."""
+    rng = np.random.default_rng(seed)
+    workloads = {}
+    for y in range(4):
+        for x in range(4):
+            insts = int(rng.integers(0, 20_000))
+            frags = insts // 8
+            lines = [int(v) for v in
+                     rng.integers(0, 100_000, size=rng.integers(0, 50))]
+            workloads[(x, y)] = TileWorkload(
+                tile=(x, y), instructions=insts, fragments=frags,
+                texture_lines=lines, texture_fetches=len(lines),
+                num_primitives=1 if insts else 0,
+                prim_fragments=[frags] if insts else [],
+                prim_instructions=[insts] if insts else [])
+    trace = FrameTrace(frame_index=0, tiles_x=4, tiles_y=4, tile_size=32,
+                       workloads=workloads, geometry_cycles=100)
+    cfg = small_config(num_raster_units=2,
+                       raster_unit=RasterUnitConfig(num_cores=4))
+    driver = FrameDriver(cfg, ZOrderScheduler())
+    result = driver.run_frame(trace)
+    assert result.tiles_completed == 16
+    total_insts = sum(w.instructions for w in workloads.values())
+    assert result.energy_counts.core_instructions == total_insts
+    assert set(result.per_tile_dram) == set(workloads)

@@ -1,0 +1,46 @@
+"""Tests for temperature ranking and its hardware latency estimate."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.ranking import (CYCLES_PER_COMPARISON, hides_under_geometry,
+                                rank_by_temperature, ranking_cycles)
+
+
+class TestRanking:
+    def test_hottest_first(self):
+        assert rank_by_temperature([0.1, 0.9, 0.5]) == [1, 2, 0]
+
+    def test_ties_break_by_id(self):
+        assert rank_by_temperature([0.5, 0.5, 0.5]) == [0, 1, 2]
+
+    def test_empty(self):
+        assert rank_by_temperature([]) == []
+
+    @given(st.lists(st.floats(0, 10, allow_nan=False), max_size=100))
+    def test_is_permutation_and_sorted(self, temps):
+        ranked = rank_by_temperature(temps)
+        assert sorted(ranked) == list(range(len(temps)))
+        values = [temps[i] for i in ranked]
+        assert values == sorted(values, reverse=True)
+
+
+class TestLatencyEstimate:
+    def test_paper_example_510_entries(self):
+        # Section III-E: 4587 comparisons, 3 cycles each -> 13761 cycles.
+        assert ranking_cycles(510) == 13761
+        assert CYCLES_PER_COMPARISON == 3
+
+    def test_trivial_sizes_free(self):
+        assert ranking_cycles(0) == 0
+        assert ranking_cycles(1) == 0
+
+    def test_monotonic_in_n(self):
+        assert ranking_cycles(100) < ranking_cycles(200) < ranking_cycles(510)
+
+    def test_hides_under_paper_geometry_budget(self):
+        # The paper measures ~270k geometry cycles per frame on average;
+        # the ranking (13761) must hide beneath it.
+        assert hides_under_geometry(510, 270_000)
+
+    def test_does_not_hide_under_tiny_budget(self):
+        assert not hides_under_geometry(510, 1_000)

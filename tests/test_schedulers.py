@@ -1,0 +1,191 @@
+"""Tests for dispensers and the non-adaptive schedulers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scheduler import (FrameFeedback, HotColdDispenser,
+                                  QueueDispenser, StaticSupertileScheduler,
+                                  TemperatureScheduler, ZOrderScheduler,
+                                  supertile_batches_zorder,
+                                  zorder_tile_batches)
+from repro.gpu.workload import FrameTrace, TileWorkload
+
+
+def trace(tiles_x=4, tiles_y=4):
+    return FrameTrace(frame_index=0, tiles_x=tiles_x, tiles_y=tiles_y,
+                      tile_size=32, workloads={})
+
+
+def drain(dispenser, ru_pattern):
+    """Pop batches following a repeating RU-index pattern."""
+    out = []
+    i = 0
+    while True:
+        batch = dispenser.next_batch(ru_pattern[i % len(ru_pattern)])
+        if batch is None:
+            return out
+        out.append(batch)
+        i += 1
+
+
+class TestQueueDispenser:
+    def test_hands_out_in_order(self):
+        d = QueueDispenser([[1], [2], [3]])
+        assert d.next_batch(0) == [1]
+        assert d.next_batch(1) == [2]
+        assert d.remaining() == 1
+
+    def test_exhaustion(self):
+        d = QueueDispenser([[1]])
+        d.next_batch(0)
+        assert d.next_batch(0) is None
+        assert d.remaining() == 0
+
+    @given(n=st.integers(0, 50))
+    def test_each_batch_exactly_once(self, n):
+        batches = [[i] for i in range(n)]
+        d = QueueDispenser(batches)
+        popped = drain(d, [0, 1])
+        assert popped == batches
+
+
+class TestHotColdDispenser:
+    def test_unit_zero_gets_hot_end(self):
+        d = HotColdDispenser([["hot"], ["warm"], ["cold"]])
+        assert d.next_batch(0) == ["hot"]
+        assert d.next_batch(1) == ["cold"]
+        assert d.next_batch(1) == ["warm"]
+        assert d.next_batch(0) is None
+
+    def test_supertiles_dispensed_tile_by_tile(self):
+        d = HotColdDispenser([["h1", "h2", "h3"], ["c1", "c2"]])
+        assert d.next_batch(0) == ["h1"]
+        assert d.next_batch(0) == ["h2"]
+        assert d.next_batch(1) == ["c1"]
+        assert d.next_batch(1) == ["c2"]
+
+    def test_idle_unit_steals_from_other_end(self):
+        d = HotColdDispenser([["h1", "h2", "h3", "h4"]])
+        assert d.next_batch(0) == ["h1"]
+        # The cold unit has nothing of its own left: it steals the
+        # coldest pending tile of the hot queue.
+        assert d.next_batch(1) == ["h4"]
+        assert d.next_batch(0) == ["h2"]
+        assert d.next_batch(1) == ["h3"]
+        assert d.next_batch(0) is None
+        assert d.next_batch(1) is None
+
+    def test_extra_cold_units_share_cold_end(self):
+        d = HotColdDispenser([[i] for i in range(4)])
+        assert d.next_batch(2) == [3]
+        assert d.next_batch(1) == [2]
+
+    @given(n=st.integers(0, 40), pattern=st.lists(
+        st.integers(0, 2), min_size=1, max_size=5))
+    def test_every_tile_dispensed_once(self, n, pattern):
+        d = HotColdDispenser([[i] for i in range(n)])
+        popped = drain(d, pattern)
+        assert sorted(b[0] for b in popped) == list(range(n))
+
+    @given(n=st.integers(1, 12), pattern=st.lists(
+        st.integers(0, 1), min_size=2, max_size=6))
+    def test_multi_tile_batches_dispensed_once(self, n, pattern):
+        batches = [[(i, j) for j in range(3)] for i in range(n)]
+        d = HotColdDispenser(batches)
+        popped = [t for b in drain(d, pattern) for t in b]
+        assert sorted(popped) == sorted(t for b in batches for t in b)
+
+
+class TestBatchBuilders:
+    @given(tx=st.integers(1, 12), ty=st.integers(1, 12))
+    def test_zorder_batches_cover_grid(self, tx, ty):
+        batches = zorder_tile_batches(trace(tx, ty))
+        tiles = [t for b in batches for t in b]
+        assert len(tiles) == tx * ty
+        assert len(set(tiles)) == tx * ty
+
+    @given(tx=st.integers(1, 12), ty=st.integers(1, 12),
+           size=st.sampled_from([2, 4, 8]))
+    def test_supertile_batches_cover_grid(self, tx, ty, size):
+        batches = supertile_batches_zorder(trace(tx, ty), size)
+        tiles = [t for b in batches for t in b]
+        assert len(set(tiles)) == tx * ty
+
+    def test_supertile_batches_are_blocks(self):
+        batches = supertile_batches_zorder(trace(8, 8), 4)
+        assert all(len(b) == 16 for b in batches)
+
+
+class TestZOrderScheduler:
+    def test_decision_shape(self):
+        decision = ZOrderScheduler().begin_frame(trace())
+        assert decision.order == "zorder"
+        assert decision.supertile_size == 1
+        assert decision.dispenser.remaining() == 16
+
+    def test_configure_validates(self):
+        scheduler = ZOrderScheduler()
+        with pytest.raises(ValueError):
+            scheduler.configure(0)
+        scheduler.configure(2)
+        assert scheduler.num_raster_units == 2
+
+
+class TestStaticSupertileScheduler:
+    def test_batches_by_size(self):
+        decision = StaticSupertileScheduler(2).begin_frame(trace())
+        assert decision.supertile_size == 2
+        # Affinity dispensing: remaining() counts tiles, one per pop.
+        assert decision.dispenser.remaining() == 16
+        first = decision.dispenser.next_batch(0)
+        assert len(first) == 1
+
+    def test_affinity_keeps_supertile_on_one_unit(self):
+        decision = StaticSupertileScheduler(2).begin_frame(trace())
+        unit0 = [decision.dispenser.next_batch(0)[0] for _ in range(4)]
+        # The first four tiles of unit 0 form one 2x2 supertile.
+        xs = {t[0] for t in unit0}
+        ys = {t[1] for t in unit0}
+        assert len(xs) == 2 and len(ys) == 2
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            StaticSupertileScheduler(0)
+
+
+class TestTemperatureScheduler:
+    def _feedback(self, hot_tile, cold_tile):
+        return FrameFeedback(
+            frame_index=0, raster_cycles=1000, texture_hit_ratio=0.5,
+            per_tile_dram={hot_tile: 100, cold_tile: 1},
+            per_tile_instructions={hot_tile: 100, cold_tile: 100})
+
+    def test_first_frame_falls_back_to_zorder(self):
+        decision = TemperatureScheduler(2).begin_frame(trace())
+        assert decision.order == "zorder"
+
+    def test_second_frame_ranks_hot_first(self):
+        scheduler = TemperatureScheduler(2)
+        scheduler.begin_frame(trace())
+        scheduler.end_frame(self._feedback(hot_tile=(3, 3),
+                                           cold_tile=(0, 0)))
+        decision = scheduler.begin_frame(trace())
+        assert decision.order == "temperature"
+        # The hot unit's first supertile (2x2 = up to 4 tiles) contains
+        # the hot tile.
+        first_supertile = [decision.dispenser.next_batch(0)[0]
+                           for _ in range(4)]
+        assert (3, 3) in first_supertile
+
+    def test_cold_unit_gets_cold_batch(self):
+        scheduler = TemperatureScheduler(2)
+        scheduler.begin_frame(trace())
+        scheduler.end_frame(self._feedback(hot_tile=(3, 3),
+                                           cold_tile=(0, 0)))
+        decision = scheduler.begin_frame(trace())
+        cold_batch = decision.dispenser.next_batch(1)
+        assert (3, 3) not in cold_batch
+
+    def test_rejects_sub_base_size(self):
+        with pytest.raises(ValueError):
+            TemperatureScheduler(1)

@@ -1,0 +1,108 @@
+"""Tests for the core-cluster throughput model."""
+
+import pytest
+
+from repro.config import RasterUnitConfig, ShaderCoreConfig
+from repro.gpu.shader_core import CoreCluster
+from repro.gpu.workload import TileWorkload
+
+
+def cluster(cores=4, ipc=1.0, mshrs=4, min_frags=32):
+    return CoreCluster(
+        RasterUnitConfig(num_cores=cores),
+        ShaderCoreConfig(ipc=ipc, mshrs=mshrs,
+                         min_fragments_per_core=min_frags))
+
+
+class TestBudgets:
+    def test_instruction_budget(self):
+        assert cluster(cores=4, ipc=1.0).instruction_budget(1000) == 4000
+
+    def test_ipc_scales_budget(self):
+        assert cluster(cores=4, ipc=2.0).instruction_budget(100) == 800
+
+    def test_miss_budget_littles_law(self):
+        c = cluster(cores=4, mshrs=4)  # 16 outstanding
+        assert c.miss_budget(1000, 100.0) == 160
+
+    def test_miss_budget_shrinks_with_latency(self):
+        c = cluster()
+        assert c.miss_budget(1000, 800.0) < c.miss_budget(1000, 100.0)
+
+    def test_miss_budget_at_least_one(self):
+        assert cluster().miss_budget(1, 1e9) == 1
+
+    def test_miss_budget_rejects_bad_latency(self):
+        with pytest.raises(ValueError):
+            cluster().miss_budget(1000, 0.0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            cluster(cores=0)
+
+
+class TestEffectiveCores:
+    def test_large_primitive_fills_all_cores(self):
+        assert cluster(cores=8).effective_cores(1024) == 8
+
+    def test_small_primitive_uses_one_core(self):
+        assert cluster(cores=8).effective_cores(10) == 1
+
+    def test_medium_primitive_partial(self):
+        assert cluster(cores=8, min_frags=32).effective_cores(100) == 3
+
+    def test_zero_fragments(self):
+        assert cluster().effective_cores(0) == 1
+
+
+class TestTileComputeCycles:
+    def test_per_primitive_costing(self):
+        c = cluster(cores=4, min_frags=32)
+        w = TileWorkload(tile=(0, 0), instructions=1600, fragments=200,
+                         num_primitives=2,
+                         prim_fragments=[100, 100],
+                         prim_instructions=[800, 800])
+        # Each primitive fills 3 cores: 800/3 cycles, plus 2x setup.
+        expected = 2 * c.primitive_setup_cycles + 2 * 800 / 3
+        assert c.tile_compute_cycles(w) == pytest.approx(expected)
+
+    def test_small_primitives_serialize(self):
+        c = cluster(cores=8)
+        small = TileWorkload(tile=(0, 0), instructions=800, fragments=80,
+                             num_primitives=8,
+                             prim_fragments=[10] * 8,
+                             prim_instructions=[100] * 8)
+        big = TileWorkload(tile=(0, 0), instructions=800, fragments=800,
+                           num_primitives=1,
+                           prim_fragments=[800],
+                           prim_instructions=[800])
+        assert c.tile_compute_cycles(small) > c.tile_compute_cycles(big)
+
+    def test_doubling_cores_sublinear_for_small_prims(self):
+        # The Figure 4 effect: small primitives do not speed up when the
+        # core count doubles.
+        w = TileWorkload(tile=(0, 0), instructions=3200, fragments=320,
+                         num_primitives=8,
+                         prim_fragments=[40] * 8,
+                         prim_instructions=[400] * 8)
+        four = cluster(cores=4).tile_compute_cycles(w)
+        eight = cluster(cores=8).tile_compute_cycles(w)
+        assert four / eight < 1.5
+
+    def test_doubling_cores_near_linear_for_big_prims(self):
+        w = TileWorkload(tile=(0, 0), instructions=8000, fragments=1000,
+                         num_primitives=1,
+                         prim_fragments=[1000],
+                         prim_instructions=[8000])
+        four = cluster(cores=4).tile_compute_cycles(w)
+        eight = cluster(cores=8).tile_compute_cycles(w)
+        assert four / eight > 1.8
+
+    def test_fallback_without_prim_detail(self):
+        c = cluster(cores=4)
+        w = TileWorkload(tile=(0, 0), instructions=4000, fragments=100)
+        assert c.tile_compute_cycles(w) == pytest.approx(1000.0)
+
+    def test_empty_tile_is_free_compute(self):
+        c = cluster()
+        assert c.tile_compute_cycles(TileWorkload(tile=(0, 0))) == 0.0

@@ -1,0 +1,96 @@
+"""Tests for the top-level GPUSimulator and RunResult aggregation."""
+
+import pytest
+
+from repro.config import RasterUnitConfig, small_config
+from repro.core import LibraScheduler, ZOrderScheduler
+from repro.gpu.simulator import GPUSimulator, RunResult
+from repro.gpu.workload import FrameTrace, TileWorkload
+
+
+def traces(n=3):
+    out = []
+    for frame in range(n):
+        workloads = {}
+        for y in range(4):
+            for x in range(4):
+                base = (y * 4 + x) * 1000 + frame
+                workloads[(x, y)] = TileWorkload(
+                    tile=(x, y), instructions=2000, fragments=250,
+                    texture_lines=[base + i for i in range(10)],
+                    texture_fetches=20,
+                    num_primitives=1, prim_fragments=[250],
+                    prim_instructions=[2000])
+        out.append(FrameTrace(frame_index=frame, tiles_x=4, tiles_y=4,
+                              tile_size=32, workloads=workloads,
+                              geometry_cycles=1000))
+    return out
+
+
+def config(num_rus=2):
+    return small_config(num_raster_units=num_rus,
+                        raster_unit=RasterUnitConfig(num_cores=4))
+
+
+class TestRun:
+    def test_runs_all_frames(self):
+        result = GPUSimulator(config()).run(traces(3))
+        assert result.num_frames == 3
+
+    def test_default_scheduler_is_zorder(self):
+        sim = GPUSimulator(config())
+        assert isinstance(sim.scheduler, ZOrderScheduler)
+
+    def test_aggregates(self):
+        result = GPUSimulator(config()).run(traces(3))
+        assert result.total_cycles == sum(f.total_cycles
+                                          for f in result.frames)
+        assert result.geometry_cycles == 3000
+        assert result.total_energy_j > 0
+        assert result.fps > 0
+
+    def test_fps_formula(self):
+        result = GPUSimulator(config()).run(traces(2))
+        expected = 2 / (result.total_cycles / result.frequency_hz)
+        assert result.fps == pytest.approx(expected)
+
+    def test_deterministic(self):
+        a = GPUSimulator(config()).run(traces(3))
+        b = GPUSimulator(config()).run(traces(3))
+        assert a.total_cycles == b.total_cycles
+        assert a.raster_dram_accesses == b.raster_dram_accesses
+
+    def test_speedup_over(self):
+        slow = GPUSimulator(config(num_rus=1)).run(traces(3))
+        fast = GPUSimulator(config(num_rus=2)).run(traces(3))
+        assert fast.speedup_over(slow) > 1.0
+        assert slow.speedup_over(slow) == pytest.approx(1.0)
+
+    def test_speedup_requires_cycles(self):
+        empty = RunResult(config_name="x")
+        with pytest.raises(ValueError):
+            empty.speedup_over(empty)
+
+    def test_libra_scheduler_integrates(self):
+        cfg = config()
+        sim = GPUSimulator(cfg, scheduler=LibraScheduler(cfg.scheduler))
+        result = sim.run(traces(4))
+        assert result.num_frames == 4
+        orders = {f.order for f in result.frames}
+        assert orders <= {"zorder", "temperature"}
+
+    def test_name_defaults_to_scheduler(self):
+        assert GPUSimulator(config()).name == "ZOrderScheduler"
+        assert GPUSimulator(config(), name="ptr").name == "ptr"
+
+    def test_empty_run(self):
+        result = GPUSimulator(config()).run([])
+        assert result.num_frames == 0
+        assert result.fps == 0.0
+        assert result.mean_texture_hit_ratio == 0.0
+
+    def test_energy_counts_totals(self):
+        result = GPUSimulator(config()).run(traces(2))
+        counts = result.total_energy_counts()
+        assert counts.cycles == result.total_cycles
+        assert counts.core_instructions == 2 * 16 * 2000

@@ -1,0 +1,82 @@
+"""Tests for the 32-benchmark suite (Table II reconstruction)."""
+
+import pytest
+
+from repro.workloads.suite import (BENCHMARKS, benchmark_names,
+                                   compute_intensive_names, get_params,
+                                   make_scene_builder,
+                                   memory_intensive_names, table2_rows)
+
+
+class TestSuiteComposition:
+    def test_thirty_two_benchmarks(self):
+        assert len(BENCHMARKS) == 32
+
+    def test_sixteen_sixteen_split(self):
+        assert len(memory_intensive_names()) == 16
+        assert len(compute_intensive_names()) == 16
+
+    def test_paper_codes_present(self):
+        for code in ("CCS", "SuS", "HCR", "AAt", "GrT", "BlB", "CoC",
+                     "Gra", "RoK", "BBR", "AmU", "GDL", "HoW", "RoM",
+                     "CrS", "Jet"):
+            assert code in BENCHMARKS
+
+    def test_paper_memory_classes_respected(self):
+        # Benchmarks the paper shows in memory-intensive figures.
+        for code in ("CCS", "SuS", "GrT", "BlB", "AAt", "HoW"):
+            assert get_params(code).memory_intensive
+        for code in ("GDL", "CrS", "Jet"):
+            assert not get_params(code).memory_intensive
+
+    def test_styles_cover_2d_25d_3d(self):
+        styles = {p.style for p in BENCHMARKS.values()}
+        assert styles == {"2D", "2.5D", "3D"}
+
+    def test_unique_seeds(self):
+        seeds = [p.seed for p in BENCHMARKS.values()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_all_params_construct(self):
+        for params in BENCHMARKS.values():
+            assert params.total_sprites > 0
+
+    def test_memory_benchmarks_have_detailed_hotspots(self):
+        for name in memory_intensive_names():
+            params = get_params(name)
+            assert params.hotspots, name
+            assert all(h.uv_scale >= 1.0 for h in params.hotspots)
+
+    def test_compute_benchmarks_have_long_shaders(self):
+        memory_avg = sum(get_params(n).fragment_instructions
+                         for n in memory_intensive_names()) / 16
+        compute_avg = sum(get_params(n).fragment_instructions
+                          for n in compute_intensive_names()) / 16
+        assert compute_avg > 3 * memory_avg
+
+
+class TestLookup:
+    def test_get_params(self):
+        assert get_params("CCS").name == "CCS"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_params("XXX")
+
+    def test_names_order_stable(self):
+        assert benchmark_names() == list(BENCHMARKS)
+
+
+class TestSceneBuilders:
+    def test_builder_constructs_for_every_benchmark(self):
+        for name in benchmark_names():
+            builder = make_scene_builder(name, 256, 128)
+            scene = builder.frame(0)
+            assert scene.draws
+
+    def test_table2_rows(self):
+        rows = table2_rows(256, 128, names=["CCS", "GDL"])
+        assert len(rows) == 2
+        ccs, gdl = rows
+        assert ccs["memory_intensive"] and not gdl["memory_intensive"]
+        assert ccs["texture_mb"] > gdl["texture_mb"]

@@ -1,0 +1,98 @@
+"""Tests for supertile grids and aggregation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tiling.supertile import SupertileGrid, flatten_supertiles_to_tiles
+
+dims = st.integers(min_value=1, max_value=30)
+sizes = st.sampled_from([1, 2, 4, 8, 16])
+
+
+class TestMapping:
+    def test_full_hd_2x2_gives_510_supertiles(self):
+        # The paper's hardware sizing example: FHD = 60x34 tiles ->
+        # 30x17 = 510 supertiles of 2x2.
+        grid = SupertileGrid(60, 34, 2)
+        assert grid.num_supertiles == 510
+
+    def test_supertile_of_corner(self):
+        grid = SupertileGrid(8, 8, 4)
+        assert grid.supertile_of((0, 0)) == 0
+        assert grid.supertile_of((7, 7)) == grid.num_supertiles - 1
+
+    def test_out_of_range_tile_rejected(self):
+        grid = SupertileGrid(4, 4, 2)
+        with pytest.raises(ValueError):
+            grid.supertile_of((4, 0))
+
+    def test_out_of_range_id_rejected(self):
+        grid = SupertileGrid(4, 4, 2)
+        with pytest.raises(ValueError):
+            grid.supertile_coord(99)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            SupertileGrid(4, 4, 0)
+
+    @given(tx=dims, ty=dims, size=sizes)
+    def test_tiles_of_partitions_grid(self, tx, ty, size):
+        grid = SupertileGrid(tx, ty, size)
+        seen = set()
+        for sid in range(grid.num_supertiles):
+            for tile in grid.tiles_of(sid):
+                assert tile not in seen
+                seen.add(tile)
+                assert grid.supertile_of(tile) == sid
+        assert len(seen) == tx * ty
+
+    @given(tx=dims, ty=dims, size=sizes)
+    def test_coord_roundtrip(self, tx, ty, size):
+        grid = SupertileGrid(tx, ty, size)
+        for sid in range(grid.num_supertiles):
+            sx, sy = grid.supertile_coord(sid)
+            assert sy * grid.supertiles_x + sx == sid
+
+
+class TestAggregation:
+    @given(tx=st.integers(2, 16), ty=st.integers(2, 16),
+           size=st.sampled_from([2, 4]), seed=st.integers(0, 1000))
+    def test_aggregate_preserves_total(self, tx, ty, size, seed):
+        import random
+        rng = random.Random(seed)
+        grid = SupertileGrid(tx, ty, size)
+        per_tile = {(x, y): rng.uniform(0, 10)
+                    for x in range(tx) for y in range(ty)}
+        totals = grid.aggregate(per_tile)
+        assert sum(totals) == pytest.approx(sum(per_tile.values()))
+
+    def test_aggregate_places_values_correctly(self):
+        grid = SupertileGrid(4, 4, 2)
+        totals = grid.aggregate({(0, 0): 1.0, (1, 1): 2.0, (3, 3): 5.0})
+        assert totals[0] == pytest.approx(3.0)
+        assert totals[-1] == pytest.approx(5.0)
+
+
+class TestOrdering:
+    def test_tiles_within_supertile_zorder(self):
+        grid = SupertileGrid(4, 4, 2)
+        assert grid.tiles_of(0) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_all_supertiles_zorder_is_permutation(self):
+        grid = SupertileGrid(6, 6, 2)
+        order = grid.all_supertiles_zorder()
+        assert sorted(order) == list(range(grid.num_supertiles))
+
+    def test_flatten_covers_all_tiles(self):
+        grid = SupertileGrid(5, 3, 2)
+        tiles = flatten_supertiles_to_tiles(grid,
+                                            grid.all_supertiles_zorder())
+        assert len(tiles) == 15
+        assert len(set(tiles)) == 15
+
+    def test_ragged_edge_supertile_is_smaller(self):
+        grid = SupertileGrid(5, 5, 4)
+        # Right-edge supertile only covers the leftover column.
+        edge = grid.tiles_of(1)
+        assert all(tx == 4 for tx, _ in edge)
+        assert len(edge) == 4

@@ -1,0 +1,115 @@
+"""Tests for the temperature statistics buffer (Section III-E hardware)."""
+
+import pytest
+
+from repro.core.temperature import (ACCESS_MAX, BASE_SUPERTILE,
+                                    INSTRUCTION_MAX, MAX_ENTRIES, RATIO_MAX,
+                                    RATIO_SCALE, TemperatureTable,
+                                    fixed_point_ratio, saturate)
+
+
+class TestSaturation:
+    def test_below_max_unchanged(self):
+        assert saturate(100, ACCESS_MAX) == 100
+
+    def test_clamps_at_max(self):
+        assert saturate(ACCESS_MAX + 5, ACCESS_MAX) == ACCESS_MAX
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            saturate(-1, ACCESS_MAX)
+
+
+class TestFixedPointRatio:
+    def test_unit_ratio(self):
+        assert fixed_point_ratio(100, 100) == RATIO_SCALE
+
+    def test_fractional_ratio(self):
+        assert fixed_point_ratio(1, 4) == RATIO_SCALE // 4
+
+    def test_zero_accesses(self):
+        assert fixed_point_ratio(0, 100) == 0
+
+    def test_no_instructions_is_maximally_hot(self):
+        assert fixed_point_ratio(50, 0) == RATIO_MAX
+
+    def test_idle_entry_is_cold(self):
+        assert fixed_point_ratio(0, 0) == 0
+
+    def test_ratio_saturates(self):
+        assert fixed_point_ratio(10 ** 9, 1) == RATIO_MAX
+
+
+class TestTableSizing:
+    def test_full_hd_fits_exactly(self):
+        # 60x34 tiles -> 510 base entries <= 512 (9-bit IDs); the paper's
+        # example.
+        table = TemperatureTable(60, 34)
+        assert table.num_entries == 510
+
+    def test_storage_is_64_bits_per_entry(self):
+        table = TemperatureTable(60, 34)
+        assert table.storage_bits() == 510 * 64
+        assert table.storage_bits() / 8 / 1024 == pytest.approx(3.98, abs=0.1)
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(ValueError):
+            TemperatureTable(100, 100)
+
+    def test_max_entries_is_nine_bit(self):
+        assert MAX_ENTRIES == 512
+
+
+class TestUpdateAndAggregate:
+    def test_update_accumulates_per_base_supertile(self):
+        table = TemperatureTable(4, 4)
+        table.update({(0, 0): 10, (1, 1): 20, (3, 3): 5},
+                     {(0, 0): 100, (1, 1): 100, (3, 3): 100})
+        assert table.entries[0].accesses == 30
+        assert table.entries[0].instructions == 200
+        assert table.entries[3].accesses == 5
+
+    def test_counters_saturate(self):
+        table = TemperatureTable(4, 4)
+        table.update({(0, 0): ACCESS_MAX * 2},
+                     {(0, 0): INSTRUCTION_MAX * 2})
+        assert table.entries[0].accesses == ACCESS_MAX
+        assert table.entries[0].instructions == INSTRUCTION_MAX
+
+    def test_update_overwrites_previous_frame(self):
+        table = TemperatureTable(4, 4)
+        table.update({(0, 0): 10}, {(0, 0): 10})
+        table.update({(0, 0): 2}, {(0, 0): 10})
+        assert table.entries[0].accesses == 2
+
+    def test_has_data_flag(self):
+        table = TemperatureTable(4, 4)
+        assert not table.has_data
+        table.update({}, {})
+        assert table.has_data
+
+    def test_aggregate_identity_at_base_size(self):
+        table = TemperatureTable(4, 4)
+        table.update({(0, 0): 8}, {(0, 0): 8})
+        grid, temps = table.aggregate(BASE_SUPERTILE)
+        assert grid.num_supertiles == 4
+        assert temps[0] == pytest.approx(1.0)
+        assert temps[1] == 0.0
+
+    def test_aggregate_coarser_sums_entries(self):
+        table = TemperatureTable(8, 8)
+        table.update({(0, 0): 4, (3, 3): 4},
+                     {(0, 0): 8, (3, 3): 8})
+        grid, temps = table.aggregate(4)
+        # Both tiles fall in the same 4x4 supertile: 8 accesses / 16 insts.
+        assert temps[0] == pytest.approx(0.5)
+
+    def test_aggregate_rejects_bad_size(self):
+        table = TemperatureTable(8, 8)
+        with pytest.raises(ValueError):
+            table.aggregate(3)
+
+    def test_entry_temperature_decode(self):
+        table = TemperatureTable(4, 4)
+        table.update({(0, 0): 3}, {(0, 0): 12})
+        assert table.entries[0].temperature == pytest.approx(0.25, abs=1e-3)

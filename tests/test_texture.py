@@ -1,0 +1,190 @@
+"""Tests for textures: layout, addressing, footprints, sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import CACHE_LINE_BYTES
+from repro.raster.texture import (BLOCK, TEXELS_PER_LINE, Texture,
+                                  TextureSet, select_mip)
+
+
+def tex(w=64, h=64, base=0, seed=0):
+    return Texture(0, w, h, base, seed=seed)
+
+
+class TestGeometry:
+    def test_block_constants(self):
+        assert BLOCK * BLOCK == TEXELS_PER_LINE
+        assert TEXELS_PER_LINE * 4 == CACHE_LINE_BYTES
+
+    def test_levels_count(self):
+        assert tex(64, 64).levels == 5  # 64,32,16,8,4
+        assert tex(256, 256).levels == 7
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            Texture(0, 48, 64, 0)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            Texture(0, 2, 2, 0)
+
+    def test_rejects_unaligned_base(self):
+        with pytest.raises(ValueError):
+            Texture(0, 64, 64, 7)
+
+    def test_size_includes_mip_chain(self):
+        t = tex(64, 64)
+        base = 64 * 64 * 4  # level 0 bytes
+        assert t.size_bytes() > base
+        assert t.size_bytes() < base * 1.5  # mip chain adds ~1/3
+
+
+class TestAddressing:
+    def test_line_addresses_unique_across_levels(self):
+        t = tex(64, 64, base=0)
+        seen = set()
+        for level in range(t.levels):
+            for by in range(t.blocks_y(level)):
+                for bx in range(t.blocks_x(level)):
+                    addr = t.line_address(level, bx, by)
+                    assert addr not in seen
+                    seen.add(addr)
+        assert len(seen) == t.size_bytes() // CACHE_LINE_BYTES
+
+    def test_base_offset_applied(self):
+        a = tex(64, 64, base=0)
+        b = tex(64, 64, base=1 << 20)
+        delta = b.line_address(0, 0, 0) - a.line_address(0, 0, 0)
+        assert delta == (1 << 20) // CACHE_LINE_BYTES
+
+    def test_block_wraps(self):
+        t = tex(64, 64)
+        assert t.line_address(0, 16, 0) == t.line_address(0, 0, 0)
+
+
+class TestFootprint:
+    def test_full_level_when_span_exceeds_one(self):
+        t = tex(64, 64)
+        lines = t.footprint_lines(0.0, 0.0, 1.5, 0.1, level=0)
+        assert len(lines) == t.blocks_x(0) * len(
+            t._wrapped_block_range(0.0, 0.1, t.blocks_y(0)))
+
+    def test_small_window_few_lines(self):
+        t = tex(64, 64)
+        lines = t.footprint_lines(0.0, 0.0, 0.0624, 0.0624, level=0)
+        assert len(lines) == 1  # 4x4 texels = one block
+
+    def test_wrapping_window_splits(self):
+        t = tex(64, 64)
+        lines = t.footprint_lines(0.95, 0.0, 1.05, 0.05, level=0)
+        # Crosses the u=1 seam: blocks at both edges.
+        blocks_x = sorted((line % t.blocks_x(0)) for line in lines)
+        assert 0 in blocks_x and t.blocks_x(0) - 1 in blocks_x
+
+    def test_footprint_all_within_texture(self):
+        t = tex(64, 64, base=1 << 16)
+        lines = t.footprint_lines(0.2, 0.3, 0.7, 0.9, level=1)
+        first = t.level_base_line(1)
+        last = t.level_base_line(1) + t.blocks_x(1) * t.blocks_y(1)
+        assert all(first <= line < last for line in lines)
+
+    @given(u0=st.floats(0, 1), v0=st.floats(0, 1),
+           du=st.floats(0, 0.5), dv=st.floats(0, 0.5),
+           level=st.integers(0, 4))
+    def test_footprint_unique_lines(self, u0, v0, du, dv, level):
+        t = tex(64, 64)
+        lines = t.footprint_lines(u0, v0, u0 + du, v0 + dv, level)
+        assert len(lines) == len(set(lines))
+        assert lines  # never empty: at least one block
+
+
+class TestMipSelection:
+    def test_one_to_one_density_is_level_zero(self):
+        t = tex(256, 256)
+        # 0.25 UV span over 64x64 pixels -> 64 texels per 64 px.
+        assert select_mip(t, 0.25 * 0.25, 64 * 64) == 0
+
+    def test_minified_selects_higher_level(self):
+        t = tex(256, 256)
+        level = select_mip(t, 1.0, 32 * 32)  # 256 texels per 32 px
+        assert level == 3  # ratio 64 -> level 3
+
+    def test_density_below_four_stays_level_zero(self):
+        t = tex(256, 256)
+        # ratio just below 4 -> floor(0.5*log2(r)) == 0
+        assert select_mip(t, 3.9 * 32 * 32 / 256 ** 2, 32 * 32) == 0
+
+    def test_zero_pixels_selects_last_level(self):
+        t = tex(64, 64)
+        assert select_mip(t, 1.0, 0.0) == t.levels - 1
+
+    def test_level_clamped(self):
+        t = tex(64, 64)
+        assert select_mip(t, 1e9, 1.0) == t.levels - 1
+
+
+class TestSampling:
+    def test_data_deterministic(self):
+        a = tex(64, 64, seed=5).data(0)
+        b = tex(64, 64, seed=5).data(0)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = tex(64, 64, seed=5).data(0)
+        b = tex(64, 64, seed=6).data(0)
+        assert not np.array_equal(a, b)
+
+    def test_sample_in_unit_range(self):
+        t = tex(64, 64)
+        rgba = t.sample(0.3, 0.7)
+        assert rgba.shape == (4,)
+        assert (0.0 <= rgba).all() and (rgba <= 1.0).all()
+
+    def test_sample_wraps(self):
+        t = tex(64, 64)
+        assert np.allclose(t.sample(0.25, 0.25), t.sample(1.25, -0.75))
+
+    def test_bilinear_between_texels(self):
+        t = tex(64, 64, seed=1)
+        rgba = t.sample_bilinear(0.5, 0.5)
+        assert (0.0 <= rgba).all() and (rgba <= 1.0).all()
+
+    def test_checker_style(self):
+        t = Texture(0, 64, 64, 0, style="checker")
+        data = t.data(0)
+        assert not np.array_equal(data[0, 0, :3], data[0, BLOCK, :3])
+
+    def test_unknown_style_rejected(self):
+        t = Texture(0, 64, 64, 0, style="plasma")
+        with pytest.raises(ValueError):
+            t.data(0)
+
+
+class TestTextureSet:
+    def test_non_overlapping_allocations(self):
+        ts = TextureSet()
+        a = ts.add(64, 64)
+        b = ts.add(128, 128)
+        end_of_a = a.base_address + a.size_bytes()
+        assert b.base_address >= end_of_a
+
+    def test_duplicate_id_rejected(self):
+        ts = TextureSet()
+        ts.add(64, 64, texture_id=3)
+        with pytest.raises(ValueError):
+            ts.add(64, 64, texture_id=3)
+
+    def test_lookup_and_contains(self):
+        ts = TextureSet()
+        t = ts.add(64, 64)
+        assert t.texture_id in ts
+        assert ts[t.texture_id] is t
+        assert 99 not in ts
+
+    def test_total_bytes(self):
+        ts = TextureSet()
+        a = ts.add(64, 64)
+        b = ts.add(64, 64)
+        assert ts.total_bytes() == a.size_bytes() + b.size_bytes()

@@ -1,0 +1,62 @@
+"""Tests for the TilingEngine facade."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mesh import ShaderProfile
+from repro.geometry.primitive import Primitive
+from repro.tiling.engine import TilingEngine
+
+
+def prim(xy, sequence=0):
+    return Primitive(
+        xy=np.array(xy, dtype=np.float64),
+        depth=np.zeros(3), inv_w=np.ones(3),
+        uv_over_w=np.zeros((3, 2)),
+        texture_id=0, shader=ShaderProfile(), sequence=sequence)
+
+
+class TestTilingEngine:
+    def test_tile_frame_basic(self):
+        engine = TilingEngine(4, 4, 32)
+        frame = engine.tile_frame([prim([[0, 0], [40, 0], [0, 40]])])
+        assert frame.num_tiles == 16
+        assert frame.binning_stats.primitives_binned == 1
+        assert (0, 0) in frame.parameter_buffer.lists
+
+    def test_default_order_is_morton(self):
+        engine = TilingEngine(2, 2, 32)
+        frame = engine.tile_frame([])
+        assert frame.default_order == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_scanline_order_option(self):
+        engine = TilingEngine(2, 2, 32, order="scanline")
+        frame = engine.tile_frame([])
+        assert frame.default_order == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_primitives_for_empty_tile(self):
+        engine = TilingEngine(2, 2, 32)
+        frame = engine.tile_frame([])
+        assert frame.primitives_for((1, 1)) == []
+
+    def test_nonempty_tiles_in_traversal_order(self):
+        engine = TilingEngine(4, 4, 32)
+        prims = [prim([[0, 0], [130, 0], [0, 4]], sequence=i)
+                 for i in range(2)]
+        frame = engine.tile_frame(prims)
+        nonempty = frame.nonempty_tiles()
+        assert nonempty
+        positions = {t: i for i, t in enumerate(frame.default_order)}
+        indices = [positions[t] for t in nonempty]
+        assert indices == sorted(indices)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            TilingEngine(2, 2, 32, order="diagonal")
+
+    def test_each_frame_independent(self):
+        engine = TilingEngine(2, 2, 32)
+        first = engine.tile_frame([prim([[0, 0], [10, 0], [0, 10]])])
+        second = engine.tile_frame([])
+        assert first.parameter_buffer.lists
+        assert not second.parameter_buffer.lists

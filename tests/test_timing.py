@@ -1,0 +1,105 @@
+"""Tests for the multi-RU interval timing simulator."""
+
+import pytest
+
+from repro.config import RasterUnitConfig, small_config
+from repro.core.scheduler import QueueDispenser
+from repro.gpu.frame import FrameDriver
+from repro.gpu.timing import TimingSimulator
+from repro.gpu.workload import FrameTrace, TileWorkload
+from repro.core.scheduler import ZOrderScheduler
+
+
+def make_trace(tiles_x=4, tiles_y=4, instructions=2000, lines_per_tile=4):
+    workloads = {}
+    for y in range(tiles_y):
+        for x in range(tiles_x):
+            base = (y * tiles_x + x) * 1000
+            workloads[(x, y)] = TileWorkload(
+                tile=(x, y), instructions=instructions,
+                fragments=instructions // 8,
+                texture_lines=[base + i for i in range(lines_per_tile)],
+                texture_fetches=lines_per_tile,
+                num_primitives=1,
+                prim_fragments=[instructions // 8],
+                prim_instructions=[instructions])
+    return FrameTrace(frame_index=0, tiles_x=tiles_x, tiles_y=tiles_y,
+                      tile_size=32, workloads=workloads,
+                      geometry_cycles=100)
+
+
+def make_sim(num_rus=2):
+    cfg = small_config(num_raster_units=num_rus,
+                       raster_unit=RasterUnitConfig(num_cores=4))
+    driver = FrameDriver(cfg, ZOrderScheduler())
+    return driver.timing, driver
+
+
+class TestRasterPhase:
+    def test_all_tiles_complete(self):
+        timing, _ = make_sim()
+        trace = make_trace()
+        batches = [[t] for t in trace.all_tiles()]
+        result = timing.run_raster_phase(trace, QueueDispenser(batches))
+        assert result.tiles_completed == 16
+
+    def test_cycles_positive_and_interval_aligned(self):
+        timing, driver = make_sim()
+        trace = make_trace()
+        result = timing.run_raster_phase(
+            trace, QueueDispenser([[t] for t in trace.all_tiles()]))
+        assert result.cycles > 0
+        assert result.intervals >= 1
+
+    def test_work_splits_across_units(self):
+        timing, _ = make_sim(num_rus=2)
+        trace = make_trace()
+        result = timing.run_raster_phase(
+            trace, QueueDispenser([[t] for t in trace.all_tiles()]))
+        per_unit = [s.tiles_completed for s in result.ru_stats]
+        assert sum(per_unit) == 16
+        assert min(per_unit) > 0
+
+    def test_two_units_faster_than_one(self):
+        trace = make_trace(instructions=20_000)
+        single, _ = make_sim(num_rus=1)
+        dual, _ = make_sim(num_rus=2)
+        r1 = single.run_raster_phase(
+            trace, QueueDispenser([[t] for t in trace.all_tiles()]))
+        r2 = dual.run_raster_phase(
+            trace, QueueDispenser([[t] for t in trace.all_tiles()]))
+        assert r2.cycles < r1.cycles
+
+    def test_merged_per_tile_maps(self):
+        timing, _ = make_sim()
+        trace = make_trace()
+        result = timing.run_raster_phase(
+            trace, QueueDispenser([[t] for t in trace.all_tiles()]))
+        assert set(result.merged_per_tile_dram()) == set(trace.all_tiles())
+        insts = result.merged_per_tile_instructions()
+        assert all(v == 2000 for v in insts.values())
+
+    def test_empty_dispenser_finishes_immediately(self):
+        timing, _ = make_sim()
+        trace = make_trace()
+        result = timing.run_raster_phase(trace, QueueDispenser([]))
+        assert result.tiles_completed == 0
+        assert result.intervals == 0
+
+    def test_batch_dispensing(self):
+        timing, _ = make_sim()
+        trace = make_trace()
+        tiles = trace.all_tiles()
+        batches = [tiles[:8], tiles[8:]]
+        result = timing.run_raster_phase(trace, QueueDispenser(batches))
+        assert result.tiles_completed == 16
+        # Each unit took exactly one batch of 8.
+        assert sorted(s.tiles_completed for s in result.ru_stats) == [8, 8]
+
+    def test_texture_stats_merged(self):
+        timing, _ = make_sim()
+        trace = make_trace(lines_per_tile=6)
+        result = timing.run_raster_phase(
+            trace, QueueDispenser([[t] for t in trace.all_tiles()]))
+        assert result.texture_accesses == 16 * 6
+        assert result.mean_texture_latency > 0

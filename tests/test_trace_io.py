@@ -1,0 +1,81 @@
+"""Tests for JSON trace interchange."""
+
+import json
+
+import pytest
+
+from repro.gpu.workload import FrameTrace, TileWorkload
+from repro.workloads.trace_io import (load_traces, save_traces,
+                                      trace_from_dict, trace_to_dict)
+
+
+def make_trace(frame_index=0):
+    workloads = {
+        (0, 0): TileWorkload(
+            tile=(0, 0), instructions=1234, fragments=150,
+            texture_lines=[1, 5, 9], texture_fetches=40,
+            pb_lines=[100], fb_lines=[200, 201],
+            num_primitives=2, prim_fragments=[100, 50],
+            prim_instructions=[800, 434]),
+        (1, 1): TileWorkload(tile=(1, 1)),  # empty: should be omitted
+    }
+    return FrameTrace(frame_index=frame_index, tiles_x=2, tiles_y=2,
+                      tile_size=32, workloads=workloads,
+                      geometry_cycles=777, vertex_lines=[3, 4],
+                      vertex_instructions=64)
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_preserves_workloads(self):
+        trace = make_trace()
+        back = trace_from_dict(trace_to_dict(trace))
+        assert back.frame_index == trace.frame_index
+        assert back.geometry_cycles == 777
+        assert back.vertex_lines == [3, 4]
+        original = trace.workloads[(0, 0)]
+        restored = back.workloads[(0, 0)]
+        assert restored.instructions == original.instructions
+        assert restored.texture_lines == original.texture_lines
+        assert restored.prim_fragments == original.prim_fragments
+
+    def test_empty_tiles_omitted_but_regenerated(self):
+        back = trace_from_dict(trace_to_dict(make_trace()))
+        assert (1, 1) not in back.workloads
+        # workload_for still serves a flush-only placeholder.
+        assert back.workload_for((1, 1)).instructions == 0
+
+    def test_dict_is_json_serializable(self):
+        json.dumps(trace_to_dict(make_trace()))
+
+    def test_version_checked(self):
+        data = trace_to_dict(make_trace())
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            trace_from_dict(data)
+
+
+class TestFileRoundtrip:
+    def test_plain_json(self, tmp_path):
+        traces = [make_trace(0), make_trace(1)]
+        path = tmp_path / "traces.jsonl"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        assert [t.frame_index for t in loaded] == [0, 1]
+        assert loaded[0].total_instructions() == \
+            traces[0].total_instructions()
+
+    def test_gzipped(self, tmp_path):
+        traces = [make_trace()]
+        path = tmp_path / "traces.jsonl.gz"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        assert len(loaded) == 1
+        assert path.stat().st_size > 0
+
+    def test_gzip_smaller_than_plain(self, tmp_path):
+        trace = make_trace()
+        trace.workloads[(0, 0)].texture_lines = list(range(5000))
+        save_traces([trace], tmp_path / "a.jsonl")
+        save_traces([trace], tmp_path / "a.jsonl.gz")
+        assert (tmp_path / "a.jsonl.gz").stat().st_size < \
+            (tmp_path / "a.jsonl").stat().st_size

@@ -1,0 +1,144 @@
+"""Tests for repro.geometry.vecmath."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import vecmath as vm
+
+finite = st.floats(min_value=-100.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestVectors:
+    def test_vec3_dtype_and_values(self):
+        v = vm.vec3(1, 2, 3)
+        assert v.dtype == np.float64
+        assert list(v) == [1.0, 2.0, 3.0]
+
+    def test_vec4_defaults_w_one(self):
+        assert vm.vec4(0, 0, 0)[3] == 1.0
+
+    def test_normalize_unit_length(self):
+        v = vm.normalize(vm.vec3(3, 4, 0))
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_normalize_zero_vector_unchanged(self):
+        v = vm.normalize(vm.vec3(0, 0, 0))
+        assert np.allclose(v, 0.0)
+
+
+class TestMatrices:
+    def test_identity_is_noop(self):
+        p = vm.vec4(1, 2, 3)
+        assert np.allclose(vm.identity() @ p, p)
+
+    def test_translation_moves_point(self):
+        p = vm.translation(5, -3, 2) @ vm.vec4(1, 1, 1)
+        assert np.allclose(p[:3], [6, -2, 3])
+
+    def test_translation_preserves_w(self):
+        assert (vm.translation(1, 2, 3) @ vm.vec4(0, 0, 0))[3] == 1.0
+
+    def test_scaling(self):
+        p = vm.scaling(2, 3, 4) @ vm.vec4(1, 1, 1)
+        assert np.allclose(p[:3], [2, 3, 4])
+
+    def test_rotation_z_quarter_turn(self):
+        p = vm.rotation_z(math.pi / 2) @ vm.vec4(1, 0, 0)
+        assert np.allclose(p[:3], [0, 1, 0], atol=1e-12)
+
+    def test_rotation_x_quarter_turn(self):
+        p = vm.rotation_x(math.pi / 2) @ vm.vec4(0, 1, 0)
+        assert np.allclose(p[:3], [0, 0, 1], atol=1e-12)
+
+    def test_rotation_y_quarter_turn(self):
+        p = vm.rotation_y(math.pi / 2) @ vm.vec4(0, 0, 1)
+        assert np.allclose(p[:3], [1, 0, 0], atol=1e-12)
+
+    @given(angle=finite)
+    def test_rotations_preserve_length(self, angle):
+        p = vm.vec4(1, 2, 3)
+        q = vm.rotation_z(angle) @ p
+        assert np.linalg.norm(q[:3]) == pytest.approx(
+            np.linalg.norm(p[:3]), rel=1e-9)
+
+
+class TestLookAt:
+    def test_eye_maps_to_origin(self):
+        m = vm.look_at((1, 2, 3), (0, 0, 0))
+        p = m @ vm.vec4(1, 2, 3)
+        assert np.allclose(p[:3], 0.0, atol=1e-12)
+
+    def test_target_on_negative_z(self):
+        m = vm.look_at((0, 0, 5), (0, 0, 0))
+        p = m @ vm.vec4(0, 0, 0)
+        assert p[2] == pytest.approx(-5.0)
+
+
+class TestProjections:
+    def test_perspective_rejects_bad_planes(self):
+        with pytest.raises(ValueError):
+            vm.perspective(1.0, 1.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            vm.perspective(1.0, 1.0, 5.0, 1.0)
+
+    def test_perspective_near_plane_maps_to_minus_one(self):
+        m = vm.perspective(math.pi / 2, 1.0, 1.0, 100.0)
+        clip = m @ vm.vec4(0, 0, -1.0)
+        assert clip[2] / clip[3] == pytest.approx(-1.0)
+
+    def test_perspective_far_plane_maps_to_plus_one(self):
+        m = vm.perspective(math.pi / 2, 1.0, 1.0, 100.0)
+        clip = m @ vm.vec4(0, 0, -100.0)
+        assert clip[2] / clip[3] == pytest.approx(1.0)
+
+    def test_orthographic_maps_corners(self):
+        m = vm.orthographic(0, 100, 0, 50)
+        low = m @ vm.vec4(0, 0, 0)
+        high = m @ vm.vec4(100, 50, 0)
+        assert np.allclose(low[:2], [-1, -1])
+        assert np.allclose(high[:2], [1, 1])
+
+    def test_orthographic_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            vm.orthographic(0, 0, 0, 1)
+
+
+class TestViewport:
+    def test_ndc_origin_is_screen_center(self):
+        xy = vm.viewport_transform(np.array([[0.0, 0.0]]), 200, 100)
+        assert np.allclose(xy, [[100.0, 50.0]])
+
+    def test_y_axis_is_flipped(self):
+        top = vm.viewport_transform(np.array([[0.0, 1.0]]), 200, 100)
+        assert top[0, 1] == pytest.approx(0.0)
+
+    @given(x=st.floats(-1, 1), y=st.floats(-1, 1))
+    def test_output_within_screen(self, x, y):
+        xy = vm.viewport_transform(np.array([[x, y]]), 64, 64)
+        assert 0.0 <= xy[0, 0] <= 64.0
+        assert 0.0 <= xy[0, 1] <= 64.0
+
+
+class TestEdgeFunction:
+    def test_left_of_edge_positive(self):
+        assert vm.edge_function(0, 0, 1, 0, 0.5, 1.0) > 0
+
+    def test_right_of_edge_negative(self):
+        assert vm.edge_function(0, 0, 1, 0, 0.5, -1.0) < 0
+
+    def test_on_edge_zero(self):
+        assert vm.edge_function(0, 0, 2, 0, 1.0, 0.0) == 0.0
+
+    def test_triangle_area(self):
+        assert vm.triangle_area_2d((0, 0), (4, 0), (0, 3)) == pytest.approx(6.0)
+
+    @given(ax=finite, ay=finite, bx=finite, by=finite,
+           cx=finite, cy=finite)
+    def test_area_is_winding_invariant(self, ax, ay, bx, by, cx, cy):
+        a = vm.triangle_area_2d((ax, ay), (bx, by), (cx, cy))
+        b = vm.triangle_area_2d((cx, cy), (bx, by), (ax, ay))
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-9)

@@ -1,0 +1,67 @@
+"""Tests for TileWorkload / FrameTrace descriptors."""
+
+import pytest
+
+from repro.gpu.workload import FrameTrace, TileWorkload
+
+
+def workload(tile=(0, 0), instructions=100, lines=None, fetches=10):
+    return TileWorkload(tile=tile, instructions=instructions,
+                        fragments=10,
+                        texture_lines=list(lines or [1, 2, 3]),
+                        texture_fetches=fetches)
+
+
+class TestTileWorkload:
+    def test_repeat_fetches(self):
+        w = workload(lines=[1, 2, 3], fetches=10)
+        assert w.repeat_fetches == 7
+
+    def test_repeat_fetches_never_negative(self):
+        w = workload(lines=[1, 2, 3], fetches=1)
+        assert w.repeat_fetches == 0
+
+    def test_validate_rejects_negative(self):
+        w = workload(instructions=-1)
+        with pytest.raises(ValueError):
+            w.validate()
+
+    def test_empty_workload_valid(self):
+        TileWorkload(tile=(0, 0)).validate()
+
+
+class TestFrameTrace:
+    def _trace(self):
+        workloads = {(0, 0): workload((0, 0), instructions=100),
+                     (1, 0): workload((1, 0), instructions=50)}
+        return FrameTrace(frame_index=0, tiles_x=2, tiles_y=2,
+                          tile_size=32, workloads=workloads,
+                          geometry_cycles=500)
+
+    def test_all_tiles_covers_grid(self):
+        trace = self._trace()
+        assert len(trace.all_tiles()) == 4
+        assert trace.num_tiles == 4
+
+    def test_workload_for_missing_tile_is_empty(self):
+        trace = self._trace()
+        w = trace.workload_for((1, 1))
+        assert w.instructions == 0
+        assert w.texture_lines == []
+
+    def test_workload_for_existing_tile(self):
+        trace = self._trace()
+        assert trace.workload_for((0, 0)).instructions == 100
+
+    def test_totals(self):
+        trace = self._trace()
+        assert trace.total_instructions() == 150
+        assert trace.total_fragments() == 20
+        assert trace.total_texture_lines() == 6
+
+    def test_per_tile_metric(self):
+        trace = self._trace()
+        metric = trace.per_tile_metric("instructions")
+        assert metric[(0, 0)] == 100.0
+        with pytest.raises(ValueError):
+            trace.per_tile_metric("bogus")

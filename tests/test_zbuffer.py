@@ -1,0 +1,91 @@
+"""Tests for the tile Z-buffer and Early-Z."""
+
+import numpy as np
+import pytest
+
+from repro.raster.rasterizer import FragmentBatch
+from repro.raster.zbuffer import TileZBuffer, filter_batch
+
+
+def batch(coords, depths):
+    xs = np.array([c[0] for c in coords], dtype=np.int64)
+    ys = np.array([c[1] for c in coords], dtype=np.int64)
+    d = np.array(depths, dtype=np.float64)
+    return FragmentBatch(xs=xs, ys=ys, depth=d,
+                         u=np.zeros(len(d)), v=np.zeros(len(d)))
+
+
+class TestDepthTest:
+    def test_first_fragment_passes(self):
+        zb = TileZBuffer(32)
+        zb.reset(0, 0)
+        passed = zb.test(batch([(1, 1)], [0.5]))
+        assert passed.tolist() == [True]
+
+    def test_farther_fragment_rejected(self):
+        zb = TileZBuffer(32)
+        zb.reset(0, 0)
+        zb.test(batch([(1, 1)], [0.5]))
+        passed = zb.test(batch([(1, 1)], [0.9]))
+        assert passed.tolist() == [False]
+
+    def test_closer_fragment_passes(self):
+        zb = TileZBuffer(32)
+        zb.reset(0, 0)
+        zb.test(batch([(1, 1)], [0.5]))
+        passed = zb.test(batch([(1, 1)], [0.1]))
+        assert passed.tolist() == [True]
+
+    def test_no_depth_write_passes_without_blocking(self):
+        zb = TileZBuffer(32)
+        zb.reset(0, 0)
+        zb.test(batch([(1, 1)], [0.5]), depth_write=False)
+        # Buffer untouched: a 0.7 fragment still passes.
+        passed = zb.test(batch([(1, 1)], [0.7]))
+        assert passed.tolist() == [True]
+
+    def test_equal_depth_rejected(self):
+        zb = TileZBuffer(32)
+        zb.reset(0, 0)
+        zb.test(batch([(1, 1)], [0.5]))
+        passed = zb.test(batch([(1, 1)], [0.5]))
+        assert passed.tolist() == [False]
+
+    def test_reset_rebinds_origin(self):
+        zb = TileZBuffer(32)
+        zb.reset(0, 0)
+        zb.test(batch([(1, 1)], [0.5]))
+        zb.reset(32, 32)
+        passed = zb.test(batch([(33, 33)], [0.9]))
+        assert passed.tolist() == [True]
+
+    def test_out_of_tile_fragment_rejected_loudly(self):
+        zb = TileZBuffer(32)
+        zb.reset(0, 0)
+        with pytest.raises(ValueError):
+            zb.test(batch([(40, 0)], [0.5]))
+
+    def test_duplicate_pixels_in_one_batch_keep_min(self):
+        zb = TileZBuffer(32)
+        zb.reset(0, 0)
+        zb.test(batch([(2, 2), (2, 2)], [0.9, 0.3]))
+        assert zb.depth_at(2, 2) == pytest.approx(0.3)
+
+    def test_empty_batch(self):
+        zb = TileZBuffer(32)
+        zb.reset(0, 0)
+        passed = zb.test(batch([], []))
+        assert passed.shape == (0,)
+
+    def test_rejects_bad_tile_size(self):
+        with pytest.raises(ValueError):
+            TileZBuffer(0)
+
+
+class TestFilterBatch:
+    def test_keeps_selected(self):
+        b = batch([(0, 0), (1, 0), (2, 0)], [0.1, 0.2, 0.3])
+        kept = filter_batch(b, np.array([True, False, True]))
+        assert kept.count == 2
+        assert kept.xs.tolist() == [0, 2]
+        assert kept.depth.tolist() == [0.1, 0.3]
