@@ -29,6 +29,9 @@ from .core import (LibraScheduler, StaticSupertileScheduler,
                    TemperatureScheduler, TemperatureTable, TileScheduler,
                    ZOrderScheduler)
 from .energy import EnergyCounts, EnergyModel, EnergyParams, EnergyReport
+from .errors import (BenchmarkTimeoutError, CacheCorruptionError,
+                     ConfigValidationError, ReproError, SimulationError,
+                     TraceFormatError)
 from .geometry import (DrawCall, GeometryPipeline, Mesh, Primitive,
                        ShaderProfile)
 from .gpu import (FrameResult, FrameTrace, GPUSimulator, RunResult,
@@ -65,4 +68,7 @@ __all__ = [
     "SceneBuilder", "TraceBuilder", "TraceCache", "benchmark_names",
     "memory_intensive_names", "compute_intensive_names", "get_params",
     "make_scene_builder",
+    # error taxonomy
+    "ReproError", "CacheCorruptionError", "TraceFormatError",
+    "ConfigValidationError", "BenchmarkTimeoutError", "SimulationError",
 ]

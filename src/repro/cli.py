@@ -8,6 +8,13 @@ Subcommands:
 * ``repro compare --benchmark CCS --frames 8`` — baseline vs PTR vs LIBRA
   side by side.
 * ``repro heatmap --benchmark SuS`` — ASCII per-tile DRAM heatmap (Fig. 2).
+* ``repro suite --benchmarks CCS,GDL --config libra`` — supervised sweep
+  (timeouts, retries, graceful degradation; see ``repro.harness.run_suite``).
+
+Error contract: an unknown benchmark or configuration name exits with
+status 2 and prints the valid names; any :class:`~repro.errors.ReproError`
+raised while executing a command is reported as a one-line diagnostic on
+stderr with exit status 1 — never a traceback.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from typing import List, Optional
 
 from .config import baseline_config, libra_config
 from .core import LibraScheduler, TemperatureScheduler, ZOrderScheduler
+from .errors import ConfigValidationError, ReproError
 from .gpu import GPUSimulator, RunResult
 from .stats import format_table, render_ascii, tile_matrix
 from .workloads import (TraceBuilder, benchmark_names,
@@ -26,6 +34,8 @@ from .workloads import (TraceBuilder, benchmark_names,
 DEFAULT_WIDTH = 960
 DEFAULT_HEIGHT = 512
 DEFAULT_TILE = 32
+
+CONFIG_NAMES = ("baseline", "ptr", "libra", "temperature")
 
 
 def _build_traces(benchmark: str, frames: int, width: int, height: int):
@@ -50,7 +60,8 @@ def _make_simulator(config_name: str, width: int, height: int) -> GPUSimulator:
         cfg = libra_config(screen_width=width, screen_height=height)
         return GPUSimulator(cfg, scheduler=TemperatureScheduler(4),
                             name="temperature")
-    raise ValueError(f"unknown config {config_name!r}")
+    raise ConfigValidationError(
+        f"unknown config {config_name!r}; valid: {', '.join(CONFIG_NAMES)}")
 
 
 def _summarize(result: RunResult) -> List:
@@ -127,6 +138,28 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_suite(args) -> int:
+    """Handle ``repro suite`` (the supervised sweep)."""
+    from . import harness
+    names = ([n.strip() for n in args.benchmarks.split(",") if n.strip()]
+             if args.benchmarks != "all" else benchmark_names())
+    valid = benchmark_names()
+    if not names:
+        print(f"error: no benchmarks given; valid: {', '.join(valid)}",
+              file=sys.stderr)
+        return 2
+    unknown = [n for n in names if n not in valid]
+    if unknown:
+        print(f"error: unknown benchmark(s) {', '.join(unknown)}; "
+              f"valid: {', '.join(valid)}", file=sys.stderr)
+        return 2
+    report = harness.run_suite(
+        names, kinds=(args.config,), frames=args.frames,
+        timeout_s=args.timeout, max_attempts=args.retries + 1)
+    print(report.format())
+    return 0 if not report.failed else 1
+
+
 def cmd_heatmap(args) -> int:
     """Handle ``repro heatmap``."""
     traces = _build_traces(args.benchmark, 2, args.width, args.height)
@@ -175,11 +208,28 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=benchmark_names())
     trace.add_argument("--frames", type=int, default=4)
     trace.add_argument("--out", default="traces.jsonl.gz")
+
+    suite = sub.add_parser(
+        "suite", help="supervised sweep (timeouts, retries, partial "
+                      "results on failure)")
+    suite.add_argument("--benchmarks", default="all",
+                       help="comma-separated codes, or 'all'")
+    suite.add_argument("--config", default="libra", choices=CONFIG_NAMES)
+    suite.add_argument("--frames", type=int, default=8)
+    suite.add_argument("--timeout", type=float, default=None,
+                       help="per-benchmark wall-clock budget, seconds")
+    suite.add_argument("--retries", type=int, default=1,
+                       help="extra attempts for transient failures")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Unknown benchmark/config names exit 2 with the valid names (argparse
+    ``choices`` or explicit checks); a :class:`ReproError` from a
+    command becomes a one-line stderr diagnostic and exit 1.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "list": cmd_list,
@@ -187,8 +237,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "heatmap": cmd_heatmap,
         "trace": cmd_trace,
+        "suite": cmd_suite,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

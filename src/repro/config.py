@@ -21,6 +21,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from .errors import ConfigValidationError
+
 #: GPU core clock in Hz (Table I: 800 MHz, 1 V, 22 nm).
 GPU_FREQUENCY_HZ = 800_000_000
 
@@ -50,11 +52,11 @@ class CacheConfig:
     def validate(self) -> None:
         """Raise ValueError on an inconsistent configuration."""
         if self.size_bytes % self.line_bytes:
-            raise ValueError("cache size must be a multiple of the line size")
+            raise ConfigValidationError("cache size must be a multiple of the line size")
         if self.num_lines % self.ways:
-            raise ValueError("cache lines must divide evenly into ways")
+            raise ConfigValidationError("cache lines must divide evenly into ways")
         if self.num_sets & (self.num_sets - 1):
-            raise ValueError("number of sets must be a power of two")
+            raise ConfigValidationError("number of sets must be a power of two")
 
 
 @dataclass
@@ -80,11 +82,11 @@ class DRAMConfig:
     def validate(self) -> None:
         """Raise ValueError on an inconsistent configuration."""
         if self.num_banks & (self.num_banks - 1):
-            raise ValueError("number of DRAM banks must be a power of two")
+            raise ConfigValidationError("number of DRAM banks must be a power of two")
         if self.row_bytes % CACHE_LINE_BYTES:
-            raise ValueError("DRAM row must hold an integer number of lines")
+            raise ConfigValidationError("DRAM row must hold an integer number of lines")
         if not 0 < self.requests_per_cycle:
-            raise ValueError("DRAM bandwidth must be positive")
+            raise ConfigValidationError("DRAM bandwidth must be positive")
 
 
 @dataclass
@@ -198,20 +200,73 @@ class GPUConfig:
         return self.num_raster_units * self.raster_unit.num_cores
 
     def validate(self) -> None:
-        """Raise ValueError on an inconsistent configuration."""
+        """Raise :class:`ConfigValidationError` on an inconsistent config.
+
+        Beyond the per-component checks, this enforces the cross-field
+        invariants the simulator assumes: a consistent cache-line size
+        across the whole hierarchy, screen dimensions that yield a
+        non-empty tile grid, and scheduler thresholds/supertile sizes
+        that the LIBRA decision logic can actually act on.
+        """
         for cache in (self.vertex_cache, self.tile_cache,
                       self.texture_cache, self.l2_cache):
             cache.validate()
         self.dram.validate()
+        line_sizes = {c.line_bytes for c in (
+            self.vertex_cache, self.tile_cache, self.texture_cache,
+            self.l2_cache)}
+        if len(line_sizes) != 1:
+            raise ConfigValidationError(
+                f"cache hierarchy mixes line sizes {sorted(line_sizes)}")
+        if self.dram.row_bytes % line_sizes.pop():
+            raise ConfigValidationError(
+                "DRAM row must hold an integer number of cache lines")
+        if self.screen_width < 1 or self.screen_height < 1:
+            raise ConfigValidationError(
+                f"screen must be at least 1x1 pixel, got "
+                f"{self.screen_width}x{self.screen_height}")
+        if self.frequency_hz <= 0:
+            raise ConfigValidationError("GPU frequency must be positive")
         if self.tile_size <= 0 or self.tile_size & (self.tile_size - 1):
-            raise ValueError("tile size must be a positive power of two")
+            raise ConfigValidationError("tile size must be a positive power of two")
         if self.num_raster_units < 1:
-            raise ValueError("at least one Raster Unit is required")
+            raise ConfigValidationError("at least one Raster Unit is required")
+        if self.raster_unit.num_cores < 1:
+            raise ConfigValidationError(
+                "each Raster Unit needs at least one shader core")
+        if self.shader_core.ipc <= 0 or self.shader_core.warps < 1 \
+                or self.shader_core.mshrs < 1:
+            raise ConfigValidationError(
+                "shader core needs positive ipc, warps and mshrs")
         if self.interval_cycles < 1:
-            raise ValueError("interval must be at least one cycle")
+            raise ConfigValidationError("interval must be at least one cycle")
         if self.fb_compression_ratio is not None and not (
                 0.0 < self.fb_compression_ratio <= 1.0):
-            raise ValueError("fb compression ratio must be in (0, 1]")
+            raise ConfigValidationError("fb compression ratio must be in (0, 1]")
+        self._validate_scheduler()
+
+    def _validate_scheduler(self) -> None:
+        sched = self.scheduler
+        if not 0.0 <= sched.hit_ratio_threshold <= 1.0:
+            raise ConfigValidationError(
+                f"hit-ratio threshold {sched.hit_ratio_threshold} "
+                "outside [0, 1]")
+        for name in ("order_switch_threshold",
+                     "supertile_resize_threshold"):
+            value = getattr(sched, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigValidationError(
+                    f"{name} {value} outside [0, 1)")
+        if not sched.supertile_sizes:
+            raise ConfigValidationError("supertile_sizes must be non-empty")
+        for size in sched.supertile_sizes:
+            if size < 1 or size & (size - 1):
+                raise ConfigValidationError(
+                    f"supertile size {size} is not a positive power of two")
+        if sched.initial_supertile_size not in sched.supertile_sizes:
+            raise ConfigValidationError(
+                f"initial supertile size {sched.initial_supertile_size} "
+                f"not in the allowed sizes {sched.supertile_sizes}")
 
     def replace(self, **changes) -> "GPUConfig":
         """Return a copy with ``changes`` applied (deep enough for tests)."""

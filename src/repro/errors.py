@@ -1,0 +1,56 @@
+"""Exception taxonomy of the experiment-execution layer.
+
+Every error the harness, caches, workload I/O, simulator and CLI raise
+deliberately derives from :class:`ReproError`, so callers (the run
+supervisor in :mod:`repro.harness`, the ``repro`` CLI) can distinguish
+*our* failures from genuine bugs and react per category:
+
+* :class:`CacheCorruptionError` — a cache entry failed its integrity
+  check (bad magic, checksum mismatch, truncated pickle).  Transient by
+  design: the entry is quarantined and rebuilt.
+* :class:`TraceFormatError` — a trace file or in-memory trace violates
+  the interchange contract (version skew, missing keys, truncated gzip,
+  inconsistent tile grid, negative counters).  Subclasses
+  :class:`ValueError` for backwards compatibility.
+* :class:`ConfigValidationError` — an inconsistent GPU configuration or
+  workload/scene parameter set (NaN, zero area, cross-field violations).
+  Also a :class:`ValueError` subclass.
+* :class:`BenchmarkTimeoutError` — a supervised benchmark exceeded its
+  wall-clock budget.
+* :class:`SimulationError` — the timing simulator failed mid-run; wraps
+  the original exception (``raise ... from exc``) with frame context.
+
+Classes carry a ``transient`` flag the supervisor consults when deciding
+whether a bounded retry with backoff is worthwhile.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of all deliberate errors raised by this package."""
+
+    #: Whether a retry (after quarantine/cleanup) can plausibly succeed.
+    transient = False
+
+
+class CacheCorruptionError(ReproError):
+    """A cache entry failed its integrity check (quarantine + rebuild)."""
+
+    transient = True
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A frame trace (file or object) violates the format contract."""
+
+
+class ConfigValidationError(ReproError, ValueError):
+    """A GPU/workload configuration is inconsistent or non-physical."""
+
+
+class BenchmarkTimeoutError(ReproError, TimeoutError):
+    """A supervised benchmark run exceeded its wall-clock budget."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator failed mid-run (wraps the original cause)."""

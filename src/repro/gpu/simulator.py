@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 from ..config import GPUConfig
 from ..core.scheduler import TileScheduler, ZOrderScheduler
 from ..energy.model import EnergyCounts, EnergyModel
+from ..errors import ReproError, SimulationError
 from .frame import FrameDriver, FrameResult
 from .workload import FrameTrace
 
@@ -115,10 +116,34 @@ class GPUSimulator:
         """Simulate one frame and return its FrameResult."""
         return self.driver.run_frame(trace)
 
-    def run(self, traces: Sequence[FrameTrace]) -> RunResult:
-        """Simulate a trace sequence and return the aggregate RunResult."""
+    def run(self, traces: Sequence[FrameTrace],
+            validate: bool = True) -> RunResult:
+        """Simulate a trace sequence and return the aggregate RunResult.
+
+        This is the simulator's trust boundary: with ``validate`` (the
+        default) the configuration's cross-field invariants and every
+        trace's structural invariants are checked up front
+        (:meth:`GPUConfig.validate` / :meth:`FrameTrace.validate`), so
+        corrupt caches or hand-built traces fail fast with a
+        :class:`~repro.errors.ConfigValidationError` /
+        :class:`~repro.errors.TraceFormatError` instead of producing
+        silently wrong timing.  A failure *inside* the timing model is
+        wrapped in :class:`~repro.errors.SimulationError` with the frame
+        index attached (the original exception chained as its cause).
+        """
+        if validate:
+            self.config.validate()
+            for trace in traces:
+                trace.validate()
         result = RunResult(config_name=self.name,
                            frequency_hz=self.config.frequency_hz)
         for trace in traces:
-            result.frames.append(self.driver.run_frame(trace))
+            try:
+                result.frames.append(self.driver.run_frame(trace))
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise SimulationError(
+                    f"{self.name or 'simulator'}: frame "
+                    f"{trace.frame_index} failed: {exc!r}") from exc
         return result

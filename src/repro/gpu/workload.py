@@ -17,7 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..errors import TraceFormatError
+
 TileCoord = Tuple[int, int]
+
+#: Upper bound on plausible cache-line addresses (2^48 lines ≈ 16 PiB of
+#: 64-byte lines — far beyond any modeled memory; anything larger is a
+#: corrupted or miscomputed trace, not a big scene).
+MAX_LINE_ADDRESS = 1 << 48
 
 
 @dataclass
@@ -55,11 +62,31 @@ class TileWorkload:
         return max(self.texture_fetches - len(self.texture_lines), 0)
 
     def validate(self) -> None:
-        """Raise ValueError on negative quantities."""
+        """Raise :class:`TraceFormatError` on malformed workload data.
+
+        (:class:`TraceFormatError` subclasses ``ValueError``, preserving
+        the historical contract of this method.)
+        """
         if self.instructions < 0 or self.fragments < 0:
-            raise ValueError("negative workload quantities")
-        if self.texture_fetches < 0:
-            raise ValueError("negative texture fetch count")
+            raise TraceFormatError(
+                f"tile {self.tile}: negative workload quantities")
+        if self.texture_fetches < 0 or self.num_primitives < 0:
+            raise TraceFormatError(
+                f"tile {self.tile}: negative counters")
+        if len(self.prim_fragments) != len(self.prim_instructions):
+            raise TraceFormatError(
+                f"tile {self.tile}: prim_fragments/prim_instructions "
+                "length mismatch")
+        for name, lines in (("texture", self.texture_lines),
+                            ("pb", self.pb_lines),
+                            ("fb", self.fb_lines),):
+            if lines and (min(lines) < 0
+                          or max(lines) >= MAX_LINE_ADDRESS):
+                bad = next(a for a in lines
+                           if not 0 <= a < MAX_LINE_ADDRESS)
+                raise TraceFormatError(
+                    f"tile {self.tile}: {name} line address {bad} "
+                    "out of bounds")
 
 
 @dataclass
@@ -82,6 +109,46 @@ class FrameTrace:
     def num_tiles(self) -> int:
         """Tiles in the frame's grid."""
         return self.tiles_x * self.tiles_y
+
+    def validate(self) -> None:
+        """Raise :class:`TraceFormatError` on a malformed trace.
+
+        Checks the tile-grid consistency (positive dimensions, every
+        workload's coordinate inside the grid and matching its key), and
+        delegates the per-tile counter/address checks to
+        :meth:`TileWorkload.validate`.  The simulator calls this at its
+        trust boundary (:meth:`repro.gpu.simulator.GPUSimulator.run`) so
+        a corrupt or hand-built trace fails fast with a precise message
+        instead of producing nonsense timing.
+        """
+        if self.tiles_x <= 0 or self.tiles_y <= 0:
+            raise TraceFormatError(
+                f"frame {self.frame_index}: non-positive tile grid "
+                f"{self.tiles_x}x{self.tiles_y}")
+        if self.tile_size <= 0:
+            raise TraceFormatError(
+                f"frame {self.frame_index}: non-positive tile size "
+                f"{self.tile_size}")
+        if self.geometry_cycles < 0 or self.vertex_instructions < 0:
+            raise TraceFormatError(
+                f"frame {self.frame_index}: negative geometry counters")
+        for coord, workload in self.workloads.items():
+            tx, ty = coord
+            if not (0 <= tx < self.tiles_x and 0 <= ty < self.tiles_y):
+                raise TraceFormatError(
+                    f"frame {self.frame_index}: tile {coord} outside "
+                    f"the {self.tiles_x}x{self.tiles_y} grid")
+            if workload.tile != coord:
+                raise TraceFormatError(
+                    f"frame {self.frame_index}: workload keyed {coord} "
+                    f"claims tile {workload.tile}")
+            workload.validate()
+        if self.vertex_lines and (
+                min(self.vertex_lines) < 0
+                or max(self.vertex_lines) >= MAX_LINE_ADDRESS):
+            raise TraceFormatError(
+                f"frame {self.frame_index}: vertex line address "
+                "out of bounds")
 
     def all_tiles(self) -> List[TileCoord]:
         """Every tile of the grid, row-major (the schedule domain)."""

@@ -14,23 +14,49 @@ Cache location: ``$REPRO_CACHE_DIR`` or ``.repro_cache/`` under the
 current directory.  Delete it after changing simulator internals (the
 cache key includes a manual generation number plus the experiment
 parameters, not a hash of the source).
+
+Cache integrity: every entry is written through :mod:`repro.cachefile`
+(atomic replace + SHA-256 checksum + advisory lock), so ``GENERATION``
+and the checksum play different roles — the checksum detects *storage*
+faults (truncation, bit flips, interrupted writes, legacy unchecksummed
+entries) and triggers quarantine-and-rebuild automatically, while
+``GENERATION`` must still be bumped manually for *semantic* staleness
+(simulator behaviour changed but old entries are bytewise intact; a
+checksum cannot see that).  Corrupt entries are renamed to
+``*.corrupt`` with a logged warning, never silently deleted or served.
+
+Suite supervision: :func:`run_suite` runs many (benchmark, kind) pairs
+with per-benchmark wall-clock timeouts, bounded retry with backoff for
+transient faults, and graceful degradation — one failing benchmark is
+recorded in the returned :class:`SuiteReport` while every other result
+is still delivered.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
-import pickle
-from dataclasses import dataclass
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
 
+from . import cachefile
 from .config import GPUConfig, baseline_config, libra_config
 from .core import (LibraScheduler, StaticSupertileScheduler,
                    TemperatureScheduler, TileScheduler, ZOrderScheduler)
+from .errors import (BenchmarkTimeoutError, CacheCorruptionError,
+                     ConfigValidationError, ReproError, SimulationError)
 from .gpu import FrameTrace, GPUSimulator, RunResult
-from .workloads import TraceBuilder, make_scene_builder
+from .workloads import TraceBuilder, benchmark_names, make_scene_builder
 from .workloads.traces import TRACE_FORMAT_VERSION
+
+logger = logging.getLogger(__name__)
 
 #: Screen geometry of all experiments (see DESIGN.md for why not FHD).
 WIDTH = 960
@@ -98,22 +124,39 @@ def _ru(cores: int):
 
 def get_traces(benchmark: str, frames: int = FRAMES, width: int = WIDTH,
                height: int = HEIGHT) -> List[FrameTrace]:
-    """Frame traces for a benchmark, built once and cached on disk."""
+    """Frame traces for a benchmark, built once and cached on disk.
+
+    The entry is read with integrity checking: a corrupt cache file
+    (truncated, bit-flipped, interrupted write, legacy format) is
+    quarantined with a logged warning naming the path and reason, then
+    rebuilt from the scene generator.  The advisory per-entry lock makes
+    concurrent bench runs build the traces exactly once.
+    """
     key = f"trace-g{GENERATION}-{benchmark}-{width}x{height}-f{frames}"
     path = cache_dir() / f"{key}.v{TRACE_FORMAT_VERSION}.pkl"
-    if path.exists():
-        try:
-            with path.open("rb") as handle:
-                return pickle.load(handle)
-        except Exception:
-            path.unlink(missing_ok=True)
-    builder = TraceBuilder(make_scene_builder(benchmark, width, height),
-                           width, height, TILE)
-    traces = builder.build_many(frames)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("wb") as handle:
-        pickle.dump(traces, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    with cachefile.file_lock(path):
+        cached = _load_cache_entry(path, f"trace cache for {benchmark}")
+        if cached is not None:
+            return cached
+        builder = TraceBuilder(make_scene_builder(benchmark, width, height),
+                               width, height, TILE)
+        traces = builder.build_many(frames)
+        cachefile.write_cache(traces, path)
     return traces
+
+
+def _load_cache_entry(path: Path, what: str):
+    """One cache entry, or None after quarantining a corrupt file."""
+    if not path.exists():
+        return None
+    try:
+        return cachefile.read_cache(path)
+    except CacheCorruptionError as exc:
+        quarantined = cachefile.quarantine(path, str(exc))
+        logger.warning(
+            "%s unusable: %s — quarantined as %s and rebuilding",
+            what, exc, quarantined.name if quarantined else "<gone>")
+        return None
 
 
 # -- cached simulation runs ---------------------------------------------------
@@ -169,12 +212,10 @@ def run_simulation(benchmark: str, kind: str, frames: int = FRAMES,
            f"-s{resize_threshold}")
     digest = hashlib.sha1(key.encode()).hexdigest()[:16]
     path = cache_dir() / f"run-g{GENERATION}-{benchmark}-{kind}-{digest}.pkl"
-    if use_cache and path.exists():
-        try:
-            with path.open("rb") as handle:
-                return pickle.load(handle)
-        except Exception:
-            path.unlink(missing_ok=True)
+    if use_cache:
+        cached = _load_cache_entry(path, f"result cache {benchmark}/{kind}")
+        if cached is not None:
+            return cached
     traces = get_traces(benchmark, frames)
     config, scheduler = make_config(kind, raster_units, cores_per_unit)
     if hit_threshold is not None:
@@ -195,9 +236,8 @@ def run_simulation(benchmark: str, kind: str, frames: int = FRAMES,
     result = simulator.run(traces)
     summary = summarize(benchmark, kind, result)
     if use_cache:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("wb") as handle:
-            pickle.dump(summary, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        with cachefile.file_lock(path):
+            cachefile.write_cache(summary, path)
     return summary
 
 
@@ -252,3 +292,192 @@ def classify_suite(names: Sequence[str], frames: int = FRAMES,
                    threshold: float = 0.25) -> Dict[str, float]:
     """Per-benchmark memory-time fraction (>= threshold => memory-bound)."""
     return {name: memory_time_fraction(name, frames) for name in names}
+
+
+# -- run supervisor ----------------------------------------------------------
+
+@dataclass
+class BenchmarkOutcome:
+    """What happened to one supervised (benchmark, kind) run."""
+
+    benchmark: str
+    kind: str
+    #: ``ok`` (summary present), ``failed`` (all attempts exhausted) or
+    #: ``skipped`` (never attempted: unknown name or aborted suite).
+    status: str
+    summary: Optional[RunSummary] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    attempts: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced a summary."""
+        return self.status == "ok"
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        if self.ok and self.summary is not None:
+            return f"{self.summary.total_cycles:,} cycles"
+        return f"{self.error_type}: {self.error}"
+
+
+@dataclass
+class SuiteReport:
+    """Structured result of a supervised suite run.
+
+    A suite run *always* returns one of these — a failing benchmark is
+    recorded here instead of propagating its exception and discarding
+    everyone else's multi-minute results.
+    """
+
+    outcomes: List[BenchmarkOutcome] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> List[BenchmarkOutcome]:
+        """Outcomes that produced a summary."""
+        return [o for o in self.outcomes if o.status == "ok"]
+
+    @property
+    def failed(self) -> List[BenchmarkOutcome]:
+        """Outcomes whose every attempt raised."""
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def skipped(self) -> List[BenchmarkOutcome]:
+        """Outcomes never attempted (unknown name, aborted suite)."""
+        return [o for o in self.outcomes if o.status == "skipped"]
+
+    def summaries(self) -> Dict[Tuple[str, str], RunSummary]:
+        """The partial results: (benchmark, kind) -> RunSummary."""
+        return {(o.benchmark, o.kind): o.summary for o in self.succeeded}
+
+    def format(self) -> str:
+        """Human-readable one-line-per-outcome report."""
+        lines = [f"suite: {len(self.succeeded)} ok, {len(self.failed)} "
+                 f"failed, {len(self.skipped)} skipped"]
+        for o in self.outcomes:
+            lines.append(f"  [{o.status:>7}] {o.benchmark}/{o.kind} "
+                         f"(attempts={o.attempts}, "
+                         f"{o.elapsed_s:.1f}s) {o.describe()}")
+        return "\n".join(lines)
+
+
+@contextmanager
+def _wall_clock_limit(seconds: Optional[float], label: str) -> Iterator[None]:
+    """Raise :class:`BenchmarkTimeoutError` if the block exceeds ``seconds``.
+
+    Uses ``SIGALRM``/``setitimer``, so it only engages on the main
+    thread of a POSIX process; elsewhere (worker threads, Windows) it
+    degrades to no enforcement rather than failing the run.
+    """
+    usable = (seconds is not None and seconds > 0
+              and hasattr(signal, "setitimer")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise BenchmarkTimeoutError(
+            f"{label}: exceeded {seconds:.1f}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _is_transient(exc: BaseException) -> bool:
+    """Whether retrying after backoff can plausibly succeed."""
+    if isinstance(exc, ReproError):
+        return exc.transient
+    return isinstance(exc, OSError)
+
+
+def run_suite(benchmarks: Sequence[str],
+              kinds: Sequence[str] = ("libra",),
+              frames: int = FRAMES,
+              timeout_s: Optional[float] = None,
+              max_attempts: int = 2,
+              backoff_s: float = 0.25,
+              runner: Optional[Callable[..., RunSummary]] = None,
+              known_benchmarks: Optional[Sequence[str]] = None,
+              **run_kwargs) -> SuiteReport:
+    """Supervised sweep over ``benchmarks`` x ``kinds``.
+
+    The resilient entry point for long campaigns: each (benchmark, kind)
+    pair runs under an optional per-run wall-clock ``timeout_s``;
+    transient faults (corrupt cache entries, I/O errors) are retried up
+    to ``max_attempts`` times with exponential backoff starting at
+    ``backoff_s``; and any terminal failure is recorded in the returned
+    :class:`SuiteReport` while the remaining pairs keep running.
+    Unknown benchmark names are reported as ``skipped`` (with the valid
+    names in the message) instead of aborting the sweep.
+
+    ``runner`` defaults to :func:`run_simulation` and exists for tests
+    and alternative backends; it receives ``(benchmark, kind,
+    frames=..., **run_kwargs)`` and must return a :class:`RunSummary`.
+    A ``KeyboardInterrupt`` stops the sweep but still returns the
+    report, with untouched pairs marked ``skipped``.
+    """
+    if max_attempts < 1:
+        raise ConfigValidationError("max_attempts must be >= 1")
+    runner = runner or run_simulation
+    valid = list(known_benchmarks) if known_benchmarks is not None \
+        else benchmark_names()
+    report = SuiteReport()
+    pairs = [(b, k) for b in benchmarks for k in kinds]
+    aborted = False
+    for index, (benchmark, kind) in enumerate(pairs):
+        if aborted:
+            report.outcomes.append(BenchmarkOutcome(
+                benchmark, kind, "skipped",
+                error="suite interrupted", error_type="KeyboardInterrupt"))
+            continue
+        if benchmark not in valid:
+            report.outcomes.append(BenchmarkOutcome(
+                benchmark, kind, "skipped",
+                error=(f"unknown benchmark {benchmark!r}; "
+                       f"valid: {', '.join(valid)}"),
+                error_type="ConfigValidationError"))
+            continue
+        outcome = BenchmarkOutcome(benchmark, kind, "failed")
+        start = time.monotonic()
+        for attempt in range(1, max_attempts + 1):
+            outcome.attempts = attempt
+            try:
+                with _wall_clock_limit(timeout_s, f"{benchmark}/{kind}"):
+                    summary = runner(benchmark, kind, frames=frames,
+                                     **run_kwargs)
+                outcome.status = "ok"
+                outcome.summary = summary
+                outcome.error = outcome.error_type = None
+                break
+            except KeyboardInterrupt:
+                outcome.error = "interrupted"
+                outcome.error_type = "KeyboardInterrupt"
+                aborted = True
+                break
+            except Exception as exc:
+                wrapped = exc if isinstance(exc, ReproError) \
+                    else SimulationError(f"{benchmark}/{kind}: {exc!r}")
+                outcome.error = str(wrapped)
+                outcome.error_type = type(wrapped).__name__
+                retryable = (_is_transient(exc)
+                             and attempt < max_attempts)
+                logger.warning(
+                    "%s/%s attempt %d/%d failed (%s: %s)%s",
+                    benchmark, kind, attempt, max_attempts,
+                    type(exc).__name__, exc,
+                    "; retrying" if retryable else "")
+                if not retryable:
+                    break
+                time.sleep(backoff_s * (2 ** (attempt - 1)))
+        outcome.elapsed_s = time.monotonic() - start
+        report.outcomes.append(outcome)
+    return report

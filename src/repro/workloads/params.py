@@ -10,8 +10,20 @@ frame-to-frame motion (coherence).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Tuple
+
+from ..errors import ConfigValidationError
+
+
+def _require_finite(owner: str, **values: float) -> None:
+    """Reject NaN/inf scene parameters (they poison every downstream
+    geometry computation without crashing it)."""
+    for name, value in values.items():
+        if not math.isfinite(value):
+            raise ConfigValidationError(
+                f"{owner}: {name} must be finite, got {value!r}")
 
 
 @dataclass
@@ -35,6 +47,22 @@ class HotspotSpec:
     #: Distinct sprite-sheet cells the cluster's sprites draw from (candy
     #: types, coin frames, ...); smaller values mean more texture reuse.
     cells: int = 16
+
+    def __post_init__(self) -> None:
+        _require_finite("hotspot", center_x=self.center[0],
+                        center_y=self.center[1], radius=self.radius,
+                        sprite_size=self.sprite_size,
+                        uv_scale=self.uv_scale, drift=self.drift)
+        if self.sprite_size <= 0.0:
+            raise ConfigValidationError(
+                f"hotspot: sprite_size {self.sprite_size} would draw "
+                "zero-area sprites")
+        if self.radius < 0.0 or self.uv_scale <= 0.0:
+            raise ConfigValidationError(
+                "hotspot: radius must be >= 0 and uv_scale > 0")
+        if self.sprites < 0 or self.layers < 1:
+            raise ConfigValidationError(
+                "hotspot: needs sprites >= 0 and layers >= 1")
 
 
 @dataclass
@@ -88,12 +116,32 @@ class WorkloadParams:
 
     def __post_init__(self) -> None:
         if self.style not in ("2D", "2.5D", "3D"):
-            raise ValueError(f"unknown style {self.style!r}")
+            raise ConfigValidationError(f"unknown style {self.style!r}")
         if self.num_textures < 1:
-            raise ValueError("need at least one texture")
+            raise ConfigValidationError("need at least one texture")
         for size in (self.texture_size, self.detail_texture_size):
             if size & (size - 1) or size < 4:
-                raise ValueError("texture sizes must be powers of two >= 4")
+                raise ConfigValidationError(
+                    "texture sizes must be powers of two >= 4")
+        _require_finite(self.name or "workload",
+                        scroll_speed=self.scroll_speed, wobble=self.wobble,
+                        texel_density=self.texel_density,
+                        terrain_density=self.terrain_density,
+                        roaming_min=self.roaming_size[0],
+                        roaming_max=self.roaming_size[1])
+        if self.roaming_size[0] <= 0.0 \
+                or self.roaming_size[1] < self.roaming_size[0]:
+            raise ConfigValidationError(
+                f"{self.name}: roaming_size {self.roaming_size} must be "
+                "a positive (min, max) range (zero-area sprites are "
+                "degenerate workloads)")
+        if self.texel_density <= 0.0 or self.terrain_density <= 0.0:
+            raise ConfigValidationError(
+                f"{self.name}: texel densities must be positive")
+        if self.roaming_sprites < 0 or self.hud_elements < 0 \
+                or self.terrain_cells < 0 or self.background_layers < 0:
+            raise ConfigValidationError(
+                f"{self.name}: scene element counts must be >= 0")
 
     @property
     def total_sprites(self) -> int:

@@ -15,20 +15,38 @@ Format (one JSON object per trace)::
                         "texture_lines": [...], ...}, ...}}
 
 Empty tiles are omitted; ``FrameTrace.workload_for`` regenerates them.
+
+Malformed input — truncated gzip streams, invalid JSON, missing keys,
+or a ``version`` other than :data:`FORMAT_VERSION` — raises
+:class:`~repro.errors.TraceFormatError` naming the offending path, so a
+bad trace file is diagnosed at the trust boundary instead of surfacing
+as a raw ``KeyError``/``EOFError`` deep in the simulator.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import zlib
 from pathlib import Path
 from typing import List, Union
 
+from ..errors import TraceFormatError
 from ..gpu.workload import FrameTrace, TileWorkload
 
 FORMAT_VERSION = 1
 
 PathLike = Union[str, Path]
+
+#: Keys every serialized tile record must carry.
+_TILE_KEYS = ("instructions", "fragments", "texture_lines",
+              "texture_fetches", "pb_lines", "fb_lines", "num_primitives",
+              "prim_fragments", "prim_instructions")
+
+#: Keys every serialized trace record must carry (beyond ``version``).
+_TRACE_KEYS = ("frame_index", "tiles_x", "tiles_y", "tile_size",
+               "geometry_cycles", "vertex_instructions", "vertex_lines",
+               "tiles")
 
 
 def trace_to_dict(trace: FrameTrace) -> dict:
@@ -62,15 +80,31 @@ def trace_to_dict(trace: FrameTrace) -> dict:
     }
 
 
-def trace_from_dict(data: dict) -> FrameTrace:
-    """Deserialize a trace dictionary (inverse of :func:`trace_to_dict`)."""
+def trace_from_dict(data: dict, source: str = "<dict>") -> FrameTrace:
+    """Deserialize a trace dictionary (inverse of :func:`trace_to_dict`).
+
+    ``source`` names the originating file in error messages.
+    """
     version = data.get("version")
     if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported trace format version {version!r}")
+        raise TraceFormatError(
+            f"{source}: unsupported trace format version {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    missing = [k for k in _TRACE_KEYS if k not in data]
+    if missing:
+        raise TraceFormatError(f"{source}: missing keys {missing}")
     workloads = {}
     for key, fields in data["tiles"].items():
-        tx_str, ty_str = key.split(",")
-        tile = (int(tx_str), int(ty_str))
+        try:
+            tx_str, ty_str = key.split(",")
+            tile = (int(tx_str), int(ty_str))
+        except ValueError:
+            raise TraceFormatError(
+                f"{source}: malformed tile key {key!r}") from None
+        absent = [k for k in _TILE_KEYS if k not in fields]
+        if absent:
+            raise TraceFormatError(
+                f"{source}: tile {key} missing keys {absent}")
         workloads[tile] = TileWorkload(
             tile=tile,
             instructions=fields["instructions"],
@@ -107,12 +141,35 @@ def save_traces(traces: List[FrameTrace], path: PathLike) -> None:
 
 
 def load_traces(path: PathLike) -> List[FrameTrace]:
-    """Read traces written by :func:`save_traces`."""
+    """Read traces written by :func:`save_traces`.
+
+    Raises :class:`TraceFormatError` on truncated gzip streams, invalid
+    JSON, missing keys, or a format-version mismatch — always naming the
+    offending path.
+    """
     path = Path(path)
-    if path.suffix == ".gz":
-        with gzip.open(path, "rt") as handle:
-            text = handle.read()
-    else:
-        text = path.read_text()
-    return [trace_from_dict(json.loads(line))
-            for line in text.splitlines() if line.strip()]
+    try:
+        if path.suffix == ".gz":
+            with gzip.open(path, "rt") as handle:
+                text = handle.read()
+        else:
+            text = path.read_text()
+    except (EOFError, gzip.BadGzipFile, zlib.error) as exc:
+        raise TraceFormatError(
+            f"{path}: truncated or corrupt gzip stream ({exc})") from exc
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(f"{path}: not a text trace file") from exc
+    traces = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{path}:{lineno}: invalid JSON ({exc.msg})") from exc
+        if not isinstance(data, dict):
+            raise TraceFormatError(
+                f"{path}:{lineno}: expected a JSON object per line")
+        traces.append(trace_from_dict(data, source=f"{path}:{lineno}"))
+    return traces

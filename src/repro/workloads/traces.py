@@ -14,10 +14,10 @@ LIBRA runs of an experiment (and can be cached on disk, see
 
 from __future__ import annotations
 
-import pickle
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from .. import cachefile
 from ..config import CACHE_LINE_BYTES
 from ..geometry.pipeline import GeometryPipeline
 from ..gpu.workload import FrameTrace, TileWorkload
@@ -148,6 +148,13 @@ class TraceCache:
     Experiments sweep many GPU configurations over the same frames; the
     trace is configuration-independent, so caching it cuts experiment
     time by the trace-building share.
+
+    Entries are written through :mod:`repro.cachefile`: atomic replace,
+    per-entry SHA-256 checksum, and an advisory per-entry lock, so
+    concurrent bench runs can share one cache directory.  A corrupt
+    entry (truncation, bit flip, legacy unchecksummed pickle) is
+    quarantined as ``<name>.corrupt`` and rebuilt — never served, never
+    silently deleted.
     """
 
     def __init__(self, directory: Path):
@@ -158,28 +165,32 @@ class TraceCache:
         return self.directory / f"{key}.v{TRACE_FORMAT_VERSION}.pkl"
 
     def get(self, key: str) -> Optional[List[FrameTrace]]:
-        """Cached traces for a key, or None."""
+        """Cached traces for a key, or None (corrupt entries quarantined)."""
         path = self._path(key)
         if not path.exists():
             return None
-        try:
-            with path.open("rb") as handle:
-                return pickle.load(handle)
-        except (pickle.UnpicklingError, EOFError, AttributeError):
-            path.unlink(missing_ok=True)
-            return None
+        with cachefile.file_lock(path):
+            return cachefile.load_or_quarantine(path)
 
     def put(self, key: str, traces: List[FrameTrace]) -> None:
-        """Store traces under a key."""
-        with self._path(key).open("wb") as handle:
-            pickle.dump(traces, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        """Store traces under a key (atomic, checksummed)."""
+        path = self._path(key)
+        with cachefile.file_lock(path):
+            cachefile.write_cache(traces, path)
 
     def get_or_build(self, key: str, builder: TraceBuilder,
                      num_frames: int, start: int = 0) -> List[FrameTrace]:
-        """Fetch cached traces or build and cache them."""
-        cached = self.get(key)
-        if cached is not None and len(cached) >= num_frames:
-            return cached[:num_frames]
-        traces = builder.build_many(num_frames, start=start)
-        self.put(key, traces)
+        """Fetch cached traces or build and cache them.
+
+        Holds the entry's advisory lock across the check-build-store
+        sequence, so of two concurrent processes racing on the same key
+        one builds and the other waits and reads the fresh entry.
+        """
+        path = self._path(key)
+        with cachefile.file_lock(path):
+            cached = cachefile.load_or_quarantine(path)
+            if cached is not None and len(cached) >= num_frames:
+                return cached[:num_frames]
+            traces = builder.build_many(num_frames, start=start)
+            cachefile.write_cache(traces, path)
         return traces

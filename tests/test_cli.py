@@ -67,3 +67,81 @@ class TestCommands:
         assert code == 0
         from repro.workloads import load_traces
         assert len(load_traces(out_path)) == 2
+
+
+class TestRobustness:
+    """Error contract: exit 2 + valid names for unknown names; exit 1 +
+    one-line diagnostic (no traceback) for ReproErrors."""
+
+    def test_unknown_benchmark_exits_2_with_valid_names(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--benchmark", "NOPE"])
+        assert err.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "NOPE" in stderr
+        assert "CCS" in stderr and "GDL" in stderr  # the valid names
+
+    def test_unknown_config_exits_2_with_valid_names(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["run", "--benchmark", "CCS", "--config", "magic"])
+        assert err.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "baseline" in stderr and "libra" in stderr
+
+    def test_suite_unknown_benchmark_exits_2(self, capsys):
+        code = main(["suite", "--benchmarks", "CCS,NOPE"])
+        assert code == 2
+        stderr = capsys.readouterr().err
+        assert "NOPE" in stderr and "valid:" in stderr and "CCS" in stderr
+
+    def test_repro_error_prints_one_line_diagnostic(self, capsys,
+                                                    monkeypatch):
+        from repro import cli
+        from repro.errors import SimulationError
+
+        def explode(args):
+            raise SimulationError("frame 3 of GDL failed")
+
+        monkeypatch.setattr(cli, "cmd_run", explode)
+        code = cli.main(["run", "--benchmark", "GDL"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error: SimulationError: frame 3 of GDL failed" \
+            in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bug_exceptions_still_propagate(self, monkeypatch):
+        # Only ReproErrors are swallowed into diagnostics; a genuine
+        # bug must keep its traceback.
+        from repro import cli
+
+        def explode(args):
+            raise RuntimeError("actual bug")
+
+        monkeypatch.setattr(cli, "cmd_run", explode)
+        with pytest.raises(RuntimeError):
+            cli.main(["run", "--benchmark", "GDL"])
+
+
+class TestSuiteCommand:
+    def test_suite_runs_and_reports(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["suite", "--benchmarks", "GDL", "--config", "ptr",
+                     "--frames", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 ok, 0 failed, 0 skipped" in out
+        assert "GDL/ptr" in out
+
+    def test_suite_failure_sets_exit_code(self, capsys, monkeypatch):
+        from repro import harness
+        from repro.errors import SimulationError
+
+        def explode(benchmark, kind, frames=1, **kw):
+            raise SimulationError("injected")
+
+        monkeypatch.setattr(harness, "run_simulation", explode)
+        code = main(["suite", "--benchmarks", "GDL", "--frames", "1"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "failed" in out and "injected" in out

@@ -1,0 +1,118 @@
+"""Concurrent cache access: two processes racing on one entry.
+
+The advisory ``fcntl`` lock plus atomic replace must let any number of
+bench runs share one cache directory: both racers succeed, neither reads
+a half-written entry, and exactly one valid entry remains.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro import cachefile
+from repro.workloads.traces import TRACE_FORMAT_VERSION, TraceCache
+
+from faults import tiny_builder
+
+
+def _race(directory, barrier, results, index):
+    """One racer: wait at the barrier, then get_or_build the shared key."""
+    cache = TraceCache(directory)
+    barrier.wait(timeout=30)
+    traces = cache.get_or_build("shared", tiny_builder(), 2)
+    results[index] = len(traces)
+
+
+@pytest.fixture
+def fork_ctx():
+    # fork (not spawn) so child processes inherit the imported package
+    # without pickling builders; the suite only runs on POSIX CI anyway.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platform
+        pytest.skip("fork start method unavailable")
+
+
+class TestConcurrentGetOrBuild:
+    def test_two_processes_one_valid_entry(self, tmp_path, fork_ctx):
+        barrier = fork_ctx.Barrier(2)
+        results = fork_ctx.Manager().dict()
+        workers = [
+            fork_ctx.Process(target=_race,
+                             args=(tmp_path, barrier, results, i))
+            for i in range(2)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=120)
+        assert all(w.exitcode == 0 for w in workers)
+        # Both callers got the traces...
+        assert dict(results) == {0: 2, 1: 2}
+        # ...nothing was quarantined (no torn reads under the lock)...
+        assert not list(tmp_path.glob("*.corrupt*"))
+        # ...and exactly one valid cache entry remains.
+        entries = list(tmp_path.glob(f"*.v{TRACE_FORMAT_VERSION}.pkl"))
+        assert len(entries) == 1
+        traces = cachefile.read_cache(entries[0])
+        assert len(traces) == 2
+
+    def test_lock_serializes_read_check_write(self, tmp_path, fork_ctx):
+        # Warm the entry, then race a reader against a writer; the
+        # reader must see either the old or the new complete entry.
+        cache = TraceCache(tmp_path)
+        cache.get_or_build("shared", tiny_builder(), 1)
+
+        barrier = fork_ctx.Barrier(2)
+        results = fork_ctx.Manager().dict()
+
+        def reader(directory, barrier, results, index):
+            c = TraceCache(directory)
+            barrier.wait(timeout=30)
+            for _ in range(20):
+                got = c.get("shared")
+                assert got is not None, "reader saw a torn/corrupt entry"
+            results[index] = True
+
+        def writer(directory, barrier, results, index):
+            c = TraceCache(directory)
+            builder = tiny_builder()
+            barrier.wait(timeout=30)
+            for _ in range(5):
+                c.put("shared", builder.build_many(1))
+            results[index] = True
+
+        workers = [fork_ctx.Process(target=reader,
+                                    args=(tmp_path, barrier, results, 0)),
+                   fork_ctx.Process(target=writer,
+                                    args=(tmp_path, barrier, results, 1))]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=120)
+        assert all(w.exitcode == 0 for w in workers)
+        assert dict(results) == {0: True, 1: True}
+
+
+class TestLockPrimitive:
+    def test_lock_is_exclusive_across_processes(self, tmp_path, fork_ctx):
+        target = tmp_path / "entry.pkl"
+        counter = tmp_path / "counter.txt"
+        counter.write_text("0")
+
+        def bump(path, counter_path, rounds):
+            for _ in range(rounds):
+                with cachefile.file_lock(path):
+                    value = int(counter_path.read_text())
+                    counter_path.write_text(str(value + 1))
+
+        workers = [fork_ctx.Process(target=bump,
+                                    args=(target, counter, 50))
+                   for _ in range(3)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=120)
+        assert all(w.exitcode == 0 for w in workers)
+        # Lost updates would leave the counter short of 150.
+        assert int(counter.read_text()) == 150

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.errors import TraceFormatError
 from repro.gpu.workload import FrameTrace, TileWorkload
 from repro.workloads.trace_io import (load_traces, save_traces,
                                       trace_from_dict, trace_to_dict)
@@ -79,3 +80,82 @@ class TestFileRoundtrip:
         save_traces([trace], tmp_path / "a.jsonl.gz")
         assert (tmp_path / "a.jsonl.gz").stat().st_size < \
             (tmp_path / "a.jsonl").stat().st_size
+
+
+class TestCorruptedInputs:
+    """Malformed files raise TraceFormatError naming the offending path."""
+
+    def saved(self, tmp_path, name="t.jsonl"):
+        path = tmp_path / name
+        save_traces([make_trace(0), make_trace(1)], path)
+        return path
+
+    def test_full_roundtrip_via_dict_and_file(self, tmp_path):
+        path = self.saved(tmp_path)
+        loaded = load_traces(path)
+        assert [trace_to_dict(t) for t in loaded] == \
+            [trace_to_dict(make_trace(0)), trace_to_dict(make_trace(1))]
+
+    def test_truncated_gzip_names_path(self, tmp_path):
+        path = self.saved(tmp_path, "t.jsonl.gz")
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(TraceFormatError) as err:
+            load_traces(path)
+        assert str(path) in str(err.value)
+
+    def test_binary_garbage_plain_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_bytes(b"\xff\xfe\x00garbage\x80")
+        with pytest.raises(TraceFormatError):
+            load_traces(path)
+
+    def test_invalid_json_line_reports_line_number(self, tmp_path):
+        path = self.saved(tmp_path)
+        path.write_text(path.read_text() + "\n{broken")
+        with pytest.raises(TraceFormatError, match=r":3: invalid JSON"):
+            load_traces(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(TraceFormatError, match="JSON object"):
+            load_traces(path)
+
+    def test_version_skew_names_path(self, tmp_path):
+        path = self.saved(tmp_path)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        for record in records:
+            record["version"] = 2
+        path.write_text("\n".join(json.dumps(r) for r in records))
+        with pytest.raises(TraceFormatError) as err:
+            load_traces(path)
+        assert str(path) in str(err.value)
+        assert "version 2" in str(err.value)
+
+    def test_missing_trace_key(self):
+        data = trace_to_dict(make_trace())
+        del data["tiles"]
+        with pytest.raises(TraceFormatError, match="tiles"):
+            trace_from_dict(data)
+
+    def test_missing_tile_field(self):
+        data = trace_to_dict(make_trace())
+        del data["tiles"]["0,0"]["fragments"]
+        with pytest.raises(TraceFormatError, match="fragments"):
+            trace_from_dict(data)
+
+    def test_malformed_tile_key(self):
+        data = trace_to_dict(make_trace())
+        data["tiles"]["not-a-coord"] = data["tiles"].pop("0,0")
+        with pytest.raises(TraceFormatError, match="tile key"):
+            trace_from_dict(data)
+
+    def test_error_is_a_value_error(self):
+        # Pre-taxonomy callers caught ValueError; the subclass keeps
+        # that contract.
+        data = trace_to_dict(make_trace())
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            trace_from_dict(data)
