@@ -1,0 +1,85 @@
+"""Profile mode for the simulator hot path.
+
+Times the batched hot path against the scalar golden path on one
+benchmark and prints a cProfile breakdown of where the batched run
+spends its time — the tool used to find (and keep finding) the next
+bottleneck.  See ``docs/performance.md`` for the methodology.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_hotpath.py            # CCS, 4 frames
+    PYTHONPATH=src python benchmarks/profile_hotpath.py --benchmark SuS \
+        --frames 8 --top 25 --skip-scalar
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+import common  # noqa: F401,E402  (sets REPRO_CACHE_DIR)
+
+from repro import harness  # noqa: E402
+from repro.gpu import GPUSimulator  # noqa: E402
+
+
+def _run(kind: str, traces, batched: bool):
+    config, scheduler = harness.make_config(kind)
+    sim = GPUSimulator(config, scheduler=scheduler, name=kind,
+                       batched=batched)
+    return sim.run(traces)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="profile the simulator's memory hot path")
+    parser.add_argument("--benchmark", default="CCS")
+    parser.add_argument("--kind", default="libra")
+    parser.add_argument("--frames", type=int, default=4)
+    parser.add_argument("--top", type=int, default=20,
+                        help="profile rows to print")
+    parser.add_argument("--skip-scalar", action="store_true",
+                        help="skip the scalar reference timing")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"))
+    args = parser.parse_args(argv)
+
+    traces = harness.get_traces(args.benchmark, frames=args.frames)
+    print(f"{args.benchmark}/{args.kind}, {args.frames} frames")
+
+    start = time.perf_counter()
+    batched = _run(args.kind, traces, batched=True)
+    batched_s = time.perf_counter() - start
+    print(f"batched: {batched_s:8.2f}s   "
+          f"({batched.total_cycles:,} simulated cycles)")
+
+    if not args.skip_scalar:
+        start = time.perf_counter()
+        scalar = _run(args.kind, traces, batched=False)
+        scalar_s = time.perf_counter() - start
+        print(f"scalar:  {scalar_s:8.2f}s   "
+              f"({scalar.total_cycles:,} simulated cycles)")
+        if scalar.total_cycles != batched.total_cycles:
+            print("ERROR: batched/scalar cycle mismatch — parity broken",
+                  file=sys.stderr)
+            return 1
+        print(f"speedup: {scalar_s / batched_s:8.2f}x  (parity OK)")
+
+    print(f"\ncProfile of the batched run (top {args.top} by "
+          f"{args.sort}):")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _run(args.kind, traces, batched=True)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

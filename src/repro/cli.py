@@ -8,8 +8,9 @@ Subcommands:
 * ``repro compare --benchmark CCS --frames 8`` — baseline vs PTR vs LIBRA
   side by side.
 * ``repro heatmap --benchmark SuS`` — ASCII per-tile DRAM heatmap (Fig. 2).
-* ``repro suite --benchmarks CCS,GDL --config libra`` — supervised sweep
-  (timeouts, retries, graceful degradation; see ``repro.harness.run_suite``).
+* ``repro suite --benchmarks CCS,GDL --config libra [--workers N]`` —
+  supervised sweep (timeouts, retries, graceful degradation, optional
+  process-parallel execution; see ``repro.harness.run_suite``).
 
 Error contract: an unknown benchmark or configuration name exits with
 status 2 and prints the valid names; any :class:`~repro.errors.ReproError`
@@ -153,9 +154,13 @@ def cmd_suite(args) -> int:
         print(f"error: unknown benchmark(s) {', '.join(unknown)}; "
               f"valid: {', '.join(valid)}", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     report = harness.run_suite(
         names, kinds=(args.config,), frames=args.frames,
-        timeout_s=args.timeout, max_attempts=args.retries + 1)
+        timeout_s=args.timeout, max_attempts=args.retries + 1,
+        workers=args.workers)
     print(report.format())
     return 0 if not report.failed else 1
 
@@ -220,6 +225,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-benchmark wall-clock budget, seconds")
     suite.add_argument("--retries", type=int, default=1,
                        help="extra attempts for transient failures")
+    suite.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the sweep (1 = "
+                            "sequential)")
     return parser
 
 

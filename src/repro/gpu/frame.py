@@ -59,18 +59,20 @@ class FrameDriver:
 
     def __init__(self, config: GPUConfig, scheduler: TileScheduler,
                  ideal_memory: bool = False,
-                 energy_model: EnergyModel = None):
+                 energy_model: EnergyModel = None,
+                 batched: bool = True):
         config.validate()
         self.config = config
         self.scheduler = scheduler
         self.ideal_memory = ideal_memory
+        self.batched = batched
         self.energy_model = energy_model or EnergyModel()
         self.shared = SharedMemory(config)
         self.tile_cache = make_tile_cache(config)
         self.vertex_cache = make_vertex_cache(config)
         self.raster_units = [
             TimingRasterUnit(i, config, self.shared, self.tile_cache,
-                             ideal_memory=ideal_memory)
+                             ideal_memory=ideal_memory, batched=batched)
             for i in range(config.num_raster_units)]
         self.timing = TimingSimulator(config, self.shared,
                                       self.raster_units, self.tile_cache)
@@ -101,21 +103,35 @@ class FrameDriver:
         Vertex fetches run through the Vertex cache into the shared L2 and
         DRAM; the stream is chunked over the phase's intervals so it does
         not appear as a single burst in the DRAM utilization series.
+
+        The phase always closes exactly ``geometry_cycles //
+        interval_cycles`` (floored to at least 1) DRAM intervals — the
+        line stream is spread over that fixed count rather than deriving
+        the count from a chunk size, so the interval series stays
+        deterministic even when the chunking does not divide evenly.
         """
         if self.ideal_memory:
             return
         lines = trace.vertex_lines
         interval = self.config.interval_cycles
         num_intervals = max(trace.geometry_cycles // interval, 1)
-        if not lines:
-            for _ in range(num_intervals):
-                self.shared.end_interval()
-            return
-        chunk = max(len(lines) // num_intervals, 1)
-        for start in range(0, len(lines), chunk):
-            for line in lines[start:start + chunk]:
-                if not self.vertex_cache.lookup(line):
-                    self.shared.access(line, GEOMETRY)
+        n = len(lines)
+        for k in range(num_intervals):
+            start = k * n // num_intervals
+            stop = (k + 1) * n // num_intervals
+            if start < stop:
+                chunk = lines[start:stop]
+                if self.batched:
+                    misses: List[tuple] = []
+                    self.vertex_cache.lookup_batch(chunk,
+                                                   miss_record=misses)
+                    if misses:
+                        self.shared.access_batch(
+                            [line for line, _ in misses], GEOMETRY)
+                else:
+                    for line in chunk:
+                        if not self.vertex_cache.lookup(line):
+                            self.shared.access(line, GEOMETRY)
             self.shared.end_interval()
 
     # -- stats plumbing -----------------------------------------------------

@@ -18,12 +18,12 @@ tile start; Frame Buffer writes stream straight to DRAM at tile flush.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import GPUConfig
 from ..memory.cache import Cache
 from ..memory.hierarchy import SharedMemory, make_texture_l1
-from ..memory.traffic import FRAMEBUFFER, PARAMETER, TEXTURE
+from ..memory.traffic import FRAMEBUFFER, PARAMETER, TEXTURE, WRITEBACK
 from .shader_core import CoreCluster
 from .workload import TileCoord, TileWorkload
 
@@ -57,15 +57,25 @@ class RasterUnitStats:
 
 
 class TimingRasterUnit:
-    """One Raster Unit of the timing simulator."""
+    """One Raster Unit of the timing simulator.
+
+    With ``batched`` (the default) the tile footprint is streamed through
+    the memory hierarchy in per-interval runs via
+    :meth:`_access_texture_run` — a fused L1/L2/DRAM loop with bound
+    locals and bulk statistics updates that is bit-identical in every
+    counter and cache state to the scalar per-line path (``batched=False``,
+    kept as the golden reference for the parity suite).
+    """
 
     def __init__(self, index: int, config: GPUConfig, shared: SharedMemory,
-                 tile_cache: Cache, ideal_memory: bool = False):
+                 tile_cache: Cache, ideal_memory: bool = False,
+                 batched: bool = True):
         self.index = index
         self.config = config
         self.shared = shared
         self.tile_cache = tile_cache
         self.ideal_memory = ideal_memory
+        self.batched = batched
         self.cluster = CoreCluster(config.raster_unit, config.shader_core)
         self.l1 = make_texture_l1(config, name=f"TexL1[{index}]")
         self._l1_latency = float(config.texture_cache.latency_cycles)
@@ -81,7 +91,29 @@ class TimingRasterUnit:
         self._line_idx = 0
         self._cycles_per_line = 0.0
         self._tile_dram = 0
+        self._mshrs_total = self.cluster.mshrs_total
         self.stats = RasterUnitStats()
+        self._bind_hot()
+
+    def _bind_hot(self) -> None:
+        """Snapshot the stable hot-path references into one tuple.
+
+        ``_stream_texture_lines`` unpacks this in a single statement
+        instead of ~20 attribute loads per call.  Everything here keeps
+        its identity for the lifetime of a run (caches clear in place,
+        the DRAM is never reset mid-run); the tuple is refreshed each
+        ``begin_frame`` anyway as cheap insurance.
+        """
+        l1 = self.l1
+        l2 = self.shared.l2
+        dram = self.shared.dram
+        self._hot = (
+            l1._sets, l1._set_mask, l1.ways, l1._dirty, l1.stats,
+            l2._sets, l2._set_mask, l2.ways, l2._dirty, l2.stats,
+            dram, dram._open_rows, dram._lines_per_row, dram._bank_mask,
+            dram._bank_bits, dram._hit_service, dram._miss_service,
+            dram.stats, self.shared.traffic, l1,
+        )
 
     # -- frame lifecycle ---------------------------------------------------
     def begin_frame(self) -> None:
@@ -92,6 +124,7 @@ class TimingRasterUnit:
         self._line_idx = 0
         self._tile_dram = 0
         self.stats = RasterUnitStats()
+        self._bind_hot()
 
     @property
     def busy(self) -> bool:
@@ -106,8 +139,12 @@ class TimingRasterUnit:
             miss_budget = 1 << 62
         else:
             memory_latency = (self._l1_latency + self._l2_latency
-                              + self.shared.dram.loaded_latency)
-            miss_budget = self.cluster.miss_budget(cycles, memory_latency)
+                              + self.shared.dram._loaded_latency)
+            # Inlined CoreCluster.miss_budget (Little's law on the MSHR
+            # pool); latencies are validated positive at construction.
+            miss_budget = int(self._mshrs_total * cycles / memory_latency)
+            if miss_budget < 1:
+                miss_budget = 1
         worked = False
 
         while cycle_budget > _EPS:
@@ -125,6 +162,19 @@ class TimingRasterUnit:
             if (self._line_idx < n_lines
                     and self._cycles_done + _EPS
                     >= self._line_idx * self._cycles_per_line):
+                if self.batched:
+                    cycle_budget, dram_misses, stalled = \
+                        self._stream_texture_lines(lines, n_lines,
+                                                   cycle_budget,
+                                                   miss_budget)
+                    miss_budget -= dram_misses
+                    if stalled:
+                        # Memory-limited: the MSHR pool cannot absorb
+                        # more misses this interval; the unit stalls at
+                        # the access that exhausted the budget.
+                        self.stats.memory_stall_intervals += 1
+                        cycle_budget = 0.0
+                    continue
                 # The next texture access is due now.
                 level = self._access_texture(lines[self._line_idx])
                 self._line_idx += 1
@@ -164,10 +214,20 @@ class TimingRasterUnit:
         self._cycles_per_line = (self._cycles_needed / n_lines
                                  if n_lines else 0.0)
         if not self.ideal_memory:
-            for line in workload.pb_lines:
-                if not self.tile_cache.lookup(line):
-                    if self.shared.access(line, PARAMETER) == "dram":
-                        self._tile_dram += 1
+            pb_lines = workload.pb_lines
+            if self.batched:
+                if pb_lines:
+                    misses: list = []
+                    self.tile_cache.lookup_batch(pb_lines,
+                                                 miss_record=misses)
+                    if misses:
+                        self._tile_dram += self.shared.access_batch(
+                            [line for line, _ in misses], PARAMETER)
+            else:
+                for line in pb_lines:
+                    if not self.tile_cache.lookup(line):
+                        if self.shared.access(line, PARAMETER) == "dram":
+                            self._tile_dram += 1
         return float(self.config.raster_unit.tile_setup_cycles)
 
     def _finish_tile(self) -> float:
@@ -178,8 +238,11 @@ class TimingRasterUnit:
             fb_lines = w.fb_lines
             if self._compressor is not None and fb_lines:
                 fb_lines = self._compressor.compress_flush(fb_lines)
-            for line in fb_lines:
-                self.shared.stream_to_dram(line, FRAMEBUFFER)
+            if self.batched:
+                self.shared.stream_to_dram_batch(fb_lines, FRAMEBUFFER)
+            else:
+                for line in fb_lines:
+                    self.shared.stream_to_dram(line, FRAMEBUFFER)
             self._tile_dram += len(fb_lines)
         # Per-fragment fetches beyond the line footprint are filtered by
         # quad coalescing before the L1; account their energy only (they
@@ -195,6 +258,189 @@ class TimingRasterUnit:
         stats.per_tile_instructions[w.tile] = w.instructions
         self._current = None
         return float(self.config.raster_unit.tile_flush_cycles)
+
+    # -- batched memory path ---------------------------------------------------
+    def _stream_texture_lines(self, lines: Sequence[int], n_lines: int,
+                              cycle_budget: float, miss_budget: int):
+        """Stream every texture line due this interval, in one fused loop.
+
+        Replays the scalar advance/access cadence — the same float
+        operations in the same order — with the per-line memory path
+        (L1 -> L2 -> DRAM) inlined with bound locals and statistics
+        applied in bulk afterwards.  Cache/LRU state, counters, and the
+        DRAM request order are bit-identical to the scalar path
+        (``batched=False``).  Stops after the access whose DRAM-level
+        miss exhausts ``miss_budget``; the caller charges the stall.
+
+        Advances ``self._line_idx`` / ``self._cycles_done`` and returns
+        ``(cycle_budget, dram_misses, stalled)``.
+        """
+        eps = _EPS
+        cpl = self._cycles_per_line
+        done = self._cycles_done
+        budget = cycle_budget
+        index = self._line_idx
+        unit_stats = self.stats
+
+        if self.ideal_memory:
+            accessed = 0
+            while budget > eps:
+                if index >= n_lines:
+                    break
+                target = index * cpl
+                if done + eps < target:
+                    while True:
+                        gap = target - done
+                        chunk = gap if gap < budget else budget
+                        done += chunk
+                        budget -= chunk
+                        if budget <= eps or done + eps >= target:
+                            break
+                    if budget <= eps:
+                        break
+                accessed += 1
+                index += 1
+            unit_stats.texture_accesses += accessed
+            unit_stats.texture_latency_sum += self._l1_latency * accessed
+            self._line_idx = index
+            self._cycles_done = done
+            return budget, 0, False
+
+        (l1_sets, l1_mask, l1_nways, l1_dirty, l1_stats,
+         l2_sets, l2_mask, l2_nways, l2_dirty, l2_stats,
+         dram, d_open, d_lpr, d_bmask, d_bbits, d_hit, d_miss,
+         d_stats, traffic, l1) = self._hot
+        l1_lat = self._l1_latency
+        l2_lat = l1_lat + self._l2_latency
+        dram_lat = l2_lat + dram._loaded_latency
+        svc_sum = dram._service_cycles_sum
+        l1_hits = l1_evictions = l1_writebacks = 0
+        l2_hits = l2_evictions = l2_writebacks = 0
+        d_row_hits = d_row_misses = 0
+        latency = 0.0
+        dram_misses = 0
+        accessed = 0
+        stalled = False
+        while budget > eps:
+            if index >= n_lines:
+                break
+            target = index * cpl
+            if done + eps < target:
+                # Advance the compute cadence to the next due line in one
+                # inner loop: the same chunk float operations the scalar
+                # path performs, including its budget re-check after every
+                # chunk (``chunk`` is always positive here, so the scalar
+                # path's ``chunk > 0.0`` guard is vacuous).
+                while True:
+                    gap = target - done
+                    chunk = gap if gap < budget else budget
+                    done += chunk
+                    budget -= chunk
+                    if budget <= eps or done + eps >= target:
+                        break
+                if budget <= eps:
+                    break
+            line = lines[index]
+            index += 1
+            accessed += 1
+            ways = l1_sets[line & l1_mask]
+            # dict.pop with a sentinel default folds the scalar path's
+            # membership test + delete into one hash lookup; stored
+            # values are always None, so None means hit.
+            if ways.pop(line, 0) is None:
+                ways[line] = None
+                l1_hits += 1
+                latency += l1_lat
+                continue
+            if len(ways) >= l1_nways:
+                for evicted in ways:
+                    break
+                del ways[evicted]
+                l1_evictions += 1
+                if evicted in l1_dirty:
+                    l1_dirty.discard(evicted)
+                    l1_writebacks += 1
+                    l1.pending_writebacks.append(evicted)
+            ways[line] = None
+            ways = l2_sets[line & l2_mask]
+            if ways.pop(line, 0) is None:
+                ways[line] = None
+                l2_hits += 1
+                latency += l2_lat
+                continue
+            victim = None
+            if len(ways) >= l2_nways:
+                for victim in ways:
+                    break
+                del ways[victim]
+                l2_evictions += 1
+                if victim in l2_dirty:
+                    l2_dirty.discard(victim)
+                    l2_writebacks += 1
+                else:
+                    victim = None
+            ways[line] = None
+            # Inlined DRAM row-buffer walk (DRAM.request): demand read
+            # first, then the dirty victim's writeback — same order and
+            # the same service-cycle float accumulation as the scalar
+            # path.  Counters are applied in bulk below.
+            row = line // d_lpr
+            bank = row & d_bmask
+            row_of_bank = row >> d_bbits
+            if d_open[bank] == row_of_bank:
+                d_row_hits += 1
+                svc_sum += d_hit
+            else:
+                d_row_misses += 1
+                d_open[bank] = row_of_bank
+                svc_sum += d_miss
+            if victim is not None:
+                row = victim // d_lpr
+                bank = row & d_bmask
+                row_of_bank = row >> d_bbits
+                if d_open[bank] == row_of_bank:
+                    d_row_hits += 1
+                    svc_sum += d_hit
+                else:
+                    d_row_misses += 1
+                    d_open[bank] = row_of_bank
+                    svc_sum += d_miss
+            latency += dram_lat
+            dram_misses += 1
+            if dram_misses >= miss_budget:
+                stalled = True
+                break
+        l1_stats.accesses += accessed
+        l1_stats.hits += l1_hits
+        l1_misses = accessed - l1_hits
+        l1_stats.misses += l1_misses
+        l1_stats.evictions += l1_evictions
+        l1_stats.writebacks += l1_writebacks
+        l2_stats.accesses += l1_misses
+        l2_stats.hits += l2_hits
+        l2_stats.misses += l1_misses - l2_hits
+        l2_stats.evictions += l2_evictions
+        l2_stats.writebacks += l2_writebacks
+        dram_requests = dram_misses + l2_writebacks
+        if dram_requests:
+            dram._service_cycles_sum = svc_sum
+            dram._service_count += dram_requests
+            dram._interval_requests += dram_requests
+            d_stats.reads += dram_misses
+            d_stats.writes += l2_writebacks
+            d_stats.row_hits += d_row_hits
+            d_stats.row_misses += d_row_misses
+            d_stats.activations += d_row_misses
+            traffic.add(TEXTURE, dram_misses)
+        if l2_writebacks:
+            traffic.add(WRITEBACK, l2_writebacks)
+        unit_stats.texture_accesses += accessed
+        unit_stats.texture_latency_sum += latency
+        unit_stats.dram_texture_misses += dram_misses
+        self._tile_dram += dram_misses
+        self._line_idx = index
+        self._cycles_done = done
+        return budget, dram_misses, stalled
 
     # -- memory path ----------------------------------------------------------
     def _access_texture(self, line: int) -> str:

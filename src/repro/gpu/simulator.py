@@ -104,13 +104,15 @@ class GPUSimulator:
                  scheduler: Optional[TileScheduler] = None,
                  ideal_memory: bool = False,
                  energy_model: Optional[EnergyModel] = None,
-                 name: str = ""):
+                 name: str = "",
+                 batched: bool = True):
         self.config = config
         self.scheduler = scheduler or ZOrderScheduler()
         self.name = name or type(self.scheduler).__name__
         self.driver = FrameDriver(config, self.scheduler,
                                   ideal_memory=ideal_memory,
-                                  energy_model=energy_model)
+                                  energy_model=energy_model,
+                                  batched=batched)
 
     def run_frame(self, trace: FrameTrace) -> FrameResult:
         """Simulate one frame and return its FrameResult."""

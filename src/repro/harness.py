@@ -68,8 +68,18 @@ TILE = 32
 #: finish in minutes, not hours).
 FRAMES = 8
 
-#: Bump to invalidate every cached trace and result.
-GENERATION = 1
+#: Bump to invalidate cached *traces* (scene generator or trace-builder
+#: changes).  Traces are configuration-independent and expensive to
+#: build, so this moves rarely.
+TRACE_GENERATION = 1
+
+#: Bump to invalidate cached *results* (any semantic change to the
+#: timing model).  g2: geometry-phase interval accounting made
+#: deterministic when the vertex stream does not divide evenly.
+RESULT_GENERATION = 2
+
+#: Backwards-compatible alias (pre-split single generation number).
+GENERATION = TRACE_GENERATION
 
 
 def cache_dir() -> Path:
@@ -122,6 +132,16 @@ def _ru(cores: int):
 
 # -- traces ----------------------------------------------------------------
 
+#: In-process memo of recently loaded trace lists.  A figure sweep runs
+#: the same benchmark under many configurations back to back; without
+#: this every ``run_simulation`` call re-unpickles a multi-megabyte
+#: trace file.  Kept tiny (a sweep touches one benchmark at a time) and
+#: keyed like the disk entry.  Callers must treat the traces as
+#: read-only, which the simulator does.
+_TRACE_MEMO: Dict[Tuple[str, int, int, int], List[FrameTrace]] = {}
+_TRACE_MEMO_SLOTS = 4
+
+
 def get_traces(benchmark: str, frames: int = FRAMES, width: int = WIDTH,
                height: int = HEIGHT) -> List[FrameTrace]:
     """Frame traces for a benchmark, built once and cached on disk.
@@ -130,19 +150,34 @@ def get_traces(benchmark: str, frames: int = FRAMES, width: int = WIDTH,
     (truncated, bit-flipped, interrupted write, legacy format) is
     quarantined with a logged warning naming the path and reason, then
     rebuilt from the scene generator.  The advisory per-entry lock makes
-    concurrent bench runs build the traces exactly once.
+    concurrent bench runs build the traces exactly once.  A small
+    in-process memo short-circuits repeat loads within one sweep; the
+    returned list is shared, so treat it as read-only.
     """
-    key = f"trace-g{GENERATION}-{benchmark}-{width}x{height}-f{frames}"
+    memo_key = (benchmark, frames, width, height)
+    memoized = _TRACE_MEMO.get(memo_key)
+    if memoized is not None:
+        return list(memoized)
+    key = f"trace-g{TRACE_GENERATION}-{benchmark}-{width}x{height}-f{frames}"
     path = cache_dir() / f"{key}.v{TRACE_FORMAT_VERSION}.pkl"
     with cachefile.file_lock(path):
         cached = _load_cache_entry(path, f"trace cache for {benchmark}")
         if cached is not None:
+            _memoize_traces(memo_key, cached)
             return cached
         builder = TraceBuilder(make_scene_builder(benchmark, width, height),
                                width, height, TILE)
         traces = builder.build_many(frames)
         cachefile.write_cache(traces, path)
+    _memoize_traces(memo_key, traces)
     return traces
+
+
+def _memoize_traces(key: Tuple[str, int, int, int],
+                    traces: List[FrameTrace]) -> None:
+    while len(_TRACE_MEMO) >= _TRACE_MEMO_SLOTS:
+        _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+    _TRACE_MEMO[key] = list(traces)
 
 
 def _load_cache_entry(path: Path, what: str):
@@ -205,13 +240,14 @@ def run_simulation(benchmark: str, kind: str, frames: int = FRAMES,
     The three ``*_threshold`` overrides tweak the LIBRA scheduler's
     decision thresholds (the Figure 19 sensitivity sweeps).
     """
-    key = (f"run-g{GENERATION}-{benchmark}-{kind}-f{frames}"
+    key = (f"run-g{RESULT_GENERATION}-{benchmark}-{kind}-f{frames}"
            f"-r{raster_units}x{cores_per_unit}"
            f"{'-ideal' if ideal_memory else ''}"
            f"-h{hit_threshold}-o{order_switch_threshold}"
            f"-s{resize_threshold}")
     digest = hashlib.sha1(key.encode()).hexdigest()[:16]
-    path = cache_dir() / f"run-g{GENERATION}-{benchmark}-{kind}-{digest}.pkl"
+    path = (cache_dir()
+            / f"run-g{RESULT_GENERATION}-{benchmark}-{kind}-{digest}.pkl")
     if use_cache:
         cached = _load_cache_entry(path, f"result cache {benchmark}/{kind}")
         if cached is not None:
@@ -399,6 +435,67 @@ def _is_transient(exc: BaseException) -> bool:
     return isinstance(exc, OSError)
 
 
+def _attempt_pair(benchmark: str, kind: str, frames: int,
+                  timeout_s: Optional[float], max_attempts: int,
+                  backoff_s: float, runner: Callable[..., RunSummary],
+                  run_kwargs: dict) -> BenchmarkOutcome:
+    """Run one (benchmark, kind) pair under the retry/timeout policy.
+
+    Module-level (not a closure) so :func:`run_suite` can ship it to
+    worker processes; everything it touches must stay picklable.  A
+    ``KeyboardInterrupt`` during an attempt is recorded on the returned
+    outcome (``error_type == "KeyboardInterrupt"``) for the caller to
+    act on rather than propagating.
+    """
+    outcome = BenchmarkOutcome(benchmark, kind, "failed")
+    start = time.monotonic()
+    for attempt in range(1, max_attempts + 1):
+        outcome.attempts = attempt
+        try:
+            with _wall_clock_limit(timeout_s, f"{benchmark}/{kind}"):
+                summary = runner(benchmark, kind, frames=frames,
+                                 **run_kwargs)
+            outcome.status = "ok"
+            outcome.summary = summary
+            outcome.error = outcome.error_type = None
+            break
+        except KeyboardInterrupt:
+            outcome.error = "interrupted"
+            outcome.error_type = "KeyboardInterrupt"
+            break
+        except Exception as exc:
+            wrapped = exc if isinstance(exc, ReproError) \
+                else SimulationError(f"{benchmark}/{kind}: {exc!r}")
+            outcome.error = str(wrapped)
+            outcome.error_type = type(wrapped).__name__
+            retryable = (_is_transient(exc)
+                         and attempt < max_attempts)
+            logger.warning(
+                "%s/%s attempt %d/%d failed (%s: %s)%s",
+                benchmark, kind, attempt, max_attempts,
+                type(exc).__name__, exc,
+                "; retrying" if retryable else "")
+            if not retryable:
+                break
+            time.sleep(backoff_s * (2 ** (attempt - 1)))
+    outcome.elapsed_s = time.monotonic() - start
+    return outcome
+
+
+def _skipped(benchmark: str, kind: str, error: str,
+             error_type: str) -> BenchmarkOutcome:
+    return BenchmarkOutcome(benchmark, kind, "skipped",
+                            error=error, error_type=error_type)
+
+
+def _unknown_benchmark(benchmark: str, kind: str,
+                       valid: Sequence[str]) -> BenchmarkOutcome:
+    return _skipped(benchmark, kind,
+                    (f"unknown benchmark {benchmark!r}; "
+                     f"valid: {', '.join(valid)}"),
+                    "ConfigValidationError")
+
+
 def run_suite(benchmarks: Sequence[str],
               kinds: Sequence[str] = ("libra",),
               frames: int = FRAMES,
@@ -407,6 +504,7 @@ def run_suite(benchmarks: Sequence[str],
               backoff_s: float = 0.25,
               runner: Optional[Callable[..., RunSummary]] = None,
               known_benchmarks: Optional[Sequence[str]] = None,
+              workers: int = 1,
               **run_kwargs) -> SuiteReport:
     """Supervised sweep over ``benchmarks`` x ``kinds``.
 
@@ -419,6 +517,17 @@ def run_suite(benchmarks: Sequence[str],
     Unknown benchmark names are reported as ``skipped`` (with the valid
     names in the message) instead of aborting the sweep.
 
+    ``workers`` > 1 fans the pairs out over a ``ProcessPoolExecutor``
+    with the *same* per-pair timeout/retry policy (each worker runs one
+    pair at a time on its own main thread, so the ``SIGALRM`` timeout
+    still engages) and the same outcome order in the report.  Per-pair
+    failure isolation carries over — one worker's failed or timed-out
+    benchmark never disturbs the others — and the on-disk trace/result
+    caches stay consistent because every entry is written under an
+    advisory file lock.  ``runner`` and ``run_kwargs`` must be picklable
+    in this mode; a pair whose submission or result transfer fails is
+    recorded as ``failed``, not raised.
+
     ``runner`` defaults to :func:`run_simulation` and exists for tests
     and alternative backends; it receives ``(benchmark, kind,
     frames=..., **run_kwargs)`` and must return a :class:`RunSummary`.
@@ -427,57 +536,99 @@ def run_suite(benchmarks: Sequence[str],
     """
     if max_attempts < 1:
         raise ConfigValidationError("max_attempts must be >= 1")
+    if workers < 1:
+        raise ConfigValidationError("workers must be >= 1")
     runner = runner or run_simulation
     valid = list(known_benchmarks) if known_benchmarks is not None \
         else benchmark_names()
-    report = SuiteReport()
     pairs = [(b, k) for b in benchmarks for k in kinds]
+    if workers > 1:
+        return _run_suite_parallel(pairs, valid, workers, frames,
+                                   timeout_s, max_attempts, backoff_s,
+                                   runner, run_kwargs)
+    report = SuiteReport()
     aborted = False
-    for index, (benchmark, kind) in enumerate(pairs):
+    for benchmark, kind in pairs:
         if aborted:
-            report.outcomes.append(BenchmarkOutcome(
-                benchmark, kind, "skipped",
-                error="suite interrupted", error_type="KeyboardInterrupt"))
+            report.outcomes.append(_skipped(
+                benchmark, kind, "suite interrupted", "KeyboardInterrupt"))
             continue
         if benchmark not in valid:
-            report.outcomes.append(BenchmarkOutcome(
-                benchmark, kind, "skipped",
-                error=(f"unknown benchmark {benchmark!r}; "
-                       f"valid: {', '.join(valid)}"),
-                error_type="ConfigValidationError"))
+            report.outcomes.append(
+                _unknown_benchmark(benchmark, kind, valid))
             continue
-        outcome = BenchmarkOutcome(benchmark, kind, "failed")
-        start = time.monotonic()
-        for attempt in range(1, max_attempts + 1):
-            outcome.attempts = attempt
-            try:
-                with _wall_clock_limit(timeout_s, f"{benchmark}/{kind}"):
-                    summary = runner(benchmark, kind, frames=frames,
-                                     **run_kwargs)
-                outcome.status = "ok"
-                outcome.summary = summary
-                outcome.error = outcome.error_type = None
-                break
-            except KeyboardInterrupt:
-                outcome.error = "interrupted"
-                outcome.error_type = "KeyboardInterrupt"
-                aborted = True
-                break
-            except Exception as exc:
-                wrapped = exc if isinstance(exc, ReproError) \
-                    else SimulationError(f"{benchmark}/{kind}: {exc!r}")
-                outcome.error = str(wrapped)
-                outcome.error_type = type(wrapped).__name__
-                retryable = (_is_transient(exc)
-                             and attempt < max_attempts)
-                logger.warning(
-                    "%s/%s attempt %d/%d failed (%s: %s)%s",
-                    benchmark, kind, attempt, max_attempts,
-                    type(exc).__name__, exc,
-                    "; retrying" if retryable else "")
-                if not retryable:
-                    break
-                time.sleep(backoff_s * (2 ** (attempt - 1)))
-        outcome.elapsed_s = time.monotonic() - start
+        outcome = _attempt_pair(benchmark, kind, frames, timeout_s,
+                                max_attempts, backoff_s, runner,
+                                run_kwargs)
+        if outcome.error_type == "KeyboardInterrupt":
+            aborted = True
         report.outcomes.append(outcome)
     return report
+
+
+def _run_suite_parallel(pairs: Sequence[Tuple[str, str]],
+                        valid: Sequence[str], workers: int, frames: int,
+                        timeout_s: Optional[float], max_attempts: int,
+                        backoff_s: float,
+                        runner: Callable[..., RunSummary],
+                        run_kwargs: dict) -> SuiteReport:
+    """The ``workers > 1`` backend of :func:`run_suite`.
+
+    Submits every known pair to a process pool and fills a slot table
+    indexed by pair position, so the report's outcome order matches the
+    sequential sweep regardless of completion order.  A
+    ``KeyboardInterrupt`` while waiting cancels the pending pairs and
+    reports the unfinished ones as ``skipped`` — the sequential
+    contract.  A broken pool (worker killed) marks the affected pairs
+    ``failed`` and still returns the report.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    slots: List[Optional[BenchmarkOutcome]] = [None] * len(pairs)
+    jobs: List[int] = []
+    for i, (benchmark, kind) in enumerate(pairs):
+        if benchmark not in valid:
+            slots[i] = _unknown_benchmark(benchmark, kind, valid)
+        else:
+            jobs.append(i)
+    if not jobs:
+        return SuiteReport(outcomes=[s for s in slots if s is not None])
+    try:
+        # Fork keeps monkeypatched modules and closures visible to the
+        # workers (POSIX); where unavailable the default start method
+        # works for the picklable default runner.
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = None
+    executor = ProcessPoolExecutor(max_workers=min(workers, len(jobs)),
+                                   mp_context=context)
+    futures = {}
+    try:
+        for i in jobs:
+            benchmark, kind = pairs[i]
+            futures[executor.submit(
+                _attempt_pair, benchmark, kind, frames, timeout_s,
+                max_attempts, backoff_s, runner, run_kwargs)] = i
+        for future in as_completed(futures):
+            i = futures[future]
+            benchmark, kind = pairs[i]
+            try:
+                slots[i] = future.result()
+            except Exception as exc:
+                # Submission/result-transfer failure (unpicklable runner,
+                # killed worker): isolate it to this pair.
+                slots[i] = BenchmarkOutcome(
+                    benchmark, kind, "failed", attempts=1,
+                    error=f"worker failed: {exc!r}",
+                    error_type=type(exc).__name__)
+    except KeyboardInterrupt:
+        for future in futures:
+            future.cancel()
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    for i, (benchmark, kind) in enumerate(pairs):
+        if slots[i] is None:
+            slots[i] = _skipped(benchmark, kind, "suite interrupted",
+                                "KeyboardInterrupt")
+    return SuiteReport(outcomes=list(slots))

@@ -2,9 +2,18 @@
 
 This is the workhorse of the memory model: every texture, tile, vertex and
 L2 access in the timing simulator goes through instances of
-:class:`Cache`.  The implementation favors speed (plain lists per set,
-MRU-at-the-end ordering) because experiment runs push hundreds of
-thousands of accesses per frame through it.
+:class:`Cache`.  Experiment runs push hundreds of thousands of accesses
+per frame through it, so the implementation is built for speed:
+
+* each set is a plain ``dict`` mapping line -> None in LRU-to-MRU
+  insertion order (dicts preserve insertion order; a "touch" is an O(1)
+  delete + reinsert, the LRU victim is ``next(iter(set_dict))`` — no
+  O(ways) ``list.remove`` scans);
+* the batched entry point :meth:`Cache.lookup_batch` processes an entire
+  line stream in one call with bound locals and one bulk statistics
+  update, and is *bit-identical* in observable state (LRU order, stats,
+  dirty set, writeback order) to an equivalent sequence of
+  :meth:`Cache.lookup` calls.
 
 Write policy is write-back / write-allocate; dirty evictions are queued on
 ``pending_writebacks`` for the caller to drain into the next level.
@@ -13,7 +22,7 @@ Write policy is write-back / write-allocate; dirty evictions are queued on
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..config import CacheConfig
 
@@ -82,8 +91,10 @@ class Cache:
         self.num_sets = config.num_sets
         self.ways = config.ways
         self._set_mask = self.num_sets - 1
-        # Per-set list of line addresses, least-recently-used first.
-        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        # Per-set dict of line -> None, least-recently-used first
+        # (insertion order); values are unused.
+        self._sets: List[Dict[int, None]] = [
+            {} for _ in range(self.num_sets)]
         self._dirty: set = set()
         #: Dirty victim lines awaiting writeback, drained by the next level.
         self.pending_writebacks: List[int] = []
@@ -98,26 +109,88 @@ class Cache:
         stats = self.stats
         stats.accesses += 1
         ways = self._sets[line & self._set_mask]
-        try:
-            ways.remove(line)
-        except ValueError:
-            stats.misses += 1
-            if len(ways) >= self.ways:
-                evicted = ways.pop(0)
-                stats.evictions += 1
-                if evicted in self._dirty:
-                    self._dirty.discard(evicted)
-                    stats.writebacks += 1
-                    self.pending_writebacks.append(evicted)
-            ways.append(line)
+        if line in ways:
+            stats.hits += 1
+            del ways[line]
+            ways[line] = None
             if write:
                 self._dirty.add(line)
-            return False
-        stats.hits += 1
-        ways.append(line)
+            return True
+        stats.misses += 1
+        if len(ways) >= self.ways:
+            evicted = next(iter(ways))
+            del ways[evicted]
+            stats.evictions += 1
+            if evicted in self._dirty:
+                self._dirty.discard(evicted)
+                stats.writebacks += 1
+                self.pending_writebacks.append(evicted)
+        ways[line] = None
         if write:
             self._dirty.add(line)
-        return True
+        return False
+
+    def lookup_batch(self, lines: Iterable[int], write: bool = False,
+                     miss_record: Optional[
+                         List[Tuple[int, Optional[int]]]] = None) -> int:
+        """Access a whole line stream in one call; returns the hit count.
+
+        Equivalent to ``sum(self.lookup(line, write) for line in lines)``
+        but with the per-access Python overhead amortized: locals are
+        bound once, statistics are updated once in bulk, and the per-set
+        dict operations are inlined.  The resulting LRU order, counters,
+        dirty set and ``pending_writebacks`` order are bit-identical to
+        the scalar loop.
+
+        When ``miss_record`` is given, a ``(line, victim)`` tuple is
+        appended for every miss, in stream order; ``victim`` is the dirty
+        line queued for writeback by that miss, or ``None`` when the
+        eviction was clean (or no eviction happened).  This lets the next
+        level replay the exact scalar interleaving of demand misses and
+        writebacks without re-deriving it.
+        """
+        sets = self._sets
+        mask = self._set_mask
+        nways = self.ways
+        dirty = self._dirty
+        pending = self.pending_writebacks
+        record = miss_record
+        accesses = 0
+        hits = 0
+        evictions = 0
+        writebacks = 0
+        for line in lines:
+            accesses += 1
+            ways = sets[line & mask]
+            # Stored values are always None, so a pop with a sentinel
+            # default folds the membership test + delete into one hash
+            # lookup; None back means hit (and the line was removed).
+            if ways.pop(line, 0) is None:
+                hits += 1
+                ways[line] = None
+            else:
+                victim = None
+                if len(ways) >= nways:
+                    evicted = next(iter(ways))
+                    del ways[evicted]
+                    evictions += 1
+                    if evicted in dirty:
+                        dirty.discard(evicted)
+                        writebacks += 1
+                        pending.append(evicted)
+                        victim = evicted
+                ways[line] = None
+                if record is not None:
+                    record.append((line, victim))
+            if write:
+                dirty.add(line)
+        stats = self.stats
+        stats.accesses += accesses
+        stats.hits += hits
+        stats.misses += accesses - hits
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        return hits
 
     def record_repeat_hits(self, count: int) -> None:
         """Account ``count`` guaranteed-hit accesses analytically.
@@ -142,7 +215,7 @@ class Cache:
         return line in self._sets[line & self._set_mask]
 
     def resident_lines(self) -> List[int]:
-        """All resident line addresses (unordered across sets)."""
+        """All resident line addresses, LRU-to-MRU within each set."""
         out: List[int] = []
         for ways in self._sets:
             out.extend(ways)

@@ -63,6 +63,13 @@ class DRAM:
         self._lines_per_row = config.row_bytes // CACHE_LINE_BYTES
         self._bank_mask = config.num_banks - 1
         self._bank_bits = max(config.num_banks.bit_length() - 1, 0)
+        # Hot-path constants, bound once (config is immutable): the
+        # service-cycle floats issued per request and the per-interval
+        # service capacity.  Callers on the batched fast path inline the
+        # row-buffer walk against these exact values.
+        self._hit_service = float(config.row_hit_cycles)
+        self._miss_service = float(config.row_miss_cycles)
+        self._capacity = config.requests_per_cycle * interval_cycles
         self._open_rows: List[int] = [-1] * config.num_banks
         self._interval_requests = 0
         self._backlog = 0.0
@@ -85,12 +92,12 @@ class DRAM:
         stats = self.stats
         if self._open_rows[bank] == row_of_bank:
             stats.row_hits += 1
-            service = float(self.config.row_hit_cycles)
+            service = self._hit_service
         else:
             stats.row_misses += 1
             stats.activations += 1
             self._open_rows[bank] = row_of_bank
-            service = float(self.config.row_miss_cycles)
+            service = self._miss_service
         if write:
             stats.writes += 1
         else:
@@ -109,30 +116,35 @@ class DRAM:
     @property
     def capacity_per_interval(self) -> float:
         """Line requests servable per interval at full bandwidth."""
-        return self.config.requests_per_cycle * self.interval_cycles
+        return self._capacity
 
     def end_interval(self) -> None:
         """Close the current interval and derive the next loaded latency."""
-        capacity = self.capacity_per_interval
-        demand = self._interval_requests + self._backlog
+        capacity = self._capacity
+        requests = self._interval_requests
+        demand = requests + self._backlog
         served = min(demand, capacity)
-        self._backlog = demand - served
+        backlog = demand - served
+        self._backlog = backlog
         utilization = served / capacity if capacity else 1.0
-        if self._service_count:
-            unloaded = self._service_cycles_sum / self._service_count
+        count = self._service_count
+        if count:
+            unloaded = self._service_cycles_sum / count
         else:
-            unloaded = float(self.config.row_hit_cycles)
+            unloaded = self._hit_service
+        max_queue_factor = self.config.max_queue_factor
         queue_factor = 1.0 / max(1.0 - utilization, 1e-9)
-        queue_factor = min(queue_factor, self.config.max_queue_factor)
-        backlog_delay = (self._backlog / self.config.requests_per_cycle
-                         if self._backlog else 0.0)
-        self._loaded_latency = min(
-            unloaded * queue_factor + backlog_delay,
-            unloaded * self.config.max_queue_factor)
-        self.stats.interval_requests.append(self._interval_requests)
-        self.stats.interval_utilization.append(
+        queue_factor = min(queue_factor, max_queue_factor)
+        backlog_delay = (backlog / self.config.requests_per_cycle
+                         if backlog else 0.0)
+        loaded = min(unloaded * queue_factor + backlog_delay,
+                     unloaded * max_queue_factor)
+        self._loaded_latency = loaded
+        stats = self.stats
+        stats.interval_requests.append(requests)
+        stats.interval_utilization.append(
             min(demand / capacity if capacity else 1.0, 2.0))
-        self.stats.interval_latency.append(self._loaded_latency)
+        stats.interval_latency.append(loaded)
         self._interval_requests = 0
         self._service_cycles_sum = 0.0
         self._service_count = 0

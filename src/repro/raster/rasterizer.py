@@ -40,8 +40,13 @@ class FragmentBatch:
         """Number of 2x2 quads touched (the Early-Z work unit)."""
         if self.count == 0:
             return 0
-        quads = {(x >> 1, y >> 1) for x, y in zip(self.xs, self.ys)}
-        return len(quads)
+        # Pack each (x // 2, y // 2) quad coordinate into one integer so
+        # the distinct count is a single np.unique over a flat array
+        # instead of a Python set of tuples.  Screen coordinates are far
+        # below 2**32, so the multiplicative packing cannot collide.
+        keys = ((np.asarray(self.xs, dtype=np.int64) >> 1) << 32) \
+            + (np.asarray(self.ys, dtype=np.int64) >> 1)
+        return int(np.unique(keys).size)
 
 
 _EMPTY = FragmentBatch(

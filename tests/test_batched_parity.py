@@ -1,0 +1,218 @@
+"""Parity suite: the batched hot path versus the scalar golden path.
+
+PR 2 rewrote the per-line memory loops (``Cache.lookup_batch``, the
+fused texture-stream loop of :class:`TimingRasterUnit`, the Geometry
+vertex stream) for speed while keeping the scalar implementations as the
+golden reference (``batched=False``).  These tests pin the contract:
+**bit-identical** LRU state, hit/miss/eviction/writeback counters, DRAM
+request interleaving and interval series, at every level.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import CacheConfig, RasterUnitConfig, small_config
+from repro.core import (LibraScheduler, TemperatureScheduler,
+                        ZOrderScheduler)
+from repro.gpu import GPUSimulator
+from repro.gpu.frame import FrameDriver
+from repro.memory.cache import Cache
+
+from faults import tiny_builder
+
+# Tiny geometry: 4 sets x 2 ways so random streams of a few dozen lines
+# exercise eviction and writeback constantly.
+TINY = CacheConfig(size_bytes=8 * 32, ways=2, line_bytes=32)
+
+line_streams = st.lists(
+    st.tuples(st.integers(0, 31), st.booleans()), max_size=200)
+
+
+def _state(cache: Cache):
+    s = cache.stats
+    return (
+        (s.accesses, s.hits, s.misses, s.evictions, s.writebacks),
+        cache.resident_lines(),
+        sorted(cache._dirty),
+        list(cache.pending_writebacks),
+    )
+
+
+class TestLookupBatchProperty:
+    """``lookup_batch`` is observably identical to scalar ``lookup``."""
+
+    @settings(max_examples=200, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(stream=line_streams)
+    def test_batch_equals_scalar_sequence(self, stream):
+        scalar = Cache(TINY, name="scalar")
+        batched = Cache(TINY, name="batched")
+        hits_scalar = sum(scalar.lookup(line, write=w)
+                          for line, w in stream)
+        # Group the stream into per-write-flag runs, as callers do.
+        record = []
+        hits_batched = 0
+        run, flag = [], None
+        for line, w in stream + [(None, None)]:
+            if w != flag and run:
+                hits_batched += batched.lookup_batch(
+                    run, write=flag, miss_record=record)
+                run = []
+            flag = w
+            if line is not None:
+                run.append(line)
+        assert hits_batched == hits_scalar
+        assert _state(batched) == _state(scalar)
+        # The miss record replays the scalar miss/writeback interleaving:
+        # misses in stream order, victims in pending_writebacks order.
+        assert len(record) == scalar.stats.misses
+        assert [v for _, v in record if v is not None] \
+            == scalar.pending_writebacks
+
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(streams=st.lists(st.lists(st.integers(0, 31), max_size=40),
+                            max_size=8))
+    def test_state_carries_across_batches(self, streams):
+        scalar = Cache(TINY)
+        batched = Cache(TINY)
+        for stream in streams:
+            for line in stream:
+                scalar.lookup(line, write=True)
+            batched.lookup_batch(stream, write=True)
+            assert _state(batched) == _state(scalar)
+
+    def test_empty_batch_is_a_noop(self):
+        cache = Cache(TINY)
+        assert cache.lookup_batch([]) == 0
+        assert cache.stats.accesses == 0
+
+    def test_duplicate_lines_in_one_batch(self):
+        scalar = Cache(TINY)
+        batched = Cache(TINY)
+        stream = [0, 0, 8, 16, 0, 8, 24, 0]
+        for line in stream:
+            scalar.lookup(line)
+        batched.lookup_batch(stream)
+        assert _state(batched) == _state(scalar)
+
+
+def _frame_key(frame):
+    return (
+        frame.geometry_cycles, frame.raster_cycles, frame.order,
+        frame.supertile_size, frame.texture_hit_ratio,
+        frame.raster_dram_accesses, frame.per_tile_dram,
+        frame.per_tile_instructions, frame.dram_interval_requests,
+        frame.tiles_completed,
+        (frame.texture_l1_stats.accesses, frame.texture_l1_stats.hits,
+         frame.texture_l1_stats.misses, frame.texture_l1_stats.evictions,
+         frame.texture_l1_stats.writebacks),
+        (frame.energy_counts.l1_accesses, frame.energy_counts.l2_accesses,
+         frame.energy_counts.dram_reads, frame.energy_counts.dram_writes,
+         frame.energy_counts.dram_activations),
+    )
+
+
+def _parity_config():
+    return small_config(screen_width=128, screen_height=64, tile_size=32,
+                        num_raster_units=2,
+                        raster_unit=RasterUnitConfig(num_cores=4))
+
+
+def _run(scheduler_factory, batched, traces, ideal_memory=False):
+    config = _parity_config()
+    sim = GPUSimulator(config, scheduler=scheduler_factory(config),
+                       ideal_memory=ideal_memory, batched=batched,
+                       name="parity")
+    return sim.run(traces)
+
+
+SCHEDULERS = {
+    "zorder": lambda config: ZOrderScheduler(),
+    "temperature": lambda config: TemperatureScheduler(4),
+    "libra": lambda config: LibraScheduler(config.scheduler),
+}
+
+
+class TestFullSimulationParity:
+    """Whole-run golden comparison on seeded multi-frame workloads."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return tiny_builder().build_many(4)
+
+    @pytest.mark.parametrize("kind", sorted(SCHEDULERS))
+    def test_batched_matches_scalar(self, traces, kind):
+        fast = _run(SCHEDULERS[kind], True, traces)
+        golden = _run(SCHEDULERS[kind], False, traces)
+        for fa, fb in zip(fast.frames, golden.frames):
+            assert _frame_key(fa) == _frame_key(fb)
+            assert fa.mean_texture_latency \
+                == pytest.approx(fb.mean_texture_latency)
+        assert fast.total_cycles == golden.total_cycles
+
+    def test_ideal_memory_parity(self, traces):
+        fast = _run(SCHEDULERS["zorder"], True, traces,
+                    ideal_memory=True)
+        golden = _run(SCHEDULERS["zorder"], False, traces,
+                      ideal_memory=True)
+        assert [f.raster_cycles for f in fast.frames] \
+            == [f.raster_cycles for f in golden.frames]
+        assert fast.mean_texture_hit_ratio \
+            == golden.mean_texture_hit_ratio
+
+
+class TestGeometryIntervalDeterminism:
+    """The Geometry phase closes a fixed interval count per frame.
+
+    Regression test for the pre-PR2 bug where a vertex stream that did
+    not divide evenly into interval-sized chunks could close a
+    different number of DRAM intervals than ``geometry_cycles //
+    interval_cycles``, making the interval series depend on the chunk
+    remainder.
+    """
+
+    def _driver(self, batched):
+        config = _parity_config()
+        return FrameDriver(config, ZOrderScheduler(), batched=batched)
+
+    @pytest.mark.parametrize("batched", [True, False])
+    @pytest.mark.parametrize("num_lines", [0, 1, 7, 10, 64])
+    def test_interval_count_is_exact(self, batched, num_lines):
+        driver = self._driver(batched)
+        interval = driver.config.interval_cycles
+        trace = tiny_builder().build_many(1)[0]
+        trace.vertex_lines = list(range(num_lines))
+        trace.geometry_cycles = int(3.7 * interval)  # does not divide
+        before = len(driver.shared.dram.stats.interval_requests)
+        driver._run_geometry_phase(trace)
+        closed = (len(driver.shared.dram.stats.interval_requests)
+                  - before)
+        assert closed == 3
+        assert driver.vertex_cache.stats.accesses == num_lines
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_short_phase_closes_one_interval(self, batched):
+        driver = self._driver(batched)
+        trace = tiny_builder().build_many(1)[0]
+        trace.vertex_lines = [1, 2, 3]
+        trace.geometry_cycles = driver.config.interval_cycles // 2
+        driver._run_geometry_phase(trace)
+        assert len(driver.shared.dram.stats.interval_requests) == 1
+
+    def test_batched_and_scalar_emit_identical_series(self):
+        results = []
+        for batched in (True, False):
+            driver = self._driver(batched)
+            trace = tiny_builder().build_many(1)[0]
+            trace.geometry_cycles = int(2.3
+                                        * driver.config.interval_cycles)
+            driver._run_geometry_phase(trace)
+            results.append((
+                list(driver.shared.dram.stats.interval_requests),
+                driver.vertex_cache.resident_lines(),
+                driver.shared.l2.resident_lines(),
+            ))
+        assert results[0] == results[1]

@@ -1,0 +1,143 @@
+"""Tests for the process-parallel suite executor (``run_suite(workers=N)``).
+
+The parallel backend must be a drop-in for the sequential sweep: same
+outcome order, same per-pair timeout/retry policy, same failure
+isolation — one worker's failing benchmark never disturbs the others —
+and the same ``skipped`` reporting for unknown names.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import harness
+from repro.cli import main
+from repro.errors import (BenchmarkTimeoutError, CacheCorruptionError,
+                          ConfigValidationError, SimulationError)
+
+from faults import ScriptedRunner
+
+KNOWN = ["CCS", "GDL", "SuS", "AAt"]
+
+
+def _outcome_key(outcome):
+    return (outcome.benchmark, outcome.kind, outcome.status,
+            outcome.error_type, outcome.attempts,
+            None if outcome.summary is None
+            else outcome.summary.total_cycles)
+
+
+def _sleep_runner(benchmark, kind, frames=1, **kw):
+    """Module-level sleeper (picklable) for the worker-timeout test."""
+    time.sleep(30.0)
+    raise AssertionError("timeout should have fired in the worker")
+
+
+class TestParallelMatchesSequential:
+    def test_same_outcomes_with_injected_fault(self):
+        """The acceptance scenario: one benchmark fails terminally; the
+        parallel report is outcome-for-outcome equal to sequential."""
+        script = {"GDL": [SimulationError] * 5}
+        sequential = harness.run_suite(
+            KNOWN, frames=1, runner=ScriptedRunner(script),
+            known_benchmarks=KNOWN)
+        parallel = harness.run_suite(
+            KNOWN, frames=1, runner=ScriptedRunner(script),
+            known_benchmarks=KNOWN, workers=2)
+        assert [_outcome_key(o) for o in parallel.outcomes] \
+            == [_outcome_key(o) for o in sequential.outcomes]
+        assert [o.benchmark for o in parallel.failed] == ["GDL"]
+        assert len(parallel.succeeded) == 3
+
+    def test_transient_fault_retried_inside_worker(self):
+        runner = ScriptedRunner({"CCS": [CacheCorruptionError]})
+        report = harness.run_suite(
+            ["CCS"], frames=1, runner=runner, known_benchmarks=KNOWN,
+            workers=2, backoff_s=0.01)
+        [outcome] = report.outcomes
+        assert outcome.ok
+        assert outcome.attempts == 2
+
+    def test_unknown_benchmark_skipped_in_order(self):
+        report = harness.run_suite(
+            ["CCS", "NOPE", "GDL"], frames=1, runner=ScriptedRunner({}),
+            known_benchmarks=KNOWN, workers=3)
+        assert [(o.benchmark, o.status) for o in report.outcomes] \
+            == [("CCS", "ok"), ("NOPE", "skipped"), ("GDL", "ok")]
+        assert "valid:" in report.outcomes[1].error
+
+    def test_multiple_kinds_preserve_pair_order(self):
+        report = harness.run_suite(
+            ["CCS", "GDL"], kinds=("libra", "ptr"), frames=1,
+            runner=ScriptedRunner({}), known_benchmarks=KNOWN, workers=4)
+        assert [(o.benchmark, o.kind) for o in report.outcomes] == [
+            ("CCS", "libra"), ("CCS", "ptr"),
+            ("GDL", "libra"), ("GDL", "ptr")]
+
+
+class TestWorkerIsolation:
+    def test_timeout_fires_inside_worker(self):
+        """SIGALRM engages on each worker's main thread, so a hung
+        benchmark times out without stalling its siblings."""
+        report = harness.run_suite(
+            ["CCS", "GDL"], frames=1, timeout_s=0.2, max_attempts=1,
+            runner=_sleep_runner, known_benchmarks=KNOWN, workers=2)
+        assert len(report.failed) == 2
+        for outcome in report.outcomes:
+            assert outcome.error_type \
+                == BenchmarkTimeoutError.__name__
+            assert outcome.elapsed_s < 10.0
+
+    def test_unpicklable_runner_fails_only_its_pairs(self):
+        def local_runner(benchmark, kind, frames=1, **kw):
+            raise AssertionError("never runs: closures cannot pickle")
+
+        report = harness.run_suite(
+            ["CCS"], frames=1, runner=local_runner,
+            known_benchmarks=KNOWN, workers=2)
+        [outcome] = report.outcomes
+        assert outcome.status == "failed"
+        assert "worker failed" in outcome.error
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigValidationError):
+            harness.run_suite(["CCS"], workers=0,
+                              runner=ScriptedRunner({}),
+                              known_benchmarks=KNOWN)
+
+    def test_workers_one_stays_sequential(self):
+        runner = ScriptedRunner({})
+        report = harness.run_suite(["CCS", "GDL"], frames=1,
+                                   runner=runner,
+                                   known_benchmarks=KNOWN, workers=1)
+        # Sequential mode shares the parent's runner instance, so its
+        # call log is visible — the parallel path cannot offer this.
+        assert runner.calls == [("CCS", "libra"), ("GDL", "libra")]
+        assert len(report.succeeded) == 2
+
+
+class TestCLI:
+    def test_workers_flag_passed_through(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake_run_suite(names, kinds, frames, timeout_s,
+                           max_attempts, workers):
+            seen.update(names=list(names), kinds=tuple(kinds),
+                        frames=frames, workers=workers)
+            return harness.SuiteReport()
+
+        monkeypatch.setattr(harness, "run_suite", fake_run_suite)
+        code = main(["suite", "--benchmarks", "CCS,GDL",
+                     "--workers", "3", "--frames", "2"])
+        assert code == 0
+        assert seen["workers"] == 3
+        assert seen["names"] == ["CCS", "GDL"]
+
+    def test_invalid_workers_exits_2(self, capsys):
+        assert main(["suite", "--benchmarks", "CCS",
+                     "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
