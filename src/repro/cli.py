@@ -8,9 +8,15 @@ Subcommands:
 * ``repro compare --benchmark CCS --frames 8`` — baseline vs PTR vs LIBRA
   side by side.
 * ``repro heatmap --benchmark SuS`` — ASCII per-tile DRAM heatmap (Fig. 2).
+* ``repro trace tri_overlap --out trace.json`` — run with telemetry on
+  and export a Chrome/Perfetto trace (``repro trace --benchmark GDL
+  --out traces.jsonl.gz`` keeps the original frame-trace export).
 * ``repro suite --benchmarks CCS,GDL --config libra [--workers N]`` —
   supervised sweep (timeouts, retries, graceful degradation, optional
   process-parallel execution; see ``repro.harness.run_suite``).
+
+Diagnostics go through the ``repro`` :mod:`logging` hierarchy; ``-v``
+raises the level to INFO, ``-vv`` to DEBUG.
 
 Error contract: an unknown benchmark or configuration name exits with
 status 2 and prints the valid names; any :class:`~repro.errors.ReproError`
@@ -21,6 +27,7 @@ stderr with exit status 1 — never a traceback.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -30,13 +37,69 @@ from .errors import ConfigValidationError, ReproError
 from .gpu import GPUSimulator, RunResult
 from .stats import format_table, render_ascii, tile_matrix
 from .workloads import (TraceBuilder, benchmark_names,
-                        make_scene_builder, table2_rows)
+                        make_scene_builder, micro_benchmark_names,
+                        table2_rows)
 
 DEFAULT_WIDTH = 960
 DEFAULT_HEIGHT = 512
 DEFAULT_TILE = 32
 
 CONFIG_NAMES = ("baseline", "ptr", "libra", "temperature")
+
+logger = logging.getLogger("repro.cli")
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """StreamHandler that resolves ``sys.stderr`` at emit time.
+
+    The stream must not be captured at handler-construction time: test
+    harnesses (pytest's capsys) and daemonizing wrappers swap
+    ``sys.stderr`` per scope, and a cached reference would write to a
+    stale object.
+    """
+
+    def __init__(self):
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+
+class _DiagnosticFormatter(logging.Formatter):
+    """``level: message`` with a lowercase level name.
+
+    Keeps the CLI's long-standing one-line diagnostic shape
+    (``error: SimulationError: frame 3 of GDL failed``) now that the
+    lines are emitted through :mod:`logging`.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        record.levelname = record.levelname.lower()
+        return super().format(record)
+
+
+_HANDLER = _DynamicStderrHandler()
+_HANDLER.setFormatter(_DiagnosticFormatter("%(levelname)s: %(message)s"))
+
+
+def configure_logging(verbosity: int = 0) -> None:
+    """Wire the ``repro`` logger hierarchy to stderr.
+
+    Idempotent; ``verbosity`` counts ``-v`` flags (0 → WARNING,
+    1 → INFO, 2+ → DEBUG).  Everything under the ``repro`` logger
+    (harness retries, cachefile quarantines, CLI diagnostics) flows
+    through one handler.
+    """
+    root = logging.getLogger("repro")
+    if _HANDLER not in root.handlers:
+        root.addHandler(_HANDLER)
+    if verbosity >= 2:
+        root.setLevel(logging.DEBUG)
+    elif verbosity == 1:
+        root.setLevel(logging.INFO)
+    else:
+        root.setLevel(logging.WARNING)
 
 
 def _build_traces(benchmark: str, frames: int, width: int, height: int):
@@ -89,12 +152,55 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _export_telemetry(path: str, events, metrics) -> int:
+    """Write collected telemetry events to ``path``.
+
+    ``.json`` exports Chrome trace-event format (Perfetto-loadable);
+    anything else streams one JSON object per event (gzipped when the
+    name ends in ``.gz``).  Returns the number of records written.
+    """
+    from .telemetry import JsonlSink, write_chrome_trace
+    if path.endswith(".json"):
+        return write_chrome_trace(path, events, metrics=metrics)
+    import gzip
+    opener = gzip.open if path.endswith(".gz") else open
+    with opener(path, "wt", encoding="utf-8") as stream:
+        sink = JsonlSink(stream)
+        for event in events:
+            sink.handle(event)
+    return len(events)
+
+
+def _run_with_telemetry(sim: GPUSimulator, traces, out: Optional[str]):
+    """Run ``sim`` with the telemetry hub on; returns (result, snapshot)."""
+    from .telemetry import HUB, RecordingSink, telemetry_session
+    sink = RecordingSink()
+    with telemetry_session(sink):
+        result = sim.run(traces)
+        snapshot = HUB.metrics.snapshot()
+    if out:
+        count = _export_telemetry(out, sink.events, snapshot)
+        print(f"wrote {count} telemetry records to {out}")
+    return result, snapshot
+
+
+def _format_metrics(snapshot: dict) -> str:
+    rows = [[name, f"{value:g}"] for name, value in sorted(snapshot.items())]
+    return format_table(("metric", "value"), rows,
+                        title="Telemetry metrics snapshot")
+
+
 def cmd_run(args) -> int:
     """Handle ``repro run``."""
     traces = _build_traces(args.benchmark, args.frames, args.width,
                            args.height)
     sim = _make_simulator(args.config, args.width, args.height)
-    result = sim.run(traces)
+    snapshot = None
+    if args.telemetry or args.telemetry_out:
+        result, snapshot = _run_with_telemetry(sim, traces,
+                                               args.telemetry_out)
+    else:
+        result = sim.run(traces)
     print(format_table(_SUMMARY_HEADERS, [_summarize(result)],
                        title=f"{args.benchmark} on {args.config}"))
     rows = [[f.frame_index, f.geometry_cycles, f.raster_cycles, f.order,
@@ -103,6 +209,9 @@ def cmd_run(args) -> int:
     print()
     print(format_table(("frame", "geom cyc", "raster cyc", "order",
                         "supertile", "tex hit", "dram"), rows))
+    if snapshot is not None:
+        print()
+        print(_format_metrics(snapshot))
     return 0
 
 
@@ -128,14 +237,44 @@ def cmd_compare(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    """Handle ``repro trace``."""
-    from .workloads import save_traces
-    traces = _build_traces(args.benchmark, args.frames, args.width,
-                           args.height)
-    save_traces(traces, args.out)
-    total_lines = sum(t.total_texture_lines() for t in traces)
-    print(f"wrote {len(traces)} frame traces of {args.benchmark} to "
-          f"{args.out} ({total_lines:,} texture lines total)")
+    """Handle ``repro trace``.
+
+    Two export modes, selected by ``--format`` (default ``auto``: a
+    ``.json`` output name means ``chrome``, anything else ``frames``):
+
+    * ``chrome`` — simulate the benchmark with telemetry enabled and
+      write a Chrome trace-event file (one process row per Raster Unit,
+      FSM transitions as instants, DRAM bandwidth as a counter track)
+      loadable in Perfetto / ``chrome://tracing``.
+    * ``frames`` — the original workload export: serialized
+      :class:`~repro.gpu.workload.FrameTrace` objects as JSON lines.
+    """
+    benchmark = args.benchmark_pos or args.benchmark
+    if benchmark is None:
+        logger.error("trace needs a benchmark (positional or --benchmark)")
+        return 2
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "chrome" if args.out.endswith(".json") else "frames"
+    traces = _build_traces(benchmark, args.frames, args.width, args.height)
+    if fmt == "frames":
+        from .workloads import save_traces
+        save_traces(traces, args.out)
+        total_lines = sum(t.total_texture_lines() for t in traces)
+        print(f"wrote {len(traces)} frame traces of {benchmark} to "
+              f"{args.out} ({total_lines:,} texture lines total)")
+        return 0
+    from .telemetry import HUB, RecordingSink, telemetry_session
+    from .telemetry import write_chrome_trace
+    sim = _make_simulator(args.config, args.width, args.height)
+    sink = RecordingSink()
+    with telemetry_session(sink):
+        result = sim.run(traces)
+        snapshot = HUB.metrics.snapshot()
+    count = write_chrome_trace(args.out, sink.events, metrics=snapshot)
+    print(f"wrote {count} Chrome trace events for {benchmark} on "
+          f"{args.config} ({result.num_frames} frames, "
+          f"{result.total_cycles:,} cycles) to {args.out}")
     return 0
 
 
@@ -146,22 +285,36 @@ def cmd_suite(args) -> int:
              if args.benchmarks != "all" else benchmark_names())
     valid = benchmark_names()
     if not names:
-        print(f"error: no benchmarks given; valid: {', '.join(valid)}",
-              file=sys.stderr)
+        logger.error("no benchmarks given; valid: %s", ", ".join(valid))
         return 2
     unknown = [n for n in names if n not in valid]
     if unknown:
-        print(f"error: unknown benchmark(s) {', '.join(unknown)}; "
-              f"valid: {', '.join(valid)}", file=sys.stderr)
+        logger.error("unknown benchmark(s) %s; valid: %s",
+                     ", ".join(unknown), ", ".join(valid))
         return 2
     if args.workers < 1:
-        print("error: --workers must be >= 1", file=sys.stderr)
+        logger.error("--workers must be >= 1")
         return 2
-    report = harness.run_suite(
-        names, kinds=(args.config,), frames=args.frames,
-        timeout_s=args.timeout, max_attempts=args.retries + 1,
-        workers=args.workers)
+    sink = None
+    if args.telemetry or args.telemetry_out:
+        from .telemetry import HUB, RecordingSink
+        HUB.metrics.reset()
+        sink = RecordingSink()
+        HUB.enable(sink)
+    try:
+        report = harness.run_suite(
+            names, kinds=(args.config,), frames=args.frames,
+            timeout_s=args.timeout, max_attempts=args.retries + 1,
+            workers=args.workers)
+    finally:
+        if sink is not None:
+            from .telemetry import HUB
+            HUB.disable()
     print(report.format())
+    if sink is not None and args.telemetry_out:
+        count = _export_telemetry(args.telemetry_out, sink.events,
+                                  report.metrics)
+        print(f"wrote {count} telemetry records to {args.telemetry_out}")
     return 0 if not report.failed else 1
 
 
@@ -186,16 +339,24 @@ def build_parser() -> argparse.ArgumentParser:
         description="LIBRA parallel tile rendering — simulator CLI")
     parser.add_argument("--width", type=int, default=DEFAULT_WIDTH)
     parser.add_argument("--height", type=int, default=DEFAULT_HEIGHT)
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v: INFO diagnostics, -vv: DEBUG")
     sub = parser.add_subparsers(dest="command", required=True)
+    all_names = benchmark_names() + micro_benchmark_names()
 
     sub.add_parser("list", help="show the benchmark suite")
 
     run = sub.add_parser("run", help="simulate one benchmark")
-    run.add_argument("--benchmark", required=True,
-                     choices=benchmark_names())
+    run.add_argument("--benchmark", required=True, choices=all_names)
     run.add_argument("--config", default="libra",
                      choices=("baseline", "ptr", "libra", "temperature"))
     run.add_argument("--frames", type=int, default=8)
+    run.add_argument("--telemetry", action="store_true",
+                     help="collect telemetry metrics and print a "
+                          "snapshot table")
+    run.add_argument("--telemetry-out", default=None, metavar="PATH",
+                     help="also export the telemetry events (.json = "
+                          "Chrome trace, otherwise JSONL)")
 
     compare = sub.add_parser("compare",
                              help="baseline vs PTR vs LIBRA side by side")
@@ -207,11 +368,20 @@ def build_parser() -> argparse.ArgumentParser:
     heatmap.add_argument("--benchmark", required=True,
                          choices=benchmark_names())
 
-    trace = sub.add_parser("trace",
-                           help="export frame traces as JSON lines")
-    trace.add_argument("--benchmark", required=True,
-                       choices=benchmark_names())
+    trace = sub.add_parser(
+        "trace", help="export frame traces (JSONL) or a Chrome/Perfetto "
+                      "telemetry trace")
+    trace.add_argument("benchmark_pos", nargs="?", default=None,
+                       metavar="benchmark", choices=all_names,
+                       help="benchmark code (alternative to --benchmark)")
+    trace.add_argument("--benchmark", default=None, choices=all_names)
+    trace.add_argument("--config", default="libra", choices=CONFIG_NAMES,
+                       help="GPU configuration for chrome-format traces")
     trace.add_argument("--frames", type=int, default=4)
+    trace.add_argument("--format", default="auto",
+                       choices=("auto", "chrome", "frames"),
+                       help="auto: .json out = chrome trace, otherwise "
+                            "frame-trace JSONL")
     trace.add_argument("--out", default="traces.jsonl.gz")
 
     suite = sub.add_parser(
@@ -228,6 +398,12 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--workers", type=int, default=1,
                        help="worker processes for the sweep (1 = "
                             "sequential)")
+    suite.add_argument("--telemetry", action="store_true",
+                       help="collect telemetry during the sweep and "
+                            "attach the metrics snapshot to the report")
+    suite.add_argument("--telemetry-out", default=None, metavar="PATH",
+                       help="export harness telemetry events (.json = "
+                            "Chrome trace, otherwise JSONL)")
     return parser
 
 
@@ -239,6 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     command becomes a one-line stderr diagnostic and exit 1.
     """
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
@@ -250,7 +427,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return handlers[args.command](args)
     except ReproError as exc:
-        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        logger.error("%s: %s", type(exc).__name__, exc)
         return 1
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from ..config import SchedulerConfig
+from ..telemetry import FSMTransition, HUB
 
 Z_ORDER = "zorder"
 TEMPERATURE = "temperature"
@@ -50,6 +51,14 @@ class OrderSelector:
 
     def decide(self) -> str:
         """The traversal order for the coming frame (Figure 10)."""
+        previous_order = self.current
+        order = self._decide()
+        if order != previous_order and HUB.enabled:
+            HUB.emit(FSMTransition(machine="order", old=previous_order,
+                                   new=order))
+        return order
+
+    def _decide(self) -> str:
         last, previous = self._last, self._previous
         if last is None:
             return self.current
@@ -111,6 +120,7 @@ class SupertileResizer:
         self._last_cycles = raster_cycles
         if last is None:
             return
+        size_before = self.size
         delta = _relative_change(last, raster_cycles)
         threshold = self.config.supertile_resize_threshold
         if delta < -threshold:
@@ -121,6 +131,9 @@ class SupertileResizer:
             self._direction = -self._direction
             self._step()
         # Within the hysteresis band: hold the current size.
+        if self.size != size_before and HUB.enabled:
+            HUB.emit(FSMTransition(machine="supertile_size",
+                                   old=size_before, new=self.size))
 
     def _step(self) -> None:
         new_index = self._index + self._direction

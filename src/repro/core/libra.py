@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from ..config import SchedulerConfig
 from ..gpu.workload import FrameTrace
+from ..telemetry import FSMState, HUB, SchedulerRanking
 from .adaptive import (FrameObservation, OrderSelector, SupertileResizer,
                        TEMPERATURE, Z_ORDER)
 from .ranking import rank_by_temperature, ranking_cycles
@@ -58,6 +59,9 @@ class LibraScheduler(TileScheduler):
             rank_latency = ranking_cycles(len(temperatures))
             batches = [grid.tiles_of(sid) for sid in ranked]
             dispenser: object = HotColdDispenser(batches)
+            if HUB.enabled:
+                HUB.emit(SchedulerRanking(supertiles=len(ranked),
+                                          hottest=tuple(ranked[:4])))
         elif order == TEMPERATURE:
             # Temperature order requested but no history yet (first
             # frame): fall back to supertile Z-order for this frame.
@@ -71,6 +75,13 @@ class LibraScheduler(TileScheduler):
         self.log.append(LibraFrameLog(
             frame_index=self._frame_index, order=order,
             supertile_size=size, ranking_cycles=rank_latency))
+        if HUB.enabled:
+            # Per-frame state snapshots of both adaptive FSMs (the
+            # transitions themselves are emitted by repro.core.adaptive).
+            HUB.emit(FSMState(machine="order", state=order,
+                              frame=self._frame_index))
+            HUB.emit(FSMState(machine="supertile_size", state=size,
+                              frame=self._frame_index))
         return ScheduleDecision(dispenser=dispenser, order=order,
                                 supertile_size=size)
 

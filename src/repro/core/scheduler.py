@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..gpu.workload import FrameTrace
+from ..telemetry import HUB, SchedulerRanking
 from ..tiling.orders import morton_order
 from ..tiling.supertile import SupertileGrid
 from .ranking import rank_by_temperature
@@ -254,6 +255,9 @@ class TemperatureScheduler(TileScheduler):
         grid, temperatures = self._table.aggregate(self.size)
         ranked = rank_by_temperature(temperatures)
         batches = [grid.tiles_of(sid) for sid in ranked]
+        if HUB.enabled:
+            HUB.emit(SchedulerRanking(supertiles=len(ranked),
+                                      hottest=tuple(ranked[:4])))
         return ScheduleDecision(dispenser=HotColdDispenser(batches),
                                 order="temperature",
                                 supertile_size=self.size)

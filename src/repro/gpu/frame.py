@@ -18,6 +18,8 @@ from ..memory.cache import CacheStats
 from ..memory.hierarchy import (SharedMemory, make_tile_cache,
                                 make_vertex_cache)
 from ..memory.traffic import GEOMETRY
+from ..telemetry import (HUB, CacheDelta, PhaseBegin, PhaseEnd,
+                         SchedulerDecision, SimClock)
 from .raster_unit import TimingRasterUnit
 from .timing import RasterPhaseResult, TimingSimulator
 from .workload import FrameTrace
@@ -70,23 +72,51 @@ class FrameDriver:
         self.shared = SharedMemory(config)
         self.tile_cache = make_tile_cache(config)
         self.vertex_cache = make_vertex_cache(config)
+        #: One simulated-cycle clock for the whole run: geometry phases
+        #: advance it by their cycle count, the raster phase once per
+        #: interval, so telemetry timestamps are monotonic across frames.
+        self.clock = SimClock()
         self.raster_units = [
             TimingRasterUnit(i, config, self.shared, self.tile_cache,
-                             ideal_memory=ideal_memory, batched=batched)
+                             ideal_memory=ideal_memory, batched=batched,
+                             clock=self.clock)
             for i in range(config.num_raster_units)]
         self.timing = TimingSimulator(config, self.shared,
-                                      self.raster_units, self.tile_cache)
+                                      self.raster_units, self.tile_cache,
+                                      clock=self.clock)
         self.scheduler.configure(config.num_raster_units)
         self._frame_index = 0
 
     # -- per-frame execution ------------------------------------------------
     def run_frame(self, trace: FrameTrace) -> FrameResult:
         """Render one traced frame; returns its FrameResult."""
+        telemetry = HUB.enabled
+        frame = self._frame_index
         before = self._snapshot()
+        if telemetry:
+            HUB.emit(PhaseBegin(name="geometry", ts=self.clock.cycles,
+                                frame=frame))
         self._run_geometry_phase(trace)
+        self.clock.cycles += trace.geometry_cycles
+        if telemetry:
+            HUB.emit(PhaseEnd(name="geometry", ts=self.clock.cycles,
+                              frame=frame))
         decision = self.scheduler.begin_frame(trace)
+        if telemetry:
+            HUB.emit(SchedulerDecision(
+                frame=frame, order=decision.order,
+                supertile_size=decision.supertile_size,
+                batches=decision.dispenser.remaining(),
+                ts=self.clock.cycles))
+            HUB.emit(PhaseBegin(name="raster", ts=self.clock.cycles,
+                                frame=frame))
         phase = self.timing.run_raster_phase(trace, decision.dispenser)
+        if telemetry:
+            HUB.emit(PhaseEnd(name="raster", ts=self.clock.cycles,
+                              frame=frame))
         result = self._build_result(trace, decision, phase, before)
+        if telemetry:
+            self._publish_frame_telemetry(result, before)
         self.scheduler.end_frame(FrameFeedback(
             frame_index=result.frame_index,
             raster_cycles=result.raster_cycles,
@@ -221,3 +251,55 @@ class FrameDriver:
             tiles_completed=phase.tiles_completed,
             texture_l1_stats=merged_tex_stats,
         )
+
+    def _publish_frame_telemetry(self, result: FrameResult,
+                                 before: dict) -> None:
+        """Emit per-frame cache deltas and update the metrics registry.
+
+        Only called when the hub is enabled; purely observational, so it
+        can never perturb the simulation (no simulated state is touched).
+        """
+        ts = self.clock.cycles
+        frame = result.frame_index
+        for name, cache in (("l2", self.shared.l2),
+                            ("tile", self.tile_cache),
+                            ("vertex", self.vertex_cache)):
+            prior = before[name]
+            stats = cache.stats
+            HUB.emit(CacheDelta(
+                name=name, frame=frame, ts=ts,
+                accesses=stats.accesses - prior.accesses,
+                hits=stats.hits - prior.hits,
+                misses=stats.misses - prior.misses,
+                evictions=stats.evictions - prior.evictions,
+                writebacks=stats.writebacks - prior.writebacks))
+        tex = result.texture_l1_stats
+        HUB.emit(CacheDelta(
+            name="l1tex", frame=frame, ts=ts,
+            accesses=tex.accesses, hits=tex.hits, misses=tex.misses,
+            evictions=tex.evictions, writebacks=tex.writebacks))
+        metrics = HUB.metrics
+        dram = self.shared.dram.stats
+        metrics.counter("frames").inc()
+        metrics.counter("dram.reads").inc(dram.reads
+                                          - before["dram_reads"])
+        metrics.counter("dram.writes").inc(dram.writes
+                                           - before["dram_writes"])
+        metrics.counter("dram.activations").inc(
+            dram.activations - before["dram_activations"])
+        metrics.counter("raster.dram_accesses").inc(
+            result.raster_dram_accesses)
+        metrics.counter("geometry.cycles").inc(result.geometry_cycles)
+        metrics.counter("raster.cycles").inc(result.raster_cycles)
+        metrics.counter("tiles.completed").inc(result.tiles_completed)
+        metrics.gauge("l1tex.hit_ratio").set(result.texture_hit_ratio)
+        metrics.gauge("l1tex.mean_latency").set(
+            result.mean_texture_latency)
+        metrics.gauge("dram.loaded_latency").set(
+            self.shared.dram.loaded_latency)
+        metrics.gauge("scheduler.supertile_size").set(
+            result.supertile_size)
+        self.shared.l2.stats.publish(metrics, "l2")
+        self.tile_cache.stats.publish(metrics, "tilecache")
+        self.vertex_cache.stats.publish(metrics, "vertexcache")
+        self.shared.publish_metrics(metrics)

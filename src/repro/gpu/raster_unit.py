@@ -24,6 +24,8 @@ from ..config import GPUConfig
 from ..memory.cache import Cache
 from ..memory.hierarchy import SharedMemory, make_texture_l1
 from ..memory.traffic import FRAMEBUFFER, PARAMETER, TEXTURE, WRITEBACK
+from ..telemetry import (HUB, SimClock, TILE_LATENCY_BUCKETS, TileDispatch,
+                         TileRetire)
 from .shader_core import CoreCluster
 from .workload import TileCoord, TileWorkload
 
@@ -69,13 +71,19 @@ class TimingRasterUnit:
 
     def __init__(self, index: int, config: GPUConfig, shared: SharedMemory,
                  tile_cache: Cache, ideal_memory: bool = False,
-                 batched: bool = True):
+                 batched: bool = True, clock: Optional[SimClock] = None):
         self.index = index
         self.config = config
         self.shared = shared
         self.tile_cache = tile_cache
         self.ideal_memory = ideal_memory
         self.batched = batched
+        #: Simulated-cycle clock, shared with the frame driver; only read
+        #: on telemetry-guarded paths (tile dispatch/retire timestamps).
+        self.clock = clock if clock is not None else SimClock()
+        self._tile_start_ts = 0
+        self._m_tiles = None
+        self._m_tile_latency = None
         self.cluster = CoreCluster(config.raster_unit, config.shader_core)
         self.l1 = make_texture_l1(config, name=f"TexL1[{index}]")
         self._l1_latency = float(config.texture_cache.latency_cycles)
@@ -125,6 +133,13 @@ class TimingRasterUnit:
         self._tile_dram = 0
         self.stats = RasterUnitStats()
         self._bind_hot()
+        if HUB.enabled:
+            metrics = HUB.metrics
+            self._m_tiles = metrics.counter(
+                f"ru{self.index}.tiles_retired")
+            self._m_tile_latency = metrics.histogram(
+                f"ru{self.index}.tile_latency_cycles",
+                TILE_LATENCY_BUCKETS)
 
     @property
     def busy(self) -> bool:
@@ -205,6 +220,10 @@ class TimingRasterUnit:
     # -- tile lifecycle -----------------------------------------------------
     def _begin_tile(self, workload: TileWorkload) -> float:
         """Start a tile: Parameter Buffer fetch + fixed setup cost."""
+        if HUB.enabled:
+            self._tile_start_ts = self.clock.cycles
+            HUB.emit(TileDispatch(ru=self.index, tile=workload.tile,
+                                  ts=self._tile_start_ts))
         self._current = workload
         self._cycles_done = 0.0
         self._cycles_needed = self.cluster.tile_compute_cycles(workload)
@@ -256,6 +275,15 @@ class TimingRasterUnit:
         stats.fragments += w.fragments
         stats.per_tile_dram[w.tile] = self._tile_dram
         stats.per_tile_instructions[w.tile] = w.instructions
+        if HUB.enabled:
+            now = self.clock.cycles
+            HUB.emit(TileRetire(ru=self.index, tile=w.tile, ts=now,
+                                start_ts=self._tile_start_ts,
+                                dram_lines=self._tile_dram,
+                                instructions=w.instructions))
+            if self._m_tiles is not None:
+                self._m_tiles.inc()
+                self._m_tile_latency.observe(now - self._tile_start_ts)
         self._current = None
         return float(self.config.raster_unit.tile_flush_cycles)
 

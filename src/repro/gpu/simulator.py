@@ -19,6 +19,7 @@ from ..config import GPUConfig
 from ..core.scheduler import TileScheduler, ZOrderScheduler
 from ..energy.model import EnergyCounts, EnergyModel
 from ..errors import ReproError, SimulationError
+from ..telemetry import HUB, PhaseBegin, PhaseEnd
 from .frame import FrameDriver, FrameResult
 from .workload import FrameTrace
 
@@ -139,6 +140,10 @@ class GPUSimulator:
                 trace.validate()
         result = RunResult(config_name=self.name,
                            frequency_hz=self.config.frequency_hz)
+        telemetry = HUB.enabled
+        if telemetry:
+            HUB.emit(PhaseBegin(name=f"run:{self.name}",
+                                ts=self.driver.clock.cycles))
         for trace in traces:
             try:
                 result.frames.append(self.driver.run_frame(trace))
@@ -148,4 +153,7 @@ class GPUSimulator:
                 raise SimulationError(
                     f"{self.name or 'simulator'}: frame "
                     f"{trace.frame_index} failed: {exc!r}") from exc
+        if telemetry:
+            HUB.emit(PhaseEnd(name=f"run:{self.name}",
+                              ts=self.driver.clock.cycles))
         return result

@@ -18,6 +18,7 @@ from ..config import GPUConfig
 from ..core.scheduler import Dispenser
 from ..memory.hierarchy import SharedMemory
 from ..memory.cache import Cache
+from ..telemetry import SimClock
 from .raster_unit import RasterUnitStats, TimingRasterUnit
 from .workload import FrameTrace, TileWorkload
 
@@ -73,13 +74,17 @@ class TimingSimulator:
     MAX_CYCLES = 2_000_000_000
 
     def __init__(self, config: GPUConfig, shared: SharedMemory,
-                 raster_units: List[TimingRasterUnit], tile_cache: Cache):
+                 raster_units: List[TimingRasterUnit], tile_cache: Cache,
+                 clock: Optional[SimClock] = None):
         if not raster_units:
             raise ValueError("need at least one Raster Unit")
         self.config = config
         self.shared = shared
         self.raster_units = raster_units
         self.tile_cache = tile_cache
+        #: Simulated-cycle clock advanced once per interval; shared with
+        #: the Raster Units so telemetry timestamps line up.
+        self.clock = clock if clock is not None else SimClock()
 
     def run_raster_phase(self, trace: FrameTrace,
                          dispenser: Dispenser) -> RasterPhaseResult:
@@ -104,6 +109,8 @@ class TimingSimulator:
 
         cycles = 0
         intervals = 0
+        clock = self.clock
+        phase_start = clock.cycles
         while True:
             any_work = False
             for unit in self.raster_units:
@@ -114,12 +121,14 @@ class TimingSimulator:
                 break
             cycles += interval
             intervals += 1
+            clock.cycles += interval
             if cycles > self.MAX_CYCLES:
                 raise RuntimeError(
                     "raster phase exceeded the cycle ceiling — "
                     "likely a deadlocked workload or dispenser")
         # Let the DRAM queue drain; those cycles are part of the frame.
         cycles += self.shared.dram.drain_cycles()
+        clock.cycles = phase_start + cycles
         return RasterPhaseResult(
             cycles=cycles,
             intervals=intervals,

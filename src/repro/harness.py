@@ -53,6 +53,7 @@ from .core import (LibraScheduler, StaticSupertileScheduler,
 from .errors import (BenchmarkTimeoutError, CacheCorruptionError,
                      ConfigValidationError, ReproError, SimulationError)
 from .gpu import FrameTrace, GPUSimulator, RunResult
+from .telemetry import HUB, HarnessSpan
 from .workloads import TraceBuilder, benchmark_names, make_scene_builder
 from .workloads.traces import TRACE_FORMAT_VERSION
 
@@ -76,7 +77,8 @@ TRACE_GENERATION = 1
 #: Bump to invalidate cached *results* (any semantic change to the
 #: timing model).  g2: geometry-phase interval accounting made
 #: deterministic when the vertex stream does not divide evenly.
-RESULT_GENERATION = 2
+#: g3: RunSummary grew the ``telemetry`` metrics-snapshot field.
+RESULT_GENERATION = 3
 
 #: Backwards-compatible alias (pre-split single generation number).
 GENERATION = TRACE_GENERATION
@@ -222,6 +224,9 @@ class RunSummary:
     #: Per-tile DRAM access maps of the last two frames (Figures 2, 8, 9).
     per_tile_dram_prev: Dict[Tuple[int, int], int]
     per_tile_dram_last: Dict[Tuple[int, int], int]
+    #: Flat telemetry-metrics snapshot of the run (None when the
+    #: telemetry hub was disabled or the summary came from the cache).
+    telemetry: Optional[Dict[str, float]] = None
 
     def speedup_over(self, other: "RunSummary") -> float:
         """Execution-time speedup of this run over another."""
@@ -271,6 +276,8 @@ def run_simulation(benchmark: str, kind: str, frames: int = FRAMES,
                              ideal_memory=ideal_memory, name=kind)
     result = simulator.run(traces)
     summary = summarize(benchmark, kind, result)
+    if HUB.enabled:
+        summary.telemetry = HUB.metrics.snapshot()
     if use_cache:
         with cachefile.file_lock(path):
             cachefile.write_cache(summary, path)
@@ -369,6 +376,9 @@ class SuiteReport:
     """
 
     outcomes: List[BenchmarkOutcome] = field(default_factory=list)
+    #: Flat telemetry-metrics snapshot taken when the sweep finished
+    #: (None when the telemetry hub was disabled).
+    metrics: Optional[Dict[str, float]] = None
 
     @property
     def succeeded(self) -> List[BenchmarkOutcome]:
@@ -449,6 +459,7 @@ def _attempt_pair(benchmark: str, kind: str, frames: int,
     """
     outcome = BenchmarkOutcome(benchmark, kind, "failed")
     start = time.monotonic()
+    wall_start = time.time()
     for attempt in range(1, max_attempts + 1):
         outcome.attempts = attempt
         try:
@@ -479,6 +490,13 @@ def _attempt_pair(benchmark: str, kind: str, frames: int,
                 break
             time.sleep(backoff_s * (2 ** (attempt - 1)))
     outcome.elapsed_s = time.monotonic() - start
+    if HUB.enabled:
+        HUB.emit(HarnessSpan(
+            name=f"{benchmark}/{kind}", wall_start_s=wall_start,
+            wall_dur_s=outcome.elapsed_s, status=outcome.status,
+            attempts=outcome.attempts,
+            args={"error": outcome.error_type}
+            if outcome.error_type else None))
     return outcome
 
 
@@ -542,10 +560,12 @@ def run_suite(benchmarks: Sequence[str],
     valid = list(known_benchmarks) if known_benchmarks is not None \
         else benchmark_names()
     pairs = [(b, k) for b in benchmarks for k in kinds]
+    suite_wall_start = time.time()
     if workers > 1:
-        return _run_suite_parallel(pairs, valid, workers, frames,
-                                   timeout_s, max_attempts, backoff_s,
-                                   runner, run_kwargs)
+        report = _run_suite_parallel(pairs, valid, workers, frames,
+                                     timeout_s, max_attempts, backoff_s,
+                                     runner, run_kwargs)
+        return _finalize_suite(report, suite_wall_start)
     report = SuiteReport()
     aborted = False
     for benchmark, kind in pairs:
@@ -563,6 +583,26 @@ def run_suite(benchmarks: Sequence[str],
         if outcome.error_type == "KeyboardInterrupt":
             aborted = True
         report.outcomes.append(outcome)
+    return _finalize_suite(report, suite_wall_start)
+
+
+def _finalize_suite(report: SuiteReport, wall_start: float) -> SuiteReport:
+    """Attach the suite-level telemetry span and metrics snapshot.
+
+    In ``workers > 1`` mode each worker process carries its own hub, so
+    the snapshot taken here only reflects the parent process (the
+    per-pair spans emitted inside workers stay in the workers); the
+    sequential path captures everything.
+    """
+    if HUB.enabled:
+        HUB.emit(HarnessSpan(
+            name="suite", wall_start_s=wall_start,
+            wall_dur_s=time.time() - wall_start, status="done",
+            attempts=len(report.outcomes),
+            args={"ok": len(report.succeeded),
+                  "failed": len(report.failed),
+                  "skipped": len(report.skipped)}))
+        report.metrics = HUB.metrics.snapshot()
     return report
 
 

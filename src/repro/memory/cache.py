@@ -64,6 +64,20 @@ class CacheStats:
         self.accesses = self.hits = self.misses = 0
         self.evictions = self.writebacks = self.repeat_hits = 0
 
+    def publish(self, registry, prefix: str) -> None:
+        """Mirror the counters into a telemetry metrics registry.
+
+        Gauges under ``<prefix>.*`` (gauges, not counters: these are
+        absolute running totals, and publishing is an idempotent
+        observation that may happen once per frame or once per run).
+        """
+        registry.gauge(f"{prefix}.accesses").set(self.accesses)
+        registry.gauge(f"{prefix}.hits").set(self.hits)
+        registry.gauge(f"{prefix}.misses").set(self.misses)
+        registry.gauge(f"{prefix}.evictions").set(self.evictions)
+        registry.gauge(f"{prefix}.writebacks").set(self.writebacks)
+        registry.gauge(f"{prefix}.hit_ratio").set(self.hit_ratio)
+
     def merged_with(self, other: "CacheStats") -> "CacheStats":
         """Element-wise sum of two counter sets."""
         return CacheStats(

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from ..config import CACHE_LINE_BYTES, DRAMConfig
+from ..telemetry import DRAM_BURST_BUCKETS, DRAMSample, HUB
 
 
 @dataclass
@@ -76,6 +77,8 @@ class DRAM:
         self._loaded_latency = float(config.row_hit_cycles)
         self._service_cycles_sum = 0.0
         self._service_count = 0
+        #: Lazily-bound telemetry histogram (None while disabled).
+        self._m_burst = None
         self.stats = DRAMStats()
 
     # -- request path ----------------------------------------------------
@@ -148,6 +151,19 @@ class DRAM:
         self._interval_requests = 0
         self._service_cycles_sum = 0.0
         self._service_count = 0
+        if HUB.enabled:
+            # Interval index x interval length approximates the global
+            # cycle clock (good enough for a counter track); the burst
+            # histogram feeds the DRAM-demand flatness analysis (Fig. 7).
+            histogram = self._m_burst
+            if histogram is None:
+                histogram = self._m_burst = HUB.metrics.histogram(
+                    "dram.burst_requests", DRAM_BURST_BUCKETS)
+            histogram.observe(requests)
+            HUB.emit(DRAMSample(
+                ts=len(stats.interval_requests) * self.interval_cycles,
+                requests=requests, utilization=utilization,
+                latency_cycles=loaded))
 
     @property
     def backlog(self) -> float:

@@ -162,6 +162,19 @@ class SharedMemory:
         stats.activations += row_misses
         self.traffic.add(source, n)
 
+    def publish_metrics(self, registry) -> None:
+        """Mirror the per-source traffic breakdown into a metrics registry.
+
+        Gauges under ``traffic.*`` (absolute running totals, like
+        :meth:`repro.memory.cache.CacheStats.publish`); purely
+        observational.
+        """
+        for source, count in self.traffic.counts.items():
+            registry.gauge(f"traffic.{source}").set(count)
+        registry.gauge("traffic.total").set(self.traffic.total)
+        registry.gauge("traffic.raster_total").set(
+            self.traffic.raster_total())
+
     def access_latency(self, level: str) -> float:
         """Cycles a demand access observes when served at ``level``."""
         if level == "l2":

@@ -2,14 +2,29 @@
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 TileCoord = Tuple[int, int]
 
+logger = logging.getLogger(__name__)
+
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean (the standard aggregate for speedups)."""
+    """Geometric mean (the standard aggregate for speedups).
+
+    Only positive values contribute (a geometric mean is undefined at
+    zero or below).  Non-positive entries usually mean a failed or
+    skipped run leaked into the aggregate, so dropping them is logged
+    rather than silent.
+    """
     filtered = [v for v in values if v > 0]
+    dropped = len(values) - len(filtered)
+    if dropped:
+        logger.warning(
+            "geometric_mean dropped %d non-positive value(s) out of %d; "
+            "the aggregate covers the remaining %d",
+            dropped, len(values), len(filtered))
     if not filtered:
         return 0.0
     product = 1.0

@@ -1,0 +1,54 @@
+"""Cycle-level telemetry: structured events, metrics, trace exporters.
+
+The three pieces (see ``docs/observability.md`` for the full taxonomy):
+
+* :data:`HUB` — the process-wide :class:`TelemetryHub`.  Disabled by
+  default; every hot-path instrumentation site in the simulator is
+  guarded by ``if HUB.enabled:`` so a disabled hub costs one attribute
+  check.  Enable with a sink to start collecting::
+
+      from repro.telemetry import HUB, RecordingSink, chrome_trace
+
+      sink = RecordingSink()
+      HUB.enable(sink)
+      try:
+          result = simulator.run(traces)
+      finally:
+          HUB.disable()
+      trace_json = chrome_trace(sink.events)
+
+  (or use the :func:`telemetry_session` context manager).
+
+* :class:`MetricsRegistry` (``HUB.metrics``) — counters, gauges and
+  fixed-bucket histograms registered by dotted name
+  (``ru0.tiles_retired``, ``dram.reads``, ``l1tex.hit_ratio``).
+
+* Exporters — :func:`chrome_trace` / :func:`write_chrome_trace`
+  (Perfetto / ``chrome://tracing``), :class:`JsonlSink` (structured
+  JSONL stream) and ``HUB.metrics.snapshot()`` (flat dict merged into
+  run summaries and suite reports).
+"""
+
+from .chrome import (PID_HARNESS, PID_RU0, PID_SIM, chrome_trace,
+                     chrome_trace_events, write_chrome_trace)
+from .events import (CacheDelta, DRAMSample, FSMState, FSMTransition,
+                     HarnessSpan, PhaseBegin, PhaseEnd, SchedulerDecision,
+                     SchedulerRanking, TelemetryEvent, TileDispatch,
+                     TileRetire)
+from .hub import (HUB, JsonlSink, RecordingSink, SimClock, TelemetryHub,
+                  telemetry_session)
+from .metrics import (Counter, DRAM_BURST_BUCKETS, Gauge, Histogram,
+                      MetricsRegistry, TILE_LATENCY_BUCKETS)
+
+__all__ = [
+    "HUB", "TelemetryHub", "SimClock", "RecordingSink", "JsonlSink",
+    "telemetry_session",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "TILE_LATENCY_BUCKETS", "DRAM_BURST_BUCKETS",
+    "TelemetryEvent", "PhaseBegin", "PhaseEnd", "TileDispatch",
+    "TileRetire", "SchedulerDecision", "SchedulerRanking",
+    "FSMTransition", "FSMState", "DRAMSample", "CacheDelta",
+    "HarnessSpan",
+    "chrome_trace", "chrome_trace_events", "write_chrome_trace",
+    "PID_SIM", "PID_RU0", "PID_HARNESS",
+]

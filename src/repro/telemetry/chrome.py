@@ -1,0 +1,160 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+Maps the typed event stream onto the Trace Event Format:
+
+* one ``pid`` per Raster Unit (``PID_RU0 + index``) carrying tile
+  duration events (``ph: "X"``) and dispatch instants;
+* ``pid`` 0 ("sim") carrying pipeline-phase duration events (``B``/``E``
+  pairs), scheduler/FSM instant events (``ph: "i"``) and the DRAM
+  counter tracks (``ph: "C"`` — bandwidth, utilization, loaded latency);
+* ``pid`` 999 ("harness") carrying wall-clock suite spans.
+
+Timestamps are simulated cycles emitted directly into the ``ts`` field
+(the format nominally wants microseconds; viewers only require a
+consistent unit, so 1 us on screen = 1 simulated cycle).  Harness spans
+are wall-clock microseconds — a different domain, which is why they live
+in their own process track.  Events without a timestamp (FSM decisions
+made outside the timed core) reuse the last simulated timestamp seen.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from .events import (CacheDelta, DRAMSample, FSMState, FSMTransition,
+                     HarnessSpan, PhaseBegin, PhaseEnd, SchedulerDecision,
+                     SchedulerRanking, TelemetryEvent, TileDispatch,
+                     TileRetire)
+
+#: pid of the simulator-control track (phases, FSM, counters).
+PID_SIM = 0
+#: pid of Raster Unit ``i`` is ``PID_RU0 + i``.
+PID_RU0 = 100
+#: pid of the wall-clock harness track.
+PID_HARNESS = 999
+
+
+def chrome_trace_events(events: Iterable[TelemetryEvent]) -> List[dict]:
+    """Convert a typed event stream into trace-event dicts."""
+    out: List[dict] = []
+    pids_seen: Dict[int, str] = {}
+    last_ts = 0
+
+    def _pid(pid: int, name: str) -> int:
+        pids_seen.setdefault(pid, name)
+        return pid
+
+    def _ts(explicit) -> int:
+        nonlocal last_ts
+        if explicit is not None:
+            last_ts = int(explicit)
+        return last_ts
+
+    for event in events:
+        if isinstance(event, PhaseBegin):
+            out.append({"name": event.name, "ph": "B",
+                        "ts": _ts(event.ts),
+                        "pid": _pid(PID_SIM, "sim"), "tid": 0,
+                        "args": {"frame": event.frame}})
+        elif isinstance(event, PhaseEnd):
+            out.append({"name": event.name, "ph": "E",
+                        "ts": _ts(event.ts),
+                        "pid": _pid(PID_SIM, "sim"), "tid": 0})
+        elif isinstance(event, TileRetire):
+            start = event.start_ts if event.start_ts is not None else event.ts
+            end = _ts(event.ts)
+            out.append({"name": f"tile {event.tile}", "ph": "X",
+                        "ts": int(start if start is not None else end),
+                        "dur": max(end - int(start or 0), 1),
+                        "pid": _pid(PID_RU0 + event.ru, f"RU {event.ru}"),
+                        "tid": 0,
+                        "args": {"dram_lines": event.dram_lines,
+                                 "instructions": event.instructions}})
+        elif isinstance(event, TileDispatch):
+            out.append({"name": "dispatch", "ph": "i", "s": "t",
+                        "ts": _ts(event.ts),
+                        "pid": _pid(PID_RU0 + event.ru, f"RU {event.ru}"),
+                        "tid": 0, "args": {"tile": list(event.tile or ())}})
+        elif isinstance(event, (FSMTransition, FSMState)):
+            if isinstance(event, FSMTransition):
+                name = f"fsm:{event.machine} {event.old}->{event.new}"
+                args: Dict[str, Any] = {"old": event.old, "new": event.new}
+            else:
+                name = f"fsm:{event.machine}={event.state}"
+                args = {"state": event.state, "frame": event.frame}
+            out.append({"name": name, "ph": "i", "s": "g",
+                        "ts": _ts(event.ts),
+                        "pid": _pid(PID_SIM, "sim"), "tid": 0,
+                        "args": args})
+        elif isinstance(event, SchedulerDecision):
+            out.append({"name": f"schedule:{event.order}", "ph": "i",
+                        "s": "p", "ts": _ts(event.ts),
+                        "pid": _pid(PID_SIM, "sim"), "tid": 0,
+                        "args": {"frame": event.frame,
+                                 "order": event.order,
+                                 "supertile_size": event.supertile_size,
+                                 "batches": event.batches}})
+        elif isinstance(event, SchedulerRanking):
+            out.append({"name": "ranking", "ph": "i", "s": "p",
+                        "ts": _ts(event.ts),
+                        "pid": _pid(PID_SIM, "sim"), "tid": 0,
+                        "args": {"supertiles": event.supertiles,
+                                 "hottest": list(event.hottest)}})
+        elif isinstance(event, DRAMSample):
+            ts = _ts(event.ts)
+            pid = _pid(PID_SIM, "sim")
+            out.append({"name": "dram.bandwidth", "ph": "C", "ts": ts,
+                        "pid": pid, "tid": 0,
+                        "args": {"requests": event.requests}})
+            out.append({"name": "dram.latency", "ph": "C", "ts": ts,
+                        "pid": pid, "tid": 0,
+                        "args": {"cycles": round(event.latency_cycles, 2)}})
+            out.append({"name": "dram.utilization", "ph": "C", "ts": ts,
+                        "pid": pid, "tid": 0,
+                        "args": {"rho": round(event.utilization, 4)}})
+        elif isinstance(event, CacheDelta):
+            out.append({"name": f"cache.{event.name}", "ph": "C",
+                        "ts": _ts(event.ts),
+                        "pid": _pid(PID_SIM, "sim"), "tid": 0,
+                        "args": {"hits": event.hits,
+                                 "misses": event.misses}})
+        elif isinstance(event, HarnessSpan):
+            out.append({"name": event.name, "ph": "X",
+                        "ts": int(event.wall_start_s * 1e6),
+                        "dur": max(int(event.wall_dur_s * 1e6), 1),
+                        "pid": _pid(PID_HARNESS, "harness"), "tid": 0,
+                        "args": {"status": event.status,
+                                 "attempts": event.attempts,
+                                 **(event.args or {})}})
+        # Unknown event types are skipped: the JSONL sink still carries
+        # them, and the Chrome view stays well-formed.
+
+    meta = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": label}}
+            for pid, label in sorted(pids_seen.items())]
+    return meta + out
+
+
+def chrome_trace(events: Iterable[TelemetryEvent],
+                 metrics: Union[Dict[str, Any], None] = None) -> dict:
+    """The full Chrome trace document (``{"traceEvents": [...]}``)."""
+    doc: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"ts_unit": "simulated GPU cycles",
+                      "source": "repro.telemetry"},
+    }
+    if metrics:
+        doc["otherData"]["metrics"] = metrics
+    return doc
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       events: Iterable[TelemetryEvent],
+                       metrics: Union[Dict[str, Any], None] = None) -> int:
+    """Write the Chrome trace JSON to ``path``; returns the event count."""
+    doc = chrome_trace(events, metrics=metrics)
+    Path(path).write_text(json.dumps(doc) + "\n")
+    return len(doc["traceEvents"])

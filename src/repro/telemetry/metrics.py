@@ -1,0 +1,193 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Components register metrics by dotted name (``ru0.tiles_retired``,
+``dram.reads``, ``l1tex.hit_ratio``) through the get-or-create accessors
+on :class:`MetricsRegistry`.  Registration is idempotent — asking for an
+existing name returns the existing instrument (a type clash raises) — so
+hot code can cache the returned object once and update it directly.
+
+The registry itself is a plain dict with no locking: the simulator is
+single-threaded per process, and the suite's worker processes each carry
+their own registry (fork).  ``snapshot()`` flattens everything into a
+``{name: number}`` dict suitable for merging into run summaries or JSON.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default buckets for per-tile latency histograms (cycles).
+TILE_LATENCY_BUCKETS: Tuple[int, ...] = (
+    250, 500, 1000, 2000, 4000, 8000, 16000, 32000, 64000)
+
+#: Default buckets for DRAM per-interval burst-size histograms (requests).
+DRAM_BURST_BUCKETS: Tuple[int, ...] = (
+    0, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter (the instrument object survives)."""
+        self.value = 0
+
+
+class Gauge:
+    """Last-write-wins numeric metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def reset(self) -> None:
+        """Zero the gauge (the instrument object survives)."""
+        self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``buckets`` is a strictly increasing sequence of inclusive upper
+    bounds; an observation ``v`` lands in the first bucket with
+    ``v <= bound``, and anything above the last bound lands in the
+    implicit overflow bucket (``le_inf``).  Bucket counts are plain
+    (non-cumulative); ``count``/``total`` aggregate all observations.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total",
+                 "min_seen", "max_seen")
+
+    def __init__(self, name: str, buckets: Sequence[Number]):
+        bounds = tuple(buckets)
+        if not bounds:
+            raise ValueError(f"{name}: need at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"{name}: bucket bounds must strictly increase")
+        self.name = name
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total: float = 0.0
+        self.min_seen: Optional[float] = None
+        self.max_seen: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min_seen is None or value < self.min_seen:
+            self.min_seen = value
+        if self.max_seen is None or value > self.max_seen:
+            self.max_seen = value
+
+    @property
+    def mean(self) -> float:
+        """Average of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Zero all counts (bounds and the object survive)."""
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min_seen = self.max_seen = None
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Dotted-name registry of counters, gauges and histograms."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: Sequence[Number] = TILE_LATENCY_BUCKETS
+                  ) -> Histogram:
+        """Get or create the histogram ``name`` (buckets fixed at birth)."""
+        return self._get_or_create(name, Histogram,
+                                   lambda: Histogram(name, buckets))
+
+    def _get_or_create(self, name, kind, factory) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif not isinstance(metric, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}")
+        return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The registered metric, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Flatten every metric into a ``{dotted.name: number}`` dict.
+
+        Histograms expand into ``<name>.count``, ``<name>.sum``,
+        ``<name>.mean`` and one ``<name>.le_<bound>`` entry per bucket
+        plus ``<name>.le_inf`` for the overflow bucket.
+        """
+        out: Dict[str, Number] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[f"{name}.count"] = metric.count
+                out[f"{name}.sum"] = metric.total
+                out[f"{name}.mean"] = metric.mean
+                for bound, n in zip(metric.buckets, metric.counts):
+                    out[f"{name}.le_{bound}"] = n
+                out[f"{name}.le_inf"] = metric.counts[-1]
+            else:
+                out[name] = metric.value
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument in place.
+
+        Instrument *objects* survive a reset, so hot-path code that
+        cached a Counter/Histogram reference keeps updating the live
+        instrument after the values are cleared between runs.
+        """
+        for metric in self._metrics.values():
+            metric.reset()

@@ -3,8 +3,10 @@
 from .params import HotspotSpec, WorkloadParams
 from .scene import Scene, SceneBuilder
 from .suite import (BENCHMARKS, EXPERIMENT_HEIGHT, EXPERIMENT_WIDTH,
-                    benchmark_names, compute_intensive_names, get_params,
-                    make_scene_builder, memory_intensive_names, table2_rows)
+                    MICRO_BENCHMARKS, benchmark_names,
+                    compute_intensive_names, get_params,
+                    make_scene_builder, memory_intensive_names,
+                    micro_benchmark_names, table2_rows)
 from .trace_io import load_traces, save_traces
 from .traces import TraceBuilder, TraceCache
 
@@ -18,7 +20,9 @@ __all__ = [
     "save_traces",
     "load_traces",
     "BENCHMARKS",
+    "MICRO_BENCHMARKS",
     "benchmark_names",
+    "micro_benchmark_names",
     "memory_intensive_names",
     "compute_intensive_names",
     "get_params",

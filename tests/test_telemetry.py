@@ -1,0 +1,259 @@
+"""Tests for the telemetry subsystem (events, metrics, exporters).
+
+The two load-bearing guarantees:
+
+* **disabled = free and inert** — a disabled hub swallows nothing and
+  touches nothing;
+* **enabled = observation only** — a run with telemetry on is
+  bit-identical to the same run with it off.
+"""
+
+import json
+
+import pytest
+
+from repro.config import libra_config
+from repro.core import LibraScheduler
+from repro.gpu import GPUSimulator
+from repro.telemetry import (DRAMSample, FSMTransition, HUB, HarnessSpan,
+                             Histogram, MetricsRegistry, PhaseBegin,
+                             PhaseEnd, RecordingSink, TileDispatch,
+                             TileRetire, chrome_trace, telemetry_session)
+from repro.workloads import TraceBuilder, make_scene_builder
+
+WIDTH, HEIGHT, TILE = 256, 128, 32
+
+
+def _small_traces(benchmark="GDL", frames=2):
+    builder = make_scene_builder(benchmark, WIDTH, HEIGHT)
+    return TraceBuilder(builder, WIDTH, HEIGHT, TILE).build_many(frames)
+
+
+def _run_libra(traces):
+    cfg = libra_config(screen_width=WIDTH, screen_height=HEIGHT)
+    sim = GPUSimulator(cfg, scheduler=LibraScheduler(cfg.scheduler),
+                       name="libra")
+    return sim.run(traces)
+
+
+def _fingerprint(result):
+    """Everything observable about a run, hashable for comparison."""
+    return (
+        result.total_cycles,
+        result.raster_dram_accesses,
+        tuple((f.frame_index, f.geometry_cycles, f.raster_cycles,
+               f.order, f.supertile_size,
+               round(f.texture_hit_ratio, 12), f.raster_dram_accesses,
+               tuple(sorted(f.per_tile_dram.items())))
+              for f in result.frames),
+    )
+
+
+class TestHubLifecycle:
+    def test_disabled_by_default_and_emits_nothing(self):
+        assert HUB.enabled is False
+        sink = RecordingSink()
+        # The instrumentation contract: emit() is only reached behind an
+        # ``if HUB.enabled:`` guard, so a disabled hub simply never sees
+        # events.  Simulate a full run and assert nothing was recorded.
+        HUB.add_sink(sink)
+        try:
+            _run_libra(_small_traces(frames=1))
+        finally:
+            HUB.remove_sink(sink)
+        assert sink.events == []
+
+    def test_session_restores_prior_state(self):
+        assert HUB.enabled is False
+        with telemetry_session(RecordingSink()):
+            assert HUB.enabled is True
+        assert HUB.enabled is False
+        assert HUB.sinks == []
+
+    def test_seq_is_strictly_increasing_emit_order(self):
+        sink = RecordingSink()
+        with telemetry_session(sink):
+            HUB.emit(PhaseBegin(name="a", ts=5))
+            HUB.emit(PhaseEnd(name="a", ts=9))
+            HUB.emit(PhaseBegin(name="b", ts=9))
+        seqs = [e.seq for e in sink.events]
+        assert len(seqs) == 3
+        assert all(b > a for a, b in zip(seqs, seqs[1:]))
+
+    def test_run_event_stream_is_ordered(self):
+        sink = RecordingSink()
+        with telemetry_session(sink):
+            _run_libra(_small_traces(frames=2))
+        assert len(sink.events) > 0
+        seqs = [e.seq for e in sink.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        # Phases nest: the first event is the run-begin, the last the
+        # run-end, and every frame emits geometry before raster.
+        assert isinstance(sink.events[0], PhaseBegin)
+        assert sink.events[0].name.startswith("run:")
+        assert isinstance(sink.events[-1], PhaseEnd)
+        names = [e.name for e in sink.events if isinstance(e, PhaseBegin)]
+        assert names.count("geometry") == 2
+        assert names.count("raster") == 2
+
+
+class TestParity:
+    def test_enabled_run_is_bit_identical_to_disabled(self):
+        traces = _small_traces(frames=2)
+        plain = _fingerprint(_run_libra(traces))
+        with telemetry_session(RecordingSink()):
+            observed = _fingerprint(_run_libra(traces))
+        again = _fingerprint(_run_libra(traces))
+        assert observed == plain
+        assert again == plain  # and the hub left no residue behind
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        reg.counter("a.b").inc(4)
+        reg.gauge("c").set(2.5)
+        assert reg.snapshot() == {"a.b": 5, "c": 2.5}
+        with pytest.raises(ValueError):
+            reg.counter("a.b").inc(-1)
+
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_histogram_bucket_edges(self):
+        h = Histogram("h", (10, 20, 40))
+        # Inclusive upper bounds: 10 -> first bucket, 11 -> second,
+        # 40 -> last bounded bucket, 41 -> overflow.
+        for v in (0, 10, 11, 20, 21, 40, 41, 1000):
+            h.observe(v)
+        assert h.counts == [2, 2, 2, 2]
+        assert h.count == 8
+        assert h.min_seen == 0 and h.max_seen == 1000
+        assert h.mean == pytest.approx(sum((0, 10, 11, 20, 21, 40, 41,
+                                            1000)) / 8)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+        with pytest.raises(ValueError):
+            Histogram("h", (10, 10, 20))
+        with pytest.raises(ValueError):
+            Histogram("h", (20, 10))
+
+    def test_histogram_snapshot_shape(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", (100, 200))
+        h.observe(50)
+        h.observe(250)
+        snap = reg.snapshot()
+        assert snap["lat.count"] == 2
+        assert snap["lat.sum"] == 300
+        assert snap["lat.le_100"] == 1
+        assert snap["lat.le_200"] == 0
+        assert snap["lat.le_inf"] == 1
+
+    def test_reset_keeps_cached_instruments_live(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("n")
+        counter.inc(3)
+        reg.reset()
+        assert reg.snapshot()["n"] == 0
+        counter.inc()  # the cached reference still feeds the registry
+        assert reg.snapshot()["n"] == 1
+
+    def test_run_populates_expected_names(self):
+        with telemetry_session(RecordingSink()):
+            _run_libra(_small_traces(frames=2))
+            snap = HUB.metrics.snapshot()
+        assert snap["frames"] == 2
+        assert snap["ru0.tiles_retired"] > 0
+        assert snap["ru0.tile_latency_cycles.count"] > 0
+        assert snap["dram.reads"] > 0
+        assert 0.0 <= snap["l1tex.hit_ratio"] <= 1.0
+        assert snap["l2.accesses"] > 0
+
+
+class TestChromeTrace:
+    def _events(self):
+        events = [
+            PhaseBegin(name="raster", ts=0, frame=0),
+            TileDispatch(ru=0, tile=(1, 2), ts=0),
+            TileRetire(ru=0, tile=(1, 2), ts=400, start_ts=0,
+                       dram_lines=7, instructions=64),
+            FSMTransition(machine="order", old="zorder",
+                          new="temperature"),
+            DRAMSample(ts=1000, requests=12, utilization=0.4,
+                       latency_cycles=150.0),
+            PhaseEnd(name="raster", ts=1200, frame=0),
+            HarnessSpan(name="GDL/libra", wall_start_s=10.0,
+                        wall_dur_s=0.5, status="ok", attempts=1),
+        ]
+        for i, event in enumerate(events):
+            event.seq = i + 1
+        return events
+
+    def test_document_schema(self):
+        doc = chrome_trace(self._events(), metrics={"frames": 1})
+        # Round-trip through JSON: must serialize and keep its shape.
+        doc = json.loads(json.dumps(doc))
+        assert isinstance(doc["traceEvents"], list)
+        for entry in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(entry)
+            assert entry["ph"] == "M" or isinstance(entry["ts"], int)
+            if entry["ph"] == "X":
+                assert entry["dur"] >= 1
+        assert doc["otherData"]["metrics"] == {"frames": 1}
+
+    def test_track_mapping(self):
+        events = chrome_trace(self._events())["traceEvents"]
+        by_ph = {}
+        for entry in events:
+            by_ph.setdefault(entry["ph"], []).append(entry)
+        # Tile span on the RU process, harness span on the harness one.
+        pids = {e["pid"] for e in by_ph["X"]}
+        assert 100 in pids and 999 in pids
+        assert {e["pid"] for e in by_ph["B"]} == {0}
+        assert any(e["name"] == "dram.bandwidth" for e in by_ph["C"])
+        assert any(e["name"].startswith("fsm:") for e in by_ph["i"])
+        names = {e["args"]["name"] for e in by_ph["M"]}
+        assert {"sim", "RU 0", "harness"} <= names
+
+    def test_missing_ts_reuses_last_seen(self):
+        events = chrome_trace(self._events())["traceEvents"]
+        fsm = next(e for e in events if e["name"].startswith("fsm:"))
+        assert fsm["ts"] == 400  # the TileRetire before it
+
+
+class TestCliTrace:
+    def test_trace_tri_overlap_acceptance(self, capsys, tmp_path):
+        from repro.cli import main
+        out = str(tmp_path / "trace.json")
+        code = main(["--width", "256", "--height", "128",
+                     "trace", "tri_overlap", "--frames", "2",
+                     "--out", out])
+        assert code == 0
+        doc = json.loads(open(out).read())
+        events = doc["traceEvents"]
+        assert events
+        # Per-RU tile duration events, FSM instants, DRAM counter track.
+        assert any(e["ph"] == "X" and e["pid"] >= 100 and e["pid"] < 999
+                   for e in events)
+        assert any(e["ph"] == "i" and e["name"].startswith("fsm:")
+                   for e in events)
+        assert any(e["ph"] == "C" and e["name"] == "dram.bandwidth"
+                   for e in events)
+        assert capsys.readouterr().out.startswith("wrote ")
+
+    def test_trace_frames_format_unchanged(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.workloads import load_traces
+        out = str(tmp_path / "t.jsonl.gz")
+        code = main(["--width", "256", "--height", "128",
+                     "trace", "GDL", "--frames", "2", "--out", out])
+        assert code == 0
+        assert len(load_traces(out)) == 2
