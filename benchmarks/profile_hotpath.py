@@ -37,7 +37,9 @@ from repro.gpu import GPUSimulator  # noqa: E402
 
 
 def _run(kind: str, traces, batched: bool):
-    config, scheduler = harness.make_config(kind)
+    from repro.config import GPUConfig
+    config, scheduler = GPUConfig.build(
+        kind, screen_width=harness.WIDTH, screen_height=harness.HEIGHT)
     sim = GPUSimulator(config, scheduler=scheduler, name=kind,
                        batched=batched)
     return sim.run(traces)

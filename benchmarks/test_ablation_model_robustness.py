@@ -12,7 +12,7 @@ and checks the ordering survives every variant.
 
 from common import banner, pedantic, result
 
-from repro import GPUSimulator, harness
+from repro import GPUConfig, GPUSimulator, harness
 from repro.stats import format_table
 
 BENCH = "GrT"
@@ -23,7 +23,8 @@ def _speedups(interval=1000, fb_ratio=None):
     traces = harness.get_traces(BENCH)
     cycles = {}
     for kind in ("baseline", "ptr", "libra"):
-        config, scheduler = harness.make_config(kind)
+        config, scheduler = GPUConfig.build(
+            kind, screen_width=harness.WIDTH, screen_height=harness.HEIGHT)
         config.interval_cycles = interval
         config.fb_compression_ratio = fb_ratio
         simulator = GPUSimulator(config, scheduler=scheduler, name=kind)

@@ -9,7 +9,7 @@ same workloads — which parallelism wins here?
 
 from common import banner, pedantic, result, run
 
-from repro import harness
+from repro import GPUConfig, harness
 from repro.gpu.pfr import PFRSimulator
 from repro.stats import format_table, geometric_mean
 
@@ -22,7 +22,8 @@ def collect():
         traces = harness.get_traces(name)
         base = run(name, "baseline")
         libra = run(name, "libra")
-        config, _ = harness.make_config("ptr")
+        config, _ = GPUConfig.build(
+            "ptr", screen_width=harness.WIDTH, screen_height=harness.HEIGHT)
         pfr = PFRSimulator(config).run(traces)
         table[name] = {
             "LIBRA": libra.speedup_over(base),

@@ -13,7 +13,7 @@ locality) with policies from the paper's related work:
 
 from common import banner, pedantic, result, run
 
-from repro import GPUSimulator, harness
+from repro import GPUConfig, GPUSimulator, harness
 from repro.core.alternatives import (OracleTemperatureScheduler,
                                      RandomScheduler,
                                      ReverseFrameScheduler,
@@ -25,7 +25,8 @@ SUITE = ("GrT", "SuS", "BlB", "CCS", "TwR", "HoW")
 
 def _run_custom(name, scheduler_factory):
     traces = harness.get_traces(name)
-    config, _ = harness.make_config("ptr")
+    config, _ = GPUConfig.build(
+        "ptr", screen_width=harness.WIDTH, screen_height=harness.HEIGHT)
     simulator = GPUSimulator(config, scheduler=scheduler_factory())
     return simulator.run(traces)
 

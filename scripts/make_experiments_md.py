@@ -9,13 +9,27 @@ Run them with output capture disabled and feed the log to this script:
 
     pytest benchmarks/ --benchmark-only -q -s | tee bench.log
     python scripts/make_experiments_md.py bench.log > EXPERIMENTS.md
+
+Completed ``repro sweep`` artifact stores can be appended as extra
+sections (each renders its speedup-vs-baseline matrix from the
+checkpoints on disk — no re-simulation):
+
+    python scripts/make_experiments_md.py bench.log \\
+        --sweep .repro_sweeps/fig18 --sweep .repro_sweeps/fig19 \\
+        > EXPERIMENTS.md
+
+``--sweep`` also works without a bench log to render sweeps alone.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 RESULT_RE = re.compile(
     r"RESULT (?P<key>[\w.%+-]+): measured=(?P<measured>[-\w.%]+)"
@@ -212,16 +226,74 @@ def render(results: Dict[str, Tuple[str, Optional[str]]]) -> str:
     return "\n".join(out)
 
 
-def main() -> int:
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
+def render_sweep(store_root: str) -> str:
+    """One markdown section for a completed ``repro sweep`` store.
+
+    Reads the manifest and the per-point checkpoints (through the
+    checksum layer — corrupt artifacts are reported as missing cells,
+    never rendered) and pivots them with the same aggregation ``repro
+    sweep`` prints, so the committed table equals the CLI output.
+    """
+    from repro.experiments import (ArtifactStore, ExperimentSpec,
+                                   PointOutcome, SweepResult,
+                                   speedup_matrix)
+    store = ArtifactStore(store_root)
+    manifest = store.read_manifest()
+    if manifest is None:
+        raise SystemExit(f"{store_root}: not a sweep artifact store "
+                         "(no readable manifest.json)")
+    spec = ExperimentSpec.from_dict(manifest["spec"])
+    points = spec.expand()
+    done = store.load_completed(points)
+    result = SweepResult(spec=spec, store_root=Path(store_root))
+    for point in points:
+        summary = done.get(point.point_id)
+        if summary is None:
+            result.outcomes.append(PointOutcome(
+                point=point, status="skipped", error="no artifact",
+                error_type="missing"))
+        else:
+            result.outcomes.append(PointOutcome(
+                point=point, status="ok", summary=summary, resumed=True))
+    matrix = speedup_matrix(result)
+    out = [f"\n## Sweep: {spec.name}\n",
+           f"Grid: benchmarks={', '.join(spec.benchmarks)}; "
+           f"kinds={', '.join(spec.kinds)}; "
+           + "; ".join(f"{a}={v}" for a, v in spec.axes.items())
+           + f"; frames={spec.frames} at {spec.width}x{spec.height} "
+           f"({len(done)}/{len(points)} points on disk in "
+           f"`{store_root}`).\n",
+           matrix.to_markdown(), ""]
+    return "\n".join(out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("log", nargs="?", default=None,
+                        help="bench log with RESULT lines")
+    parser.add_argument("--sweep", action="append", default=[],
+                        metavar="DIR", dest="sweeps",
+                        help="repro sweep artifact store to append "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+    if args.log is None and not args.sweeps:
+        parser.print_help(sys.stderr)
         return 2
-    results = parse_results(sys.argv[1])
-    if not results:
-        print("no RESULT lines found — did you run the benches with -s?",
-              file=sys.stderr)
-        return 1
-    sys.stdout.write(render(results))
+    chunks = []
+    if args.log is not None:
+        results = parse_results(args.log)
+        if not results:
+            print("no RESULT lines found — did you run the benches "
+                  "with -s?", file=sys.stderr)
+            return 1
+        chunks.append(render(results))
+    else:
+        chunks.append(HEADER)
+    for store_root in args.sweeps:
+        chunks.append(render_sweep(store_root))
+    sys.stdout.write("\n".join(chunks))
     return 0
 
 

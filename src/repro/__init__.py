@@ -43,8 +43,14 @@ from .workloads import (SceneBuilder, TraceBuilder, TraceCache,
                         benchmark_names, compute_intensive_names,
                         get_params, make_scene_builder,
                         memory_intensive_names)
+# The curated façade (must come last: it composes the layers above).
+from . import api
+from .api import (ComparisonReport, ExperimentSpec, RunSummary,
+                  SpeedupMatrix, SuiteReport, SweepPoint, SweepResult,
+                  build_traces, compare, load_spec, run_suite, simulate,
+                  speedup_matrix, sweep)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -71,4 +77,9 @@ __all__ = [
     # error taxonomy
     "ReproError", "CacheCorruptionError", "TraceFormatError",
     "ConfigValidationError", "BenchmarkTimeoutError", "SimulationError",
+    # the supported façade (see repro.api and docs/api.md)
+    "api", "build_traces", "simulate", "compare", "sweep", "load_spec",
+    "run_suite", "RunSummary", "SuiteReport", "ComparisonReport",
+    "ExperimentSpec", "SweepPoint", "SweepResult", "SpeedupMatrix",
+    "speedup_matrix",
 ]

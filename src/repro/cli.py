@@ -14,6 +14,22 @@ Subcommands:
 * ``repro suite --benchmarks CCS,GDL --config libra [--workers N]`` —
   supervised sweep (timeouts, retries, graceful degradation, optional
   process-parallel execution; see ``repro.harness.run_suite``).
+* ``repro sweep --spec fig18.yaml`` (or inline: ``repro sweep
+  --benchmarks tri_overlap --axis raster_units=1,2,4 --axis
+  supertile=2,4``) — declarative, resumable parameter-grid sweep with
+  per-point crash-safe checkpoints and a speedup-matrix report (see
+  ``repro.experiments``).
+
+Flag conventions, shared across subcommands: single-target commands
+take ``--benchmark``, sweep-style commands take ``--benchmarks`` (comma
+list or ``all``); GPU variants are always ``--config KIND`` where KIND
+follows the ``repro.config.parse_kind`` grammar (``baseline[N]``,
+``ptr``, ``libra``, ``temperature[N]``, ``supertile[N]``);
+``--frames/--width/--height`` work both globally and per subcommand,
+and ``--workers/--timeout/--retries`` are shared by ``suite`` and
+``sweep``.  The historical spellings (``--benchmarks`` on single-target
+commands, ``--benchmark`` on sweep commands, ``--kind`` for
+``--config``) still parse as hidden aliases that warn once per process.
 
 Diagnostics go through the ``repro`` :mod:`logging` hierarchy; ``-v``
 raises the level to INFO, ``-vv`` to DEBUG.
@@ -29,10 +45,10 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+import warnings
 from typing import List, Optional
 
-from .config import baseline_config, libra_config
-from .core import LibraScheduler, TemperatureScheduler, ZOrderScheduler
+from .config import GPUConfig, parse_kind
 from .errors import ConfigValidationError, ReproError
 from .gpu import GPUSimulator, RunResult
 from .stats import format_table, render_ascii, tile_matrix
@@ -44,6 +60,8 @@ DEFAULT_WIDTH = 960
 DEFAULT_HEIGHT = 512
 DEFAULT_TILE = 32
 
+#: Historical tuple of the most common kinds (the full grammar is wider;
+#: see :func:`repro.config.parse_kind`).  Kept for import compatibility.
 CONFIG_NAMES = ("baseline", "ptr", "libra", "temperature")
 
 logger = logging.getLogger("repro.cli")
@@ -102,30 +120,110 @@ def configure_logging(verbosity: int = 0) -> None:
         root.setLevel(logging.WARNING)
 
 
+#: Option strings whose deprecation warning already fired this process.
+_WARNED_ALIASES: set = set()
+
+
+class _DeprecatedAlias(argparse.Action):
+    """A hidden alias option that warns once, then behaves normally.
+
+    Stores into the canonical option's ``dest``; the first use per
+    process emits a one-line diagnostic (and a ``DeprecationWarning``
+    for programmatic callers), later uses are silent.
+    """
+
+    def __init__(self, option_strings, dest, canonical="", **kwargs):
+        kwargs.setdefault("help", argparse.SUPPRESS)
+        super().__init__(option_strings, dest, **kwargs)
+        self.canonical = canonical
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if option_string not in _WARNED_ALIASES:
+            _WARNED_ALIASES.add(option_string)
+            message = (f"option {option_string} is deprecated; "
+                       f"use {self.canonical}")
+            warnings.warn(message, DeprecationWarning, stacklevel=2)
+            logger.warning("%s", message)
+        setattr(namespace, self.dest, values)
+
+
+def _kind_arg(value: str) -> str:
+    """argparse type for ``--config``: any kind :func:`parse_kind` accepts."""
+    try:
+        parse_kind(value)
+    except ConfigValidationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _common_parent(frames_default: int = 8) -> argparse.ArgumentParser:
+    """Shared ``--frames/--width/--height`` options for every subcommand.
+
+    ``--width/--height`` default to ``SUPPRESS`` so a value given at the
+    top level (``repro --width 256 run ...``) survives when the
+    subcommand spelling (``repro run --width 256 ...``) is not used.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--frames", type=int, default=frames_default,
+                        help="frames to simulate")
+    parent.add_argument("--width", type=int, default=argparse.SUPPRESS,
+                        help="screen width in pixels")
+    parent.add_argument("--height", type=int, default=argparse.SUPPRESS,
+                        help="screen height in pixels")
+    return parent
+
+
+def _supervision_parent() -> argparse.ArgumentParser:
+    """Shared ``--workers/--timeout/--retries`` for suite and sweep."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = sequential)")
+    parent.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock budget, seconds")
+    parent.add_argument("--retries", type=int, default=1,
+                        help="extra attempts for transient failures")
+    return parent
+
+
+def _add_config_option(parser, default: str = "libra") -> None:
+    """The canonical ``--config KIND`` plus its ``--kind`` alias."""
+    parser.add_argument(
+        "--config", default=default, type=_kind_arg, metavar="KIND",
+        help="GPU variant kind: baseline[N], ptr, libra, "
+             "temperature[N], supertile[N]")
+    parser.add_argument("--kind", dest="config", type=_kind_arg,
+                        action=_DeprecatedAlias, canonical="--config",
+                        metavar="KIND")
+
+
+def _add_benchmark_option(parser, choices, required: bool = True) -> None:
+    """The canonical ``--benchmark`` plus its ``--benchmarks`` alias."""
+    if required:
+        group = parser.add_mutually_exclusive_group(required=True)
+    else:
+        group = parser
+    group.add_argument("--benchmark", choices=choices)
+    group.add_argument("--benchmarks", dest="benchmark", choices=choices,
+                       action=_DeprecatedAlias, canonical="--benchmark")
+
+
+def _add_benchmarks_option(parser, default: Optional[str] = "all") -> None:
+    """The canonical plural ``--benchmarks`` plus ``--benchmark`` alias."""
+    parser.add_argument("--benchmarks", default=default,
+                        help="comma-separated codes, or 'all'")
+    parser.add_argument("--benchmark", dest="benchmarks",
+                        action=_DeprecatedAlias, canonical="--benchmarks")
+
+
 def _build_traces(benchmark: str, frames: int, width: int, height: int):
     builder = make_scene_builder(benchmark, width, height)
     return TraceBuilder(builder, width, height, DEFAULT_TILE).build_many(frames)
 
 
 def _make_simulator(config_name: str, width: int, height: int) -> GPUSimulator:
-    if config_name == "baseline":
-        return GPUSimulator(
-            baseline_config(screen_width=width, screen_height=height),
-            scheduler=ZOrderScheduler(), name="baseline")
-    if config_name == "ptr":
-        return GPUSimulator(
-            libra_config(screen_width=width, screen_height=height),
-            scheduler=ZOrderScheduler(), name="ptr")
-    if config_name == "libra":
-        cfg = libra_config(screen_width=width, screen_height=height)
-        return GPUSimulator(cfg, scheduler=LibraScheduler(cfg.scheduler),
-                            name="libra")
-    if config_name == "temperature":
-        cfg = libra_config(screen_width=width, screen_height=height)
-        return GPUSimulator(cfg, scheduler=TemperatureScheduler(4),
-                            name="temperature")
-    raise ConfigValidationError(
-        f"unknown config {config_name!r}; valid: {', '.join(CONFIG_NAMES)}")
+    config, scheduler = GPUConfig.build(config_name, screen_width=width,
+                                        screen_height=height)
+    return GPUSimulator(config, scheduler=scheduler, name=config_name)
 
 
 def _summarize(result: RunResult) -> List:
@@ -216,23 +314,13 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    """Handle ``repro compare``."""
-    traces = _build_traces(args.benchmark, args.frames, args.width,
-                           args.height)
-    rows = []
-    baseline: Optional[RunResult] = None
-    for config_name in ("baseline", "ptr", "libra"):
-        sim = _make_simulator(config_name, args.width, args.height)
-        result = sim.run(traces)
-        row = _summarize(result)
-        if baseline is None:
-            baseline = result
-            row.append("1.000")
-        else:
-            row.append(f"{result.speedup_over(baseline):.3f}")
-        rows.append(row)
-    print(format_table(_SUMMARY_HEADERS + ("speedup",), rows,
-                       title=f"{args.benchmark}: baseline vs PTR vs LIBRA"))
+    """Handle ``repro compare`` (through the :mod:`repro.api` façade,
+    so a compare row equals the sweep point with the same settings)."""
+    from .api import compare
+    report = compare(args.benchmark, kinds=("baseline", "ptr", "libra"),
+                     frames=args.frames, width=args.width,
+                     height=args.height)
+    print(report.format())
     return 0
 
 
@@ -318,6 +406,51 @@ def cmd_suite(args) -> int:
     return 0 if not report.failed else 1
 
 
+def cmd_sweep(args) -> int:
+    """Handle ``repro sweep`` (the declarative, resumable grid sweep).
+
+    The grid comes from ``--spec file.yaml`` or is assembled inline from
+    ``--benchmarks/--kinds/--axis``.  Completed points are checkpointed
+    per point under ``--out`` (default ``.repro_sweeps/<name>``); a
+    rerun with the same grid resumes, skipping them.  Prints the
+    per-point report, the speedup-vs-baseline matrix and the per-axis
+    marginals.  Exit status: 2 for an unusable spec, 1 when any point
+    failed, else 0.
+    """
+    from .experiments import (ExperimentSpec, parse_axis_option,
+                              run_sweep, speedup_matrix)
+    try:
+        if args.spec:
+            spec = ExperimentSpec.from_file(args.spec)
+        else:
+            if not args.benchmarks:
+                raise ConfigValidationError(
+                    "sweep needs --spec or --benchmarks")
+            names = (benchmark_names() if args.benchmarks == "all"
+                     else [n.strip() for n in args.benchmarks.split(",")
+                           if n.strip()])
+            kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+            axes = dict(parse_axis_option(a) for a in (args.axis or []))
+            spec = ExperimentSpec(
+                name=args.name, benchmarks=names, kinds=kinds, axes=axes,
+                frames=args.frames, width=args.width, height=args.height,
+                baseline_kind=args.baseline or (kinds[0] if kinds else ""))
+            spec.validate()
+    except ConfigValidationError as exc:
+        logger.error("%s", exc)
+        return 2
+    result = run_sweep(spec, store_root=args.out, workers=args.workers,
+                       timeout_s=args.timeout, retries=args.retries)
+    print(result.format())
+    print()
+    matrix = speedup_matrix(result)
+    print(matrix.format())
+    if matrix.axis_names:
+        print()
+        print(matrix.format_marginals())
+    return 1 if result.failed else 0
+
+
 def cmd_heatmap(args) -> int:
     """Handle ``repro heatmap``."""
     traces = _build_traces(args.benchmark, 2, args.width, args.height)
@@ -346,11 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="show the benchmark suite")
 
-    run = sub.add_parser("run", help="simulate one benchmark")
-    run.add_argument("--benchmark", required=True, choices=all_names)
-    run.add_argument("--config", default="libra",
-                     choices=("baseline", "ptr", "libra", "temperature"))
-    run.add_argument("--frames", type=int, default=8)
+    run = sub.add_parser("run", help="simulate one benchmark",
+                         parents=[_common_parent(frames_default=8)])
+    _add_benchmark_option(run, all_names, required=True)
+    _add_config_option(run)
     run.add_argument("--telemetry", action="store_true",
                      help="collect telemetry metrics and print a "
                           "snapshot table")
@@ -359,25 +491,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "Chrome trace, otherwise JSONL)")
 
     compare = sub.add_parser("compare",
-                             help="baseline vs PTR vs LIBRA side by side")
-    compare.add_argument("--benchmark", required=True,
-                         choices=benchmark_names())
-    compare.add_argument("--frames", type=int, default=8)
+                             help="baseline vs PTR vs LIBRA side by side",
+                             parents=[_common_parent(frames_default=8)])
+    _add_benchmark_option(compare, all_names, required=True)
 
-    heatmap = sub.add_parser("heatmap", help="per-tile DRAM heatmap")
-    heatmap.add_argument("--benchmark", required=True,
-                         choices=benchmark_names())
+    heatmap = sub.add_parser("heatmap", help="per-tile DRAM heatmap",
+                             parents=[_common_parent(frames_default=2)])
+    _add_benchmark_option(heatmap, benchmark_names(), required=True)
 
     trace = sub.add_parser(
         "trace", help="export frame traces (JSONL) or a Chrome/Perfetto "
-                      "telemetry trace")
+                      "telemetry trace",
+        parents=[_common_parent(frames_default=4)])
     trace.add_argument("benchmark_pos", nargs="?", default=None,
                        metavar="benchmark", choices=all_names,
                        help="benchmark code (alternative to --benchmark)")
-    trace.add_argument("--benchmark", default=None, choices=all_names)
-    trace.add_argument("--config", default="libra", choices=CONFIG_NAMES,
-                       help="GPU configuration for chrome-format traces")
-    trace.add_argument("--frames", type=int, default=4)
+    _add_benchmark_option(trace, all_names, required=False)
+    _add_config_option(trace)
     trace.add_argument("--format", default="auto",
                        choices=("auto", "chrome", "frames"),
                        help="auto: .json out = chrome trace, otherwise "
@@ -386,24 +516,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite = sub.add_parser(
         "suite", help="supervised sweep (timeouts, retries, partial "
-                      "results on failure)")
-    suite.add_argument("--benchmarks", default="all",
-                       help="comma-separated codes, or 'all'")
-    suite.add_argument("--config", default="libra", choices=CONFIG_NAMES)
-    suite.add_argument("--frames", type=int, default=8)
-    suite.add_argument("--timeout", type=float, default=None,
-                       help="per-benchmark wall-clock budget, seconds")
-    suite.add_argument("--retries", type=int, default=1,
-                       help="extra attempts for transient failures")
-    suite.add_argument("--workers", type=int, default=1,
-                       help="worker processes for the sweep (1 = "
-                            "sequential)")
+                      "results on failure)",
+        parents=[_common_parent(frames_default=8), _supervision_parent()])
+    _add_benchmarks_option(suite, default="all")
+    _add_config_option(suite)
     suite.add_argument("--telemetry", action="store_true",
                        help="collect telemetry during the sweep and "
                             "attach the metrics snapshot to the report")
     suite.add_argument("--telemetry-out", default=None, metavar="PATH",
                        help="export harness telemetry events (.json = "
                             "Chrome trace, otherwise JSONL)")
+
+    sweep = sub.add_parser(
+        "sweep", help="declarative, resumable parameter-grid sweep "
+                      "with per-point checkpoints and a speedup matrix",
+        parents=[_common_parent(frames_default=8), _supervision_parent()])
+    sweep.add_argument("--spec", default=None, metavar="PATH",
+                       help="experiment spec file (.yaml/.yml/.json); "
+                            "overrides the inline grid options")
+    sweep.add_argument("--name", default="adhoc",
+                       help="sweep name for the inline grid (names the "
+                            "default artifact directory)")
+    _add_benchmarks_option(sweep, default=None)
+    sweep.add_argument("--kinds", default="baseline,libra",
+                       help="comma-separated config kinds to compare")
+    sweep.add_argument("--axis", action="append", metavar="NAME=V1,V2",
+                       help="one sweep axis (repeatable): an alias like "
+                            "supertile/dram_bandwidth, raster_units/"
+                            "cores_per_unit, or a dotted GPUConfig path")
+    sweep.add_argument("--baseline", default=None, metavar="KIND",
+                       help="kind speedups are normalized against "
+                            "(default: first of --kinds)")
+    sweep.add_argument("--out", default=None, metavar="DIR",
+                       help="artifact-store directory (default "
+                            ".repro_sweeps/<name>); rerunning with the "
+                            "same grid resumes it")
     return parser
 
 
@@ -423,6 +570,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "heatmap": cmd_heatmap,
         "trace": cmd_trace,
         "suite": cmd_suite,
+        "sweep": cmd_sweep,
     }
     try:
         return handlers[args.command](args)

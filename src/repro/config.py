@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Mapping, Optional, Tuple
 
 from .errors import ConfigValidationError
 
@@ -271,6 +271,120 @@ class GPUConfig:
     def replace(self, **changes) -> "GPUConfig":
         """Return a copy with ``changes`` applied (deep enough for tests)."""
         return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def build(cls, kind: str, raster_units: int = 2, cores_per_unit: int = 4,
+              settings: Optional[Mapping[str, Any]] = None,
+              **overrides) -> Tuple["GPUConfig", Optional[object]]:
+        """The single named-variant entry point: ``(config, scheduler)``.
+
+        ``kind`` names a GPU variant (see :func:`parse_kind` for the
+        grammar): ``baseline``/``baseline<N>``, ``ptr``, ``libra``,
+        ``temperature[<N>]``, ``supertile[<N>]``.  ``overrides`` are
+        passed straight to the :class:`GPUConfig` constructor
+        (``screen_width=...``, ``dram=...``); ``settings`` is a mapping
+        of dotted attribute paths to values applied *after* construction
+        (``{"dram.requests_per_cycle": 0.16,
+        "scheduler.initial_supertile_size": 8}``), which is how sweep
+        axes reach nested knobs.  The config is validated after every
+        override is in place, and the scheduler is built from the final
+        config, so threshold/supertile settings take effect.
+
+        This subsumes the historical ``harness.make_config`` (now a
+        deprecated shim) and the per-preset constructors, which remain
+        as conveniences for the common cases.
+        """
+        family, param = parse_kind(kind)
+        if family == "baseline":
+            cores = param if param is not None \
+                else raster_units * cores_per_unit
+            overrides.setdefault("raster_unit",
+                                 RasterUnitConfig(num_cores=cores))
+            config = cls(num_raster_units=1, **overrides)
+        else:
+            overrides.setdefault("raster_unit",
+                                 RasterUnitConfig(num_cores=cores_per_unit))
+            config = cls(num_raster_units=raster_units, **overrides)
+        apply_settings(config, settings or {})
+        config.validate()
+        return config, _scheduler_for(family, param, config)
+
+
+#: Variant families :func:`parse_kind` understands (``baseline``,
+#: ``temperature`` and ``supertile`` also accept a numeric suffix).
+KIND_FAMILIES = ("baseline", "ptr", "libra", "temperature", "supertile")
+
+
+def parse_kind(kind: str) -> Tuple[str, Optional[int]]:
+    """Split a config-kind name into ``(family, numeric parameter)``.
+
+    * ``baseline`` → ``("baseline", None)`` (core count chosen by the
+      caller); ``baseline8`` → ``("baseline", 8)``.
+    * ``ptr`` / ``libra`` — no parameter.
+    * ``temperature`` / ``temperature<N>`` — hot/cold scheduling with
+      supertile edge ``N`` (default 4).
+    * ``supertile`` / ``supertile<N>`` — static supertiles of edge ``N``.
+
+    Raises :class:`ConfigValidationError` on anything else, naming the
+    valid families.
+    """
+    for family in ("baseline", "temperature", "supertile"):
+        if kind == family:
+            return family, None
+        if kind.startswith(family) and kind[len(family):].isdigit():
+            return family, int(kind[len(family):])
+    if kind in ("ptr", "libra"):
+        return kind, None
+    raise ConfigValidationError(
+        f"unknown config kind {kind!r}; valid: {', '.join(KIND_FAMILIES)} "
+        "(baseline/temperature/supertile accept a numeric suffix)")
+
+
+def apply_settings(config: GPUConfig,
+                   settings: Mapping[str, Any]) -> GPUConfig:
+    """Apply dotted-path overrides to ``config`` in place.
+
+    ``{"dram.requests_per_cycle": 0.16, "texture_cache.size_bytes":
+    65536}`` reaches into the nested dataclasses; an unknown path raises
+    :class:`ConfigValidationError` instead of silently creating a new
+    attribute.  Returns ``config`` for chaining.  Callers mutating a
+    shared config should ``replace()`` first; the presets and
+    :meth:`GPUConfig.build` always hand out fresh trees.
+    """
+    for path, value in settings.items():
+        target: Any = config
+        parts = path.split(".")
+        for depth, part in enumerate(parts):
+            if not hasattr(target, part):
+                parent = ".".join(parts[:depth]) or "GPUConfig"
+                raise ConfigValidationError(
+                    f"unknown config setting {path!r} "
+                    f"({parent} has no attribute {part!r})")
+            if depth == len(parts) - 1:
+                setattr(target, part, value)
+            else:
+                target = getattr(target, part)
+    return config
+
+
+def _scheduler_for(family: str, param: Optional[int], config: GPUConfig):
+    """The scheduler a kind family implies, built against ``config``.
+
+    Imported lazily because :mod:`repro.core` imports this module.
+    """
+    from .core import (LibraScheduler, StaticSupertileScheduler,
+                       TemperatureScheduler, ZOrderScheduler)
+    if family == "baseline":
+        return None
+    if family == "ptr":
+        return ZOrderScheduler()
+    if family == "libra":
+        return LibraScheduler(config.scheduler)
+    if family == "temperature":
+        return TemperatureScheduler(param if param is not None else 4)
+    return StaticSupertileScheduler(
+        param if param is not None
+        else config.scheduler.initial_supertile_size)
 
 
 def baseline_config(**overrides) -> GPUConfig:

@@ -1,0 +1,43 @@
+"""Declarative experiment/sweep engine (``repro sweep``).
+
+The paper's headline evidence is parameter sweeps — raster-unit scaling
+(Fig. 18), supertile-size and threshold sensitivity (Fig. 19), DRAM
+bandwidth sensitivity.  This package makes those first-class:
+
+* :class:`ExperimentSpec` — a declarative grid (benchmarks x kinds x
+  axes), loadable from YAML/JSON.
+* :func:`run_sweep` / :class:`SweepResult` — supervised execution of
+  the grid through the :func:`repro.harness.run_pairs` backend, with
+  per-point retry/timeout, process-pool parallelism, and crash-safe
+  per-point checkpoints in an :class:`ArtifactStore` so an interrupted
+  sweep *resumes* instead of restarting.
+* :func:`speedup_matrix` / :class:`SpeedupMatrix` — aggregation:
+  speedup-vs-baseline matrices, geomeans, per-axis marginals.
+
+See ``docs/experiments.md`` for the spec schema, the artifact layout
+and a worked Figure 18/19 reproduction.
+"""
+
+from .aggregate import MatrixRow, SpeedupMatrix, speedup_matrix
+from .engine import (PointOutcome, SweepResult, execute_point, run_sweep)
+from .spec import (AXIS_ALIASES, BUILD_AXES, ExperimentSpec, SweepPoint,
+                   parse_axis_option, parse_axis_value, resolve_axes)
+from .store import ArtifactStore
+
+__all__ = [
+    "ExperimentSpec",
+    "SweepPoint",
+    "AXIS_ALIASES",
+    "BUILD_AXES",
+    "resolve_axes",
+    "parse_axis_option",
+    "parse_axis_value",
+    "ArtifactStore",
+    "run_sweep",
+    "execute_point",
+    "SweepResult",
+    "PointOutcome",
+    "MatrixRow",
+    "SpeedupMatrix",
+    "speedup_matrix",
+]

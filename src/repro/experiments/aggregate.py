@@ -1,0 +1,170 @@
+"""Aggregation over sweep results: speedup matrices, geomeans, marginals.
+
+A finished :class:`~repro.experiments.engine.SweepResult` is a flat list
+of per-point summaries; the figures want them reshaped.  The helpers
+here pivot the grid into a :class:`SpeedupMatrix` — one row per
+(benchmark, axis combination), one speedup column per kind, normalized
+against the spec's ``baseline_kind`` — and reduce it further into
+geomeans and per-axis marginals (the Figure 18 "speedup vs number of
+Raster Units" curve is exactly the ``raster_units`` marginal of a
+two-axis sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigValidationError
+from ..stats import format_table, geometric_mean
+from .engine import SweepResult
+
+
+@dataclass
+class MatrixRow:
+    """One (benchmark, axis combination) with its per-kind numbers."""
+
+    benchmark: str
+    axes: Dict[str, Any]
+    #: kind -> total simulated cycles (only kinds that completed).
+    cycles: Dict[str, int] = field(default_factory=dict)
+    #: kind -> speedup over the baseline kind at this same grid cell
+    #: (empty when the baseline itself is missing).
+    speedups: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SpeedupMatrix:
+    """The pivoted sweep: rows x kinds, normalized to ``baseline_kind``."""
+
+    baseline_kind: str
+    kinds: List[str]
+    axis_names: List[str]
+    rows: List[MatrixRow] = field(default_factory=list)
+
+    def geomeans(self) -> Dict[str, float]:
+        """Geometric-mean speedup per kind over all complete rows."""
+        means: Dict[str, float] = {}
+        for kind in self.kinds:
+            values = [row.speedups[kind] for row in self.rows
+                      if kind in row.speedups]
+            if values:
+                means[kind] = geometric_mean(values)
+        return means
+
+    def marginal(self, axis: str) -> Dict[Any, Dict[str, float]]:
+        """Per-kind geomean speedup at each value of one axis.
+
+        Marginalizes every other dimension (benchmarks and remaining
+        axes), answering "how does the speedup move along this axis" —
+        e.g. the raster-unit scaling curve of Figure 18.
+        """
+        if axis not in self.axis_names:
+            raise ConfigValidationError(
+                f"unknown axis {axis!r}; swept axes: {self.axis_names}")
+        out: Dict[Any, Dict[str, float]] = {}
+        values = sorted({row.axes[axis] for row in self.rows},
+                        key=lambda v: (str(type(v)), v))
+        for value in values:
+            rows = [r for r in self.rows if r.axes[axis] == value]
+            out[value] = {}
+            for kind in self.kinds:
+                samples = [r.speedups[kind] for r in rows
+                           if kind in r.speedups]
+                if samples:
+                    out[value][kind] = geometric_mean(samples)
+        return out
+
+    def format(self) -> str:
+        """Fixed-width table: one row per grid cell plus a geomean row."""
+        headers = (["benchmark"] + list(self.axis_names)
+                   + [f"{k} cycles" for k in self.kinds]
+                   + [f"{k} speedup" for k in self.kinds])
+        table: List[List[Any]] = []
+        for row in self.rows:
+            line: List[Any] = [row.benchmark]
+            line += [row.axes.get(a, "") for a in self.axis_names]
+            line += [f"{row.cycles[k]:,}" if k in row.cycles else "—"
+                     for k in self.kinds]
+            line += [f"{row.speedups[k]:.3f}" if k in row.speedups else "—"
+                     for k in self.kinds]
+            table.append(line)
+        means = self.geomeans()
+        table.append(["geomean"] + [""] * len(self.axis_names)
+                     + [""] * len(self.kinds)
+                     + [f"{means[k]:.3f}" if k in means else "—"
+                        for k in self.kinds])
+        return format_table(headers, table,
+                            title=f"speedup over {self.baseline_kind}")
+
+    def format_marginals(self) -> str:
+        """One compact table per swept axis (empty string when axis-free)."""
+        blocks = []
+        for axis in self.axis_names:
+            headers = [axis] + [f"{k} speedup" for k in self.kinds]
+            rows = []
+            for value, by_kind in self.marginal(axis).items():
+                rows.append([value] + [f"{by_kind[k]:.3f}"
+                                       if k in by_kind else "—"
+                                       for k in self.kinds])
+            blocks.append(format_table(
+                headers, rows, title=f"marginal over {axis} "
+                f"(geomean across everything else)"))
+        return "\n\n".join(blocks)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown table (the EXPERIMENTS.md pathway)."""
+        headers = (["benchmark"] + list(self.axis_names)
+                   + [f"{k} speedup" for k in self.kinds])
+        lines = ["| " + " | ".join(headers) + " |",
+                 "|" + "---|" * len(headers)]
+        for row in self.rows:
+            cells = [row.benchmark]
+            cells += [str(row.axes.get(a, "")) for a in self.axis_names]
+            cells += [f"{row.speedups[k]:.3f}" if k in row.speedups
+                      else "—" for k in self.kinds]
+            lines.append("| " + " | ".join(cells) + " |")
+        means = self.geomeans()
+        cells = ["**geomean**"] + [""] * len(self.axis_names)
+        cells += [f"**{means[k]:.3f}**" if k in means else "—"
+                  for k in self.kinds]
+        lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+
+def speedup_matrix(result: SweepResult,
+                   baseline_kind: Optional[str] = None) -> SpeedupMatrix:
+    """Pivot a sweep result into a :class:`SpeedupMatrix`.
+
+    Rows keep the spec's expansion order.  A cell whose baseline point
+    failed gets cycles but no speedups; a failed non-baseline point is
+    simply absent from its row.
+    """
+    spec = result.spec
+    baseline = baseline_kind or spec.baseline_kind
+    if baseline not in spec.kinds:
+        raise ConfigValidationError(
+            f"baseline kind {baseline!r} not among swept kinds "
+            f"{spec.kinds}")
+    cells: Dict[Tuple[str, Tuple], MatrixRow] = {}
+    order: List[Tuple[str, Tuple]] = []
+    for outcome in result.outcomes:
+        point = outcome.point
+        key = (point.benchmark, point.axes)
+        if key not in cells:
+            cells[key] = MatrixRow(benchmark=point.benchmark,
+                                   axes=point.axis_values)
+            order.append(key)
+        if outcome.ok:
+            cells[key].cycles[point.kind] = outcome.summary.total_cycles
+    for key in order:
+        row = cells[key]
+        base = row.cycles.get(baseline)
+        if not base:
+            continue
+        for kind, cycles in row.cycles.items():
+            if cycles:
+                row.speedups[kind] = base / cycles
+    return SpeedupMatrix(baseline_kind=baseline, kinds=list(spec.kinds),
+                         axis_names=list(spec.axes),
+                         rows=[cells[k] for k in order])

@@ -1,0 +1,235 @@
+"""The sweep engine: expand, dedupe, execute, checkpoint, resume.
+
+:func:`run_sweep` is the one entry point.  It expands an
+:class:`~repro.experiments.spec.ExperimentSpec` into grid points, loads
+whatever a previous (possibly killed) run already completed from the
+:class:`~repro.experiments.store.ArtifactStore`, prebuilds each unique
+frame trace exactly once, and executes the remaining points through
+:func:`repro.harness.run_pairs` — the same supervised backend ``repro
+suite`` uses, so every point inherits the per-run wall-clock timeout,
+bounded retry with backoff, failure isolation and (with ``workers > 1``)
+the process pool.  Each point's summary is checkpointed to the store
+*from inside the runner*, i.e. in the worker process, the moment it
+finishes — killing the driver mid-grid loses at most the points that
+were in flight.
+
+Telemetry: when the hub is enabled the engine emits a ``sweep`` span
+plus one ``sweep.point.<id>`` span per executed point, and counts
+``sweep.points.{total,resumed,executed,failed}``.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .. import harness
+from ..config import GPUConfig
+from ..gpu import GPUSimulator
+from ..harness import RunSummary
+from ..telemetry import HUB, HarnessSpan
+from .spec import ExperimentSpec, SweepPoint
+from .store import ArtifactStore
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one grid point (mirrors BenchmarkOutcome)."""
+
+    point: SweepPoint
+    #: ``ok`` (summary present), ``failed`` or ``skipped`` — plus
+    #: ``resumed`` as a flag, not a status: a resumed point is ``ok``.
+    status: str
+    summary: Optional[RunSummary] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    attempts: int = 0
+    elapsed_s: float = 0.0
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the point has a summary (fresh or resumed)."""
+        return self.status == "ok"
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished (or interrupted) sweep produced."""
+
+    spec: ExperimentSpec
+    store_root: Path
+    outcomes: List[PointOutcome] = field(default_factory=list)
+
+    @property
+    def completed(self) -> List[PointOutcome]:
+        """Points with a summary, resumed ones included."""
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> List[PointOutcome]:
+        """Points whose every attempt raised."""
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def skipped(self) -> List[PointOutcome]:
+        """Points never attempted (interrupted sweep)."""
+        return [o for o in self.outcomes if o.status == "skipped"]
+
+    @property
+    def resumed(self) -> List[PointOutcome]:
+        """Points served from the artifact store instead of re-executed."""
+        return [o for o in self.outcomes if o.resumed]
+
+    def summaries(self) -> Dict[str, RunSummary]:
+        """point_id -> RunSummary for every completed point."""
+        return {o.point.point_id: o.summary for o in self.completed}
+
+    def format(self) -> str:
+        """Human-readable per-point report."""
+        lines = [f"sweep {self.spec.name!r}: {len(self.completed)} ok "
+                 f"({len(self.resumed)} resumed), {len(self.failed)} "
+                 f"failed, {len(self.skipped)} skipped "
+                 f"of {len(self.outcomes)} points"]
+        for o in self.outcomes:
+            tag = "resumed" if o.resumed else o.status
+            detail = (f"{o.summary.total_cycles:,} cycles" if o.ok
+                      else f"{o.error_type}: {o.error}")
+            lines.append(f"  [{tag:>7}] {o.point.describe()} — {detail}")
+        return "\n".join(lines)
+
+
+def execute_point(point: SweepPoint) -> RunSummary:
+    """Simulate one grid point (no caching, no store) and summarize it.
+
+    The single source of truth for how axis values become a simulator:
+    organization axes go to :meth:`GPUConfig.build`, everything else is
+    applied as dotted settings *before* validation and scheduler
+    construction, so threshold and supertile axes genuinely steer the
+    LIBRA decision logic.  ``repro compare`` and the sweep engine both
+    resolve configs through :meth:`GPUConfig.build`, which is what makes
+    their numbers comparable point for point.
+    """
+    traces = harness.get_traces(point.benchmark, point.frames,
+                                point.width, point.height)
+    build_kwargs, settings = point.resolved()
+    config, scheduler = GPUConfig.build(
+        point.kind, screen_width=point.width, screen_height=point.height,
+        settings=settings, **build_kwargs)
+    simulator = GPUSimulator(config, scheduler=scheduler, name=point.kind)
+    result = simulator.run(traces)
+    return harness.summarize(point.benchmark, point.kind, result)
+
+
+def _point_runner(benchmark: str, point_id: str, frames: int = 0,
+                  points: Optional[Dict[str, SweepPoint]] = None,
+                  store_root: str = "") -> RunSummary:
+    """The :func:`repro.harness.run_pairs` runner for sweep points.
+
+    Module-level and picklable so the process-pool backend can ship it;
+    ``point_id`` rides in the pair's *kind* slot and keys the full
+    :class:`SweepPoint` in ``points``.  The summary is checkpointed to
+    the artifact store here, inside the worker, so a completed point
+    survives any later crash of the driver.  A concurrent or crashed
+    predecessor may have finished the point already — the store is
+    re-checked first and the artifact reused (idempotent under races).
+    """
+    point = points[point_id]
+    store = ArtifactStore(store_root)
+    existing = store.load(point_id)
+    if existing is not None:
+        return existing
+    wall_start = time.time()
+    summary = execute_point(point)
+    if HUB.enabled:
+        summary.telemetry = HUB.metrics.snapshot()
+        HUB.emit(HarnessSpan(
+            name=f"sweep.point.{point_id}", wall_start_s=wall_start,
+            wall_dur_s=time.time() - wall_start, status="ok", attempts=1,
+            args={"benchmark": point.benchmark, "kind": point.kind,
+                  **point.axis_values}))
+        HUB.metrics.counter("sweep.points.executed").inc()
+    store.save(point_id, summary)
+    return summary
+
+
+def run_sweep(spec: ExperimentSpec,
+              store_root: Union[str, Path, None] = None,
+              workers: Optional[int] = None,
+              timeout_s: Optional[float] = None,
+              retries: Optional[int] = None) -> SweepResult:
+    """Execute (or resume) the sweep a spec describes.
+
+    ``store_root`` defaults to ``.repro_sweeps/<spec name>``; pointing a
+    later invocation at the same directory resumes it — completed points
+    are loaded from their checkpoints and only the remainder executes.
+    ``workers``/``timeout_s``/``retries`` override the spec's execution
+    policy when given.  Returns a :class:`SweepResult` whose outcome
+    order matches ``spec.expand()`` regardless of resume state or
+    completion order; an interrupted sweep (Ctrl-C) still returns, with
+    untouched points ``skipped``.
+    """
+    spec.validate()
+    workers = spec.workers if workers is None else workers
+    timeout_s = spec.timeout_s if timeout_s is None else timeout_s
+    retries = spec.retries if retries is None else retries
+    root = Path(store_root) if store_root is not None \
+        else Path(".repro_sweeps") / spec.name
+    store = ArtifactStore(root)
+    resuming = store.initialize(spec)
+
+    points = spec.expand()
+    done = store.load_completed(points) if resuming else {}
+    pending = [p for p in points if p.point_id not in done]
+    wall_start = time.time()
+    if HUB.enabled:
+        HUB.metrics.counter("sweep.points.total").inc(len(points))
+        HUB.metrics.counter("sweep.points.resumed").inc(len(done))
+    logger.info("sweep %s: %d points (%d resumed, %d to run) -> %s",
+                spec.name, len(points), len(done), len(pending), root)
+
+    # Build each distinct trace set once up front: concurrent workers
+    # would otherwise serialize on the trace-cache lock rebuilding the
+    # same benchmark, and with the fork start method the in-process
+    # memo is inherited for free.
+    for key in sorted({(p.benchmark, p.frames, p.width, p.height)
+                       for p in pending}):
+        harness.get_traces(*key)
+
+    by_id = {p.point_id: p for p in pending}
+    report = harness.run_pairs(
+        [(p.benchmark, p.point_id) for p in pending],
+        frames=spec.frames, timeout_s=timeout_s,
+        max_attempts=retries + 1, backoff_s=spec.backoff_s,
+        runner=_point_runner, workers=workers,
+        points=by_id, store_root=str(root))
+
+    executed = {o.kind: o for o in report.outcomes}  # kind slot = point_id
+    result = SweepResult(spec=spec, store_root=root)
+    for point in points:
+        pid = point.point_id
+        if pid in done:
+            result.outcomes.append(PointOutcome(
+                point=point, status="ok", summary=done[pid], resumed=True))
+            continue
+        o = executed[pid]
+        result.outcomes.append(PointOutcome(
+            point=point, status=o.status, summary=o.summary,
+            error=o.error, error_type=o.error_type,
+            attempts=o.attempts, elapsed_s=o.elapsed_s))
+    if HUB.enabled:
+        HUB.metrics.counter("sweep.points.failed").inc(len(result.failed))
+        HUB.emit(HarnessSpan(
+            name=f"sweep.{spec.name}", wall_start_s=wall_start,
+            wall_dur_s=time.time() - wall_start, status="done",
+            attempts=len(points),
+            args={"ok": len(result.completed),
+                  "resumed": len(result.resumed),
+                  "failed": len(result.failed),
+                  "skipped": len(result.skipped)}))
+    return result

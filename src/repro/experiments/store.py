@@ -1,0 +1,135 @@
+"""Crash-safe sweep artifact store (checkpoint + resume).
+
+One directory per sweep::
+
+    <root>/
+      manifest.json          # spec snapshot + grid fingerprint
+      points/<point_id>.pkl  # one checksummed RunSummary per finished point
+
+Every write goes through :mod:`repro.cachefile` (atomic replace +
+SHA-256 checksum + advisory lock), so a SIGKILL of the sweep driver —
+or of a worker process mid-write — can never leave a half-written
+artifact that a resumed sweep would trust: a torn file fails the
+checksum, is quarantined, and the point simply reruns.  The manifest
+pins the grid fingerprint so a store can only be resumed by the spec
+that created it; pointing a different grid at the same directory is an
+error, not silent cross-contamination.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .. import cachefile
+from ..errors import ConfigValidationError
+from .spec import ExperimentSpec, SweepPoint
+
+logger = logging.getLogger(__name__)
+
+MANIFEST_NAME = "manifest.json"
+POINTS_DIR = "points"
+
+
+class ArtifactStore:
+    """Per-point checkpoints of one sweep, keyed by ``point_id``."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    @property
+    def manifest_path(self) -> Path:
+        """Path of the manifest file."""
+        return self.root / MANIFEST_NAME
+
+    @property
+    def points_dir(self) -> Path:
+        """Directory holding the per-point artifacts."""
+        return self.root / POINTS_DIR
+
+    def point_path(self, point_id: str) -> Path:
+        """Artifact path of one point."""
+        return self.points_dir / f"{point_id}.pkl"
+
+    # -- manifest -----------------------------------------------------------
+
+    def initialize(self, spec: ExperimentSpec) -> bool:
+        """Create or verify the manifest; True when resuming an old store.
+
+        A fresh directory gets a manifest recording the spec and its
+        grid fingerprint.  An existing manifest must carry the same
+        fingerprint, otherwise a :class:`ConfigValidationError` explains
+        the mismatch (the caller should pick a new ``--out`` directory
+        or delete the stale one) — completed artifacts from one grid
+        must never be served to another.
+        """
+        existing = self.read_manifest()
+        if existing is None:
+            manifest = {"fingerprint": spec.fingerprint(),
+                        "spec": spec.to_dict(), "version": 1}
+            cachefile.atomic_write_bytes(
+                self.manifest_path,
+                json.dumps(manifest, indent=2, sort_keys=True,
+                           default=str).encode())
+            self.points_dir.mkdir(parents=True, exist_ok=True)
+            return False
+        if existing.get("fingerprint") != spec.fingerprint():
+            raise ConfigValidationError(
+                f"artifact store {self.root} was created by a different "
+                f"experiment grid (stored fingerprint "
+                f"{existing.get('fingerprint')!r}, this spec "
+                f"{spec.fingerprint()!r}); use a fresh --out directory")
+        self.points_dir.mkdir(parents=True, exist_ok=True)
+        return True
+
+    def read_manifest(self) -> Optional[dict]:
+        """The parsed manifest, or None when absent/unreadable.
+
+        A corrupt manifest is quarantined (renamed aside) and treated as
+        absent — the store re-initializes and completed artifacts are
+        still honoured, because point artifacts carry their own
+        checksums.
+        """
+        path = self.manifest_path
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            cachefile.quarantine(path, f"unreadable manifest: {exc}")
+            return None
+
+    # -- point artifacts ----------------------------------------------------
+
+    def save(self, point_id: str, summary) -> None:
+        """Checkpoint one completed point (atomic, checksummed, locked)."""
+        path = self.point_path(point_id)
+        with cachefile.file_lock(path):
+            cachefile.write_cache(summary, path)
+
+    def load(self, point_id: str):
+        """One point's summary, or None (missing or quarantined-corrupt)."""
+        return cachefile.load_or_quarantine(self.point_path(point_id))
+
+    def completed_ids(self) -> List[str]:
+        """Point ids with an artifact on disk (content not yet verified)."""
+        if not self.points_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.points_dir.glob("*.pkl"))
+
+    def load_completed(self, points: List[SweepPoint]) -> Dict[str, object]:
+        """Verified summaries for every already-completed point of a grid.
+
+        Reads each artifact through the checksum layer; corrupt entries
+        are quarantined and simply omitted, so the engine reruns them.
+        """
+        done: Dict[str, object] = {}
+        on_disk = set(self.completed_ids())
+        for point in points:
+            if point.point_id in on_disk:
+                summary = self.load(point.point_id)
+                if summary is not None:
+                    done[point.point_id] = summary
+        return done

@@ -47,9 +47,8 @@ from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
 from . import cachefile
-from .config import GPUConfig, baseline_config, libra_config
-from .core import (LibraScheduler, StaticSupertileScheduler,
-                   TemperatureScheduler, TileScheduler, ZOrderScheduler)
+from .config import GPUConfig
+from .core import TileScheduler
 from .errors import (BenchmarkTimeoutError, CacheCorruptionError,
                      ConfigValidationError, ReproError, SimulationError)
 from .gpu import FrameTrace, GPUSimulator, RunResult
@@ -94,9 +93,9 @@ def cache_dir() -> Path:
 def make_config(kind: str, raster_units: int = 2, cores_per_unit: int = 4,
                 width: int = WIDTH, height: int = HEIGHT
                 ) -> Tuple[GPUConfig, Optional[TileScheduler]]:
-    """A named GPU variant: (config, scheduler).
+    """Deprecated alias of :meth:`repro.config.GPUConfig.build`.
 
-    Kinds:
+    Kinds (see :func:`repro.config.parse_kind` for the full grammar):
 
     * ``baseline`` — 1 Raster Unit x (raster_units*cores_per_unit) cores.
     * ``baseline4`` / ``baseline8`` — single unit with a fixed core count
@@ -105,31 +104,20 @@ def make_config(kind: str, raster_units: int = 2, cores_per_unit: int = 4,
     * ``libra`` — PTR + the full adaptive temperature scheduler.
     * ``temperature<N>`` — PTR + fixed-size hot/cold supertile scheduling.
     * ``supertile<N>`` — PTR + static supertiles, no temperature ranking.
+
+    .. deprecated:: 1.1
+       Call ``GPUConfig.build(kind, raster_units=..., cores_per_unit=...,
+       screen_width=..., screen_height=...)`` instead; this shim only
+       renames ``width``/``height`` and will be removed.
     """
-    if kind == "baseline":
-        return (baseline_config(screen_width=width, screen_height=height,
-                                raster_unit=_ru(raster_units
-                                                * cores_per_unit)), None)
-    if kind.startswith("baseline") and kind[8:].isdigit():
-        return (baseline_config(screen_width=width, screen_height=height,
-                                raster_unit=_ru(int(kind[8:]))), None)
-    config = libra_config(num_raster_units=raster_units,
-                          cores_per_unit=cores_per_unit,
-                          screen_width=width, screen_height=height)
-    if kind == "ptr":
-        return config, ZOrderScheduler()
-    if kind == "libra":
-        return config, LibraScheduler(config.scheduler)
-    if kind.startswith("temperature"):
-        return config, TemperatureScheduler(int(kind[len("temperature"):]))
-    if kind.startswith("supertile"):
-        return config, StaticSupertileScheduler(int(kind[len("supertile"):]))
-    raise ValueError(f"unknown config kind {kind!r}")
-
-
-def _ru(cores: int):
-    from .config import RasterUnitConfig
-    return RasterUnitConfig(num_cores=cores)
+    import warnings
+    warnings.warn(
+        "repro.harness.make_config is deprecated; use "
+        "repro.GPUConfig.build(kind, ...) instead",
+        DeprecationWarning, stacklevel=2)
+    return GPUConfig.build(kind, raster_units=raster_units,
+                           cores_per_unit=cores_per_unit,
+                           screen_width=width, screen_height=height)
 
 
 # -- traces ----------------------------------------------------------------
@@ -258,20 +246,16 @@ def run_simulation(benchmark: str, kind: str, frames: int = FRAMES,
         if cached is not None:
             return cached
     traces = get_traces(benchmark, frames)
-    config, scheduler = make_config(kind, raster_units, cores_per_unit)
+    settings = {}
     if hit_threshold is not None:
-        config.scheduler.hit_ratio_threshold = hit_threshold
+        settings["scheduler.hit_ratio_threshold"] = hit_threshold
     if order_switch_threshold is not None:
-        config.scheduler.order_switch_threshold = order_switch_threshold
+        settings["scheduler.order_switch_threshold"] = order_switch_threshold
     if resize_threshold is not None:
-        config.scheduler.supertile_resize_threshold = resize_threshold
-    if (kind == "libra"
-            and (hit_threshold is not None
-                 or order_switch_threshold is not None
-                 or resize_threshold is not None)):
-        # Rebuild the scheduler against the tweaked thresholds.
-        from .core import LibraScheduler
-        scheduler = LibraScheduler(config.scheduler)
+        settings["scheduler.supertile_resize_threshold"] = resize_threshold
+    config, scheduler = GPUConfig.build(
+        kind, raster_units=raster_units, cores_per_unit=cores_per_unit,
+        screen_width=WIDTH, screen_height=HEIGHT, settings=settings)
     simulator = GPUSimulator(config, scheduler=scheduler,
                              ideal_memory=ideal_memory, name=kind)
     result = simulator.run(traces)
@@ -552,14 +536,44 @@ def run_suite(benchmarks: Sequence[str],
     A ``KeyboardInterrupt`` stops the sweep but still returns the
     report, with untouched pairs marked ``skipped``.
     """
+    valid = list(known_benchmarks) if known_benchmarks is not None \
+        else benchmark_names()
+    pairs = [(b, k) for b in benchmarks for k in kinds]
+    return run_pairs(pairs, frames=frames, timeout_s=timeout_s,
+                     max_attempts=max_attempts, backoff_s=backoff_s,
+                     runner=runner, workers=workers, valid=valid,
+                     **run_kwargs)
+
+
+def run_pairs(pairs: Sequence[Tuple[str, str]],
+              frames: int = FRAMES,
+              timeout_s: Optional[float] = None,
+              max_attempts: int = 2,
+              backoff_s: float = 0.25,
+              runner: Optional[Callable[..., RunSummary]] = None,
+              workers: int = 1,
+              valid: Optional[Sequence[str]] = None,
+              **run_kwargs) -> SuiteReport:
+    """Supervised execution of an explicit ``(benchmark, kind)`` pair list.
+
+    The execution core of :func:`run_suite`, exposed for callers whose
+    work list is not a full ``benchmarks x kinds`` cross product — the
+    sweep engine (:mod:`repro.experiments`) routes arbitrary grid points
+    through here with the point id in the ``kind`` slot.  Everything
+    else carries over from :func:`run_suite`: per-pair wall-clock
+    timeout, bounded retry with backoff, failure isolation, stable
+    outcome order, and the process-pool backend when ``workers > 1``.
+
+    ``valid`` is an optional allow-list of benchmark names; pairs whose
+    benchmark falls outside it are reported as ``skipped``.  ``None``
+    (the default here, unlike :func:`run_suite`) runs every pair as
+    given.
+    """
     if max_attempts < 1:
         raise ConfigValidationError("max_attempts must be >= 1")
     if workers < 1:
         raise ConfigValidationError("workers must be >= 1")
     runner = runner or run_simulation
-    valid = list(known_benchmarks) if known_benchmarks is not None \
-        else benchmark_names()
-    pairs = [(b, k) for b in benchmarks for k in kinds]
     suite_wall_start = time.time()
     if workers > 1:
         report = _run_suite_parallel(pairs, valid, workers, frames,
@@ -573,7 +587,7 @@ def run_suite(benchmarks: Sequence[str],
             report.outcomes.append(_skipped(
                 benchmark, kind, "suite interrupted", "KeyboardInterrupt"))
             continue
-        if benchmark not in valid:
+        if valid is not None and benchmark not in valid:
             report.outcomes.append(
                 _unknown_benchmark(benchmark, kind, valid))
             continue
@@ -607,7 +621,8 @@ def _finalize_suite(report: SuiteReport, wall_start: float) -> SuiteReport:
 
 
 def _run_suite_parallel(pairs: Sequence[Tuple[str, str]],
-                        valid: Sequence[str], workers: int, frames: int,
+                        valid: Optional[Sequence[str]], workers: int,
+                        frames: int,
                         timeout_s: Optional[float], max_attempts: int,
                         backoff_s: float,
                         runner: Callable[..., RunSummary],
@@ -628,7 +643,7 @@ def _run_suite_parallel(pairs: Sequence[Tuple[str, str]],
     slots: List[Optional[BenchmarkOutcome]] = [None] * len(pairs)
     jobs: List[int] = []
     for i, (benchmark, kind) in enumerate(pairs):
-        if benchmark not in valid:
+        if valid is not None and benchmark not in valid:
             slots[i] = _unknown_benchmark(benchmark, kind, valid)
         else:
             jobs.append(i)

@@ -1,0 +1,338 @@
+"""Tests for the declarative sweep engine (repro.experiments).
+
+Spec validation/expansion/serialization, the crash-safe artifact store,
+in-process resume semantics, failure isolation, and the speedup-matrix
+aggregation.  The subprocess SIGKILL test lives in test_sweep_resume.py.
+"""
+
+import json
+import os
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigValidationError
+from repro.experiments import (AXIS_ALIASES, ArtifactStore, ExperimentSpec,
+                               PointOutcome, SweepPoint, SweepResult,
+                               parse_axis_option, parse_axis_value,
+                               resolve_axes, run_sweep, speedup_matrix)
+
+from faults import bit_flip, truncate_file
+
+
+def tiny_spec(**overrides):
+    """A fast 128x64 tri_overlap grid used across these tests."""
+    defaults = dict(name="tiny", benchmarks=["tri_overlap"],
+                    kinds=["baseline", "libra"],
+                    axes={"raster_units": [1, 2]},
+                    frames=1, width=128, height=64)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def shared_cache_dir(tmp_path_factory):
+    """One trace-cache directory for the module (runs share traces)."""
+    path = tmp_path_factory.mktemp("sweep_cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+class TestSpecValidation:
+    def test_valid_spec_passes(self):
+        tiny_spec().validate()
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigValidationError, match="unknown benchmark"):
+            tiny_spec(benchmarks=["nope"]).validate()
+
+    def test_bad_kind(self):
+        with pytest.raises(ConfigValidationError):
+            tiny_spec(kinds=["quantum"]).validate()
+
+    def test_baseline_must_be_swept(self):
+        with pytest.raises(ConfigValidationError, match="baseline kind"):
+            tiny_spec(kinds=["ptr", "libra"]).validate()
+
+    def test_empty_axis_values(self):
+        with pytest.raises(ConfigValidationError, match="non-empty"):
+            tiny_spec(axes={"supertile": []}).validate()
+
+    def test_unknown_axis_path(self):
+        with pytest.raises(ConfigValidationError):
+            tiny_spec(axes={"scheduler.not_a_field": [1]}).validate()
+
+    def test_alias_and_dotted_axes_accepted(self):
+        tiny_spec(axes={"supertile": [2, 4],
+                        "dram.requests_per_cycle": [0.32]}).validate()
+
+    def test_policy_bounds(self):
+        with pytest.raises(ConfigValidationError):
+            tiny_spec(workers=0).validate()
+        with pytest.raises(ConfigValidationError):
+            tiny_spec(retries=-1).validate()
+
+
+class TestSpecExpansion:
+    def test_num_points(self):
+        spec = tiny_spec(axes={"raster_units": [1, 2], "supertile": [2, 4]})
+        assert spec.num_points == 8
+        assert len(spec.expand()) == 8
+
+    def test_kinds_vary_fastest(self):
+        points = tiny_spec().expand()
+        assert [p.kind for p in points[:2]] == ["baseline", "libra"]
+        assert points[0].axes == points[1].axes
+
+    def test_point_ids_deterministic_and_unique(self):
+        a = [p.point_id for p in tiny_spec().expand()]
+        b = [p.point_id for p in tiny_spec().expand()]
+        assert a == b
+        assert len(set(a)) == len(a)
+
+    def test_axisless_spec_degenerates_to_compare(self):
+        spec = tiny_spec(axes={})
+        points = spec.expand()
+        assert len(points) == 2
+        assert all(p.axes == () for p in points)
+
+    def test_resolve_axes_split(self):
+        build, settings = resolve_axes(
+            {"raster_units": 4, "supertile": 8, "dram.latency_cycles": 90})
+        assert build == {"raster_units": 4}
+        assert settings == {AXIS_ALIASES["supertile"]: 8,
+                            "dram.latency_cycles": 90}
+
+
+class TestSpecSerialization:
+    def test_round_trip(self):
+        spec = tiny_spec(axes={"supertile": [2, 4]})
+        again = ExperimentSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_unknown_key_rejected(self):
+        data = tiny_spec().to_dict()
+        data["benchmark"] = "typo"
+        with pytest.raises(ConfigValidationError, match="unknown spec key"):
+            ExperimentSpec.from_dict(data)
+
+    def test_needs_name_and_benchmarks(self):
+        with pytest.raises(ConfigValidationError, match="name"):
+            ExperimentSpec.from_dict({"frames": 2})
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(tiny_spec().to_dict()))
+        assert ExperimentSpec.from_file(path) == tiny_spec()
+
+    def test_from_yaml_file(self, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "spec.yaml"
+        path.write_text(
+            "name: tiny\n"
+            "benchmarks: [tri_overlap]\n"
+            "kinds: [baseline, libra]\n"
+            "axes:\n  raster_units: [1, 2]\n"
+            "frames: 1\nwidth: 128\nheight: 64\n")
+        assert ExperimentSpec.from_file(path) == tiny_spec()
+
+    def test_invalid_json_diagnosed(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigValidationError, match="invalid JSON"):
+            ExperimentSpec.from_file(path)
+
+    def test_fingerprint_ignores_execution_policy(self):
+        grid = tiny_spec()
+        assert grid.fingerprint() == tiny_spec(
+            workers=8, timeout_s=60.0, retries=3).fingerprint()
+        assert grid.fingerprint() != tiny_spec(frames=2).fingerprint()
+        assert grid.fingerprint() != tiny_spec(
+            axes={"raster_units": [1, 4]}).fingerprint()
+
+
+class TestAxisParsing:
+    def test_values_typed_eagerly(self):
+        assert parse_axis_value("4") == 4
+        assert parse_axis_value("0.25") == 0.25
+        assert parse_axis_value("morton") == "morton"
+
+    def test_option_parsing(self):
+        assert parse_axis_option("supertile=2,4") == ("supertile", [2, 4])
+
+    def test_bad_option(self):
+        for option in ("supertile", "=2,4", "supertile="):
+            with pytest.raises(ConfigValidationError):
+                parse_axis_option(option)
+
+
+class TestArtifactStore:
+    def test_fresh_then_resume(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        assert store.initialize(tiny_spec()) is False
+        assert store.initialize(tiny_spec(workers=4)) is True
+
+    def test_different_grid_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        store.initialize(tiny_spec())
+        with pytest.raises(ConfigValidationError, match="different"):
+            store.initialize(tiny_spec(frames=2))
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        store.initialize(tiny_spec())
+        store.save("p1", {"total_cycles": 42})
+        assert store.load("p1") == {"total_cycles": 42}
+        assert store.completed_ids() == ["p1"]
+
+    def test_corrupt_artifact_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        store.initialize(tiny_spec())
+        store.save("p1", {"total_cycles": 42})
+        bit_flip(store.point_path("p1"))
+        assert store.load("p1") is None
+        assert not store.point_path("p1").exists()
+
+    def test_corrupt_manifest_reinitializes(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        store.initialize(tiny_spec())
+        truncate_file(store.manifest_path, 0.3)
+        assert store.initialize(tiny_spec()) is False  # fresh manifest
+        assert store.read_manifest() is not None
+
+
+class TestEngine:
+    def test_sweep_runs_and_orders_outcomes(self, shared_cache_dir,
+                                            tmp_path):
+        spec = tiny_spec()
+        result = run_sweep(spec, store_root=tmp_path / "store")
+        assert [o.point for o in result.outcomes] == spec.expand()
+        assert len(result.completed) == 4
+        assert not result.failed and not result.resumed
+        # Point artifacts landed in the store, one per point.
+        store = ArtifactStore(tmp_path / "store")
+        assert len(store.completed_ids()) == 4
+
+    def test_rerun_resumes_everything(self, shared_cache_dir, tmp_path):
+        spec = tiny_spec()
+        first = run_sweep(spec, store_root=tmp_path / "store")
+        again = run_sweep(spec, store_root=tmp_path / "store")
+        assert len(again.resumed) == 4
+        assert ([o.summary.total_cycles for o in again.completed]
+                == [o.summary.total_cycles for o in first.completed])
+
+    def test_corrupt_point_reruns_only_that_point(self, shared_cache_dir,
+                                                  tmp_path, monkeypatch):
+        spec = tiny_spec()
+        first = run_sweep(spec, store_root=tmp_path / "store")
+        victim = first.outcomes[0].point.point_id
+        store = ArtifactStore(tmp_path / "store")
+        bit_flip(store.point_path(victim))
+
+        executed = []
+        import repro.experiments.engine as engine
+        original = engine.execute_point
+
+        def tracking(point):
+            executed.append(point.point_id)
+            return original(point)
+
+        monkeypatch.setattr(engine, "execute_point", tracking)
+        again = run_sweep(spec, store_root=tmp_path / "store")
+        assert executed == [victim]
+        assert len(again.resumed) == 3
+        assert len(again.completed) == 4
+
+    def test_failed_point_isolated(self, shared_cache_dir, tmp_path,
+                                   monkeypatch):
+        from repro.errors import SimulationError
+        spec = tiny_spec()
+        doomed = spec.expand()[1].point_id
+
+        import repro.experiments.engine as engine
+        original = engine.execute_point
+
+        def sometimes(point):
+            if point.point_id == doomed:
+                raise SimulationError("injected")
+            return original(point)
+
+        monkeypatch.setattr(engine, "execute_point", sometimes)
+        result = run_sweep(spec, store_root=tmp_path / "store", retries=0)
+        assert len(result.failed) == 1
+        assert result.failed[0].point.point_id == doomed
+        assert result.failed[0].error_type == "SimulationError"
+        assert len(result.completed) == 3
+        # The failure leaves no artifact, so a clean rerun completes it.
+        monkeypatch.setattr(engine, "execute_point", original)
+        healed = run_sweep(spec, store_root=tmp_path / "store")
+        assert not healed.failed
+        assert len(healed.resumed) == 3
+
+
+def fake_result(spec, cycles_by_point):
+    """A SweepResult with scripted total_cycles per (kind, axes) cell."""
+    result = SweepResult(spec=spec, store_root="unused")
+    for point in spec.expand():
+        key = (point.kind,) + tuple(v for _, v in point.axes)
+        cycles = cycles_by_point.get(key)
+        if cycles is None:
+            result.outcomes.append(PointOutcome(point=point,
+                                                status="failed",
+                                                error="boom",
+                                                error_type="Err"))
+        else:
+            result.outcomes.append(PointOutcome(
+                point=point, status="ok",
+                summary=SimpleNamespace(total_cycles=cycles)))
+    return result
+
+
+class TestAggregation:
+    def test_speedups_and_geomeans(self):
+        spec = tiny_spec()
+        result = fake_result(spec, {("baseline", 1): 100, ("libra", 1): 50,
+                                    ("baseline", 2): 100, ("libra", 2): 200})
+        matrix = speedup_matrix(result)
+        assert [row.speedups["libra"] for row in matrix.rows] == [2.0, 0.5]
+        assert matrix.geomeans()["libra"] == pytest.approx(1.0)
+        assert matrix.geomeans()["baseline"] == pytest.approx(1.0)
+
+    def test_marginal_collapses_other_axes(self):
+        spec = tiny_spec(axes={"raster_units": [1, 2],
+                               "supertile": [2, 4]})
+        cycles = {}
+        for ru in (1, 2):
+            for st in (2, 4):
+                cycles[("baseline", ru, st)] = 100
+                cycles[("libra", ru, st)] = 100 // ru
+        matrix = speedup_matrix(fake_result(spec, cycles))
+        marginal = matrix.marginal("raster_units")
+        assert marginal[1]["libra"] == pytest.approx(1.0)
+        assert marginal[2]["libra"] == pytest.approx(2.0)
+        with pytest.raises(ConfigValidationError, match="unknown axis"):
+            matrix.marginal("nope")
+
+    def test_failed_baseline_leaves_no_speedups(self):
+        spec = tiny_spec()
+        result = fake_result(spec, {("libra", 1): 50,
+                                    ("baseline", 2): 100, ("libra", 2): 80})
+        matrix = speedup_matrix(result)
+        assert matrix.rows[0].speedups == {}
+        assert matrix.rows[1].speedups["libra"] == pytest.approx(1.25)
+        # Formatting degrades to em-dashes instead of crashing.
+        assert "—" in matrix.format()
+        assert "—" in matrix.to_markdown()
+
+    def test_markdown_shape(self):
+        spec = tiny_spec()
+        result = fake_result(spec, {("baseline", 1): 100, ("libra", 1): 50,
+                                    ("baseline", 2): 100, ("libra", 2): 50})
+        lines = speedup_matrix(result).to_markdown().splitlines()
+        assert lines[0].startswith("| benchmark | raster_units |")
+        assert lines[-1].startswith("| **geomean**")

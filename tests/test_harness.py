@@ -7,7 +7,23 @@ from repro.core import (LibraScheduler, StaticSupertileScheduler,
                         TemperatureScheduler, ZOrderScheduler)
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestMakeConfig:
+    """The deprecated shim keeps the old contract (via GPUConfig.build)."""
+
+    def test_shim_warns(self):
+        with pytest.warns(DeprecationWarning, match="GPUConfig.build"):
+            harness.make_config("libra")
+
+    def test_matches_build(self):
+        from repro.config import GPUConfig
+        config, scheduler = harness.make_config("libra", raster_units=3)
+        built, built_sched = GPUConfig.build("libra", raster_units=3,
+                                             screen_width=960,
+                                             screen_height=512)
+        assert config == built
+        assert type(scheduler) is type(built_sched)
+
     def test_baseline_merges_cores(self):
         config, scheduler = harness.make_config("baseline",
                                                 raster_units=2,

@@ -6,7 +6,6 @@ from repro import GPUSimulator, TraceBuilder, libra_config
 from repro.core.alternatives import (OracleTemperatureScheduler,
                                      RandomScheduler, TraversalScheduler)
 from repro.gpu.pfr import PFRSimulator
-from repro.harness import make_config
 from repro.workloads.params import HotspotSpec, WorkloadParams
 from repro.workloads.scene import SceneBuilder
 

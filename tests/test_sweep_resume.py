@@ -1,0 +1,131 @@
+"""SIGKILL-resume semantics of ``repro sweep`` (the acceptance scenario).
+
+A real subprocess runs an 8-point grid, gets SIGKILL'd mid-grid, and the
+resumed sweep must (a) not re-execute points whose artifacts survived
+the kill and (b) produce exactly the matrix an uninterrupted run would.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ArtifactStore, ExperimentSpec, run_sweep
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+SPEC = ExperimentSpec(
+    name="killgrid", benchmarks=["tri_overlap"],
+    kinds=["baseline", "libra"],
+    axes={"raster_units": [1, 2], "supertile": [2, 4]},
+    frames=2, width=128, height=64)
+
+DRIVER = textwrap.dedent("""
+    import sys, time
+    sys.path.insert(0, {src!r})
+    import repro.experiments.engine as engine
+    from repro.experiments import ExperimentSpec, run_sweep
+
+    # Slow each point down so the parent has a reliable kill window.
+    original = engine.execute_point
+    def slowed(point):
+        time.sleep(0.4)
+        return original(point)
+    engine.execute_point = slowed
+
+    spec = ExperimentSpec.from_dict({spec!r})
+    run_sweep(spec, store_root={store!r}, workers=1)
+""")
+
+
+@pytest.fixture(scope="module")
+def sweep_env(tmp_path_factory):
+    """Shared trace cache + env for the driver subprocess and the test."""
+    cache = tmp_path_factory.mktemp("resume_cache")
+    env = dict(os.environ, REPRO_CACHE_DIR=str(cache),
+               PYTHONPATH=str(SRC))
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    # Prebuild the traces so every sweep point in the subprocess is a
+    # quick simulate, keeping the kill timing about the grid, not the
+    # trace build.
+    from repro import harness
+    harness.get_traces("tri_overlap", SPEC.frames, SPEC.width, SPEC.height)
+    yield env
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+def test_sigkill_midgrid_then_resume(sweep_env, tmp_path):
+    store_root = tmp_path / "store"
+    driver = DRIVER.format(src=str(SRC), spec=SPEC.to_dict(),
+                           store=str(store_root))
+    proc = subprocess.Popen([sys.executable, "-c", driver], env=sweep_env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    store = ArtifactStore(store_root)
+    try:
+        # Wait for at least one checkpoint, then kill the driver cold.
+        deadline = time.time() + 60
+        while not store.completed_ids():
+            assert time.time() < deadline, "no artifact appeared in 60s"
+            assert proc.poll() is None, "driver exited before the kill"
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGKILL)
+    finally:
+        proc.wait(timeout=30)
+
+    survivors = store.completed_ids()
+    assert survivors, "the kill test needs >= 1 completed point"
+    assert len(survivors) < SPEC.num_points, \
+        "driver finished the whole grid before the kill; nothing resumes"
+    mtimes = {pid: store.point_path(pid).stat().st_mtime_ns
+              for pid in survivors}
+
+    resumed = run_sweep(SPEC, store_root=store_root)
+    assert not resumed.failed and not resumed.skipped
+    assert len(resumed.completed) == SPEC.num_points
+    assert sorted(o.point.point_id for o in resumed.resumed) == survivors
+    # Completed points were served from their checkpoints, not re-run.
+    for pid in survivors:
+        assert store.point_path(pid).stat().st_mtime_ns == mtimes[pid]
+
+    # The resumed matrix is indistinguishable from an uninterrupted run.
+    from repro.experiments import speedup_matrix
+    clean = run_sweep(SPEC, store_root=tmp_path / "clean_store")
+    resumed_rows = speedup_matrix(resumed).rows
+    clean_rows = speedup_matrix(clean).rows
+    assert [(r.benchmark, r.axes, r.cycles) for r in resumed_rows] \
+        == [(r.benchmark, r.axes, r.cycles) for r in clean_rows]
+
+
+def test_interrupted_sweep_reports_skipped(sweep_env, tmp_path, monkeypatch):
+    """KeyboardInterrupt mid-grid still returns, untouched points skipped."""
+    import repro.experiments.engine as engine
+    original = engine.execute_point
+    calls = []
+
+    def explode_after_two(point):
+        if len(calls) == 2:
+            raise KeyboardInterrupt
+        calls.append(point.point_id)
+        return original(point)
+
+    monkeypatch.setattr(engine, "execute_point", explode_after_two)
+    result = run_sweep(SPEC, store_root=tmp_path / "store")
+    assert len(result.completed) == 2
+    # The interrupted point reports the interrupt; the rest are skipped.
+    assert [o.error_type for o in result.failed] == ["KeyboardInterrupt"]
+    assert len(result.skipped) == SPEC.num_points - 3
+    # And those two checkpoints resume on the next, uninterrupted run.
+    monkeypatch.setattr(engine, "execute_point", original)
+    healed = run_sweep(SPEC, store_root=tmp_path / "store")
+    assert len(healed.resumed) == 2
+    assert len(healed.completed) == SPEC.num_points
