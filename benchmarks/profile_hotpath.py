@@ -33,16 +33,14 @@ sys.path.insert(0, str(Path(__file__).parent))
 import common  # noqa: F401,E402  (sets REPRO_CACHE_DIR)
 
 from repro import harness  # noqa: E402
-from repro.gpu import GPUSimulator  # noqa: E402
+from repro.perf import run_kernel  # noqa: E402
 
 
 def _run(kind: str, traces, batched: bool):
-    from repro.config import GPUConfig
-    config, scheduler = GPUConfig.build(
-        kind, screen_width=harness.WIDTH, screen_height=harness.HEIGHT)
-    sim = GPUSimulator(config, scheduler=scheduler, name=kind,
-                       batched=batched)
-    return sim.run(traces)
+    # The same kernel `repro perf record` times, so profiler numbers
+    # and recorded baselines measure identical work.
+    return run_kernel(kind, traces, harness.WIDTH, harness.HEIGHT,
+                      batched=batched)
 
 
 def _measure_telemetry_overhead(args) -> int:

@@ -264,6 +264,14 @@ def render_sweep(store_root: str) -> str:
            f"({len(done)}/{len(points)} points on disk in "
            f"`{store_root}`).\n",
            matrix.to_markdown(), ""]
+    if matrix.telemetry:
+        out += ["\n### Merged telemetry (summed across all completed "
+                "points)\n",
+                "| metric | value |", "|---|---|"]
+        out += [f"| `{name}` | {value:,g} |"
+                for name, value in sorted(matrix.telemetry.items())
+                if ".le_" not in name]
+        out.append("")
     return "\n".join(out)
 
 

@@ -17,8 +17,18 @@ Subcommands:
 * ``repro sweep --spec fig18.yaml`` (or inline: ``repro sweep
   --benchmarks tri_overlap --axis raster_units=1,2,4 --axis
   supertile=2,4``) — declarative, resumable parameter-grid sweep with
-  per-point crash-safe checkpoints and a speedup-matrix report (see
-  ``repro.experiments``).
+  per-point crash-safe checkpoints, a speedup-matrix report and
+  grid-wide merged telemetry counters (see ``repro.experiments``).
+* ``repro perf record [--quick]`` / ``repro perf compare --baseline
+  BENCH_1.json`` — record a fingerprinted performance baseline
+  (median-of-k wall-clock + key simulated metrics over a curated case
+  set) and compare a later run against it with MAD-based noise bands.
+  Compare exits 0 when clean, 1 on a regression or simulated-metric
+  drift, 2 on usage errors (see ``repro.perf``).
+* ``repro report tri_overlap`` (or ``--events run.jsonl``) — run with
+  telemetry (or post-process an exported JSONL stream) and emit a
+  markdown analysis: DRAM bandwidth burstiness, per-RU load balance,
+  FSM decision timeline, cache hit-ratio trends, anomaly flags.
 
 Flag conventions, shared across subcommands: single-target commands
 take ``--benchmark``, sweep-style commands take ``--benchmarks`` (comma
@@ -440,7 +450,8 @@ def cmd_sweep(args) -> int:
         logger.error("%s", exc)
         return 2
     result = run_sweep(spec, store_root=args.out, workers=args.workers,
-                       timeout_s=args.timeout, retries=args.retries)
+                       timeout_s=args.timeout, retries=args.retries,
+                       point_telemetry=not args.no_point_telemetry)
     print(result.format())
     print()
     matrix = speedup_matrix(result)
@@ -448,7 +459,99 @@ def cmd_sweep(args) -> int:
     if matrix.axis_names:
         print()
         print(matrix.format_marginals())
+    telemetry_table = matrix.format_telemetry()
+    if telemetry_table:
+        print()
+        print(telemetry_table)
     return 1 if result.failed else 0
+
+
+def cmd_perf(args) -> int:
+    """Handle ``repro perf record`` / ``repro perf compare``.
+
+    ``record`` runs the curated case set (``--quick`` for the CI-sized
+    subset), taking the median of ``--repeat`` timed runs per case, and
+    writes a fingerprinted baseline to ``--out`` (default: the next
+    free ``BENCH_<n>.json`` in the working directory).  ``compare``
+    loads ``--baseline``, obtains a current record (``--current`` file,
+    or a fresh measurement of the baseline's cases), and applies the
+    MAD noise bands.  Exit status: 0 within bands, 1 on any regression
+    / metric drift / missing case, 2 for usage errors.
+    """
+    from . import perf
+    if args.repeat < 1:
+        logger.error("--repeat must be >= 1")
+        return 2
+    progress = (lambda msg: print(f"  {msg}", file=sys.stderr))
+    if args.perf_command == "record":
+        cases = perf.QUICK_CASES if args.quick else perf.DEFAULT_CASES
+        baseline = perf.record_baseline(cases=cases, repeat=args.repeat,
+                                        progress=progress)
+        path = perf.write_baseline(baseline,
+                                   args.out or perf.next_bench_path())
+        print(f"wrote perf baseline ({len(baseline.cases)} cases, "
+              f"median of {args.repeat}) to {path}")
+        return 0
+    baseline = perf.load_baseline(args.baseline)
+    if args.current:
+        current = perf.load_baseline(args.current)
+    else:
+        cases = [c for c in perf.DEFAULT_CASES
+                 if c.case_id in baseline.cases]
+        if not cases:
+            logger.error("baseline %s shares no case ids with the "
+                         "current curated set; pass --current",
+                         args.baseline)
+            return 2
+        current = perf.record_baseline(cases=cases, repeat=args.repeat,
+                                       progress=progress)
+    report = perf.compare_baselines(
+        current, baseline, wall_threshold_pct=args.wall_threshold_pct,
+        mad_factor=args.mad_factor, check_metrics=not args.no_metrics)
+    print(report.format())
+    return report.exit_code
+
+
+def cmd_report(args) -> int:
+    """Handle ``repro report`` (the telemetry analysis report).
+
+    Either simulates the given benchmark with telemetry on, or — with
+    ``--events`` — post-processes a JSONL stream a previous run
+    exported via ``--telemetry-out``, so the expensive simulation and
+    the analysis can live in different processes.
+    """
+    from .perf import build_report
+    if args.events:
+        from .telemetry import load_jsonl_events
+        events = load_jsonl_events(args.events)
+        metrics = None
+        title = f"Telemetry analysis of {args.events}"
+    else:
+        benchmark = args.benchmark_pos or args.benchmark
+        if benchmark is None:
+            logger.error(
+                "report needs a benchmark (positional or --benchmark) "
+                "or --events PATH")
+            return 2
+        from .telemetry import HUB, RecordingSink, telemetry_session
+        traces = _build_traces(benchmark, args.frames, args.width,
+                               args.height)
+        sim = _make_simulator(args.config, args.width, args.height)
+        sink = RecordingSink()
+        with telemetry_session(sink):
+            sim.run(traces)
+            metrics = HUB.metrics.snapshot()
+        events = sink.events
+        title = (f"{benchmark} on {args.config} "
+                 f"({args.frames} frames, {args.width}x{args.height})")
+    markdown = build_report(events, metrics=metrics, title=title)
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(markdown)
+        print(f"wrote analysis report to {args.out}")
+    else:
+        print(markdown)
+    return 0
 
 
 def cmd_heatmap(args) -> int:
@@ -551,6 +654,63 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact-store directory (default "
                             ".repro_sweeps/<name>); rerunning with the "
                             "same grid resumes it")
+    sweep.add_argument("--no-point-telemetry", action="store_true",
+                       help="skip per-point metrics collection (no "
+                            "merged telemetry in the report)")
+
+    perf = sub.add_parser(
+        "perf", help="performance baselines: record a fingerprinted "
+                     "BENCH_<n>.json, compare with noise bands")
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    record = perf_sub.add_parser(
+        "record", help="measure the curated case set and write a "
+                       "baseline file")
+    record.add_argument("--out", default=None, metavar="PATH",
+                        help="baseline file (default: next free "
+                             "BENCH_<n>.json in the working directory)")
+    record.add_argument("--repeat", type=int, default=3,
+                        help="timed runs per case (median is kept)")
+    record.add_argument("--quick", action="store_true",
+                        help="CI-sized case subset (seconds, not "
+                             "minutes)")
+    pcompare = perf_sub.add_parser(
+        "compare", help="compare a current record against a baseline "
+                        "(exit 0 ok / 1 regression / 2 usage)")
+    pcompare.add_argument("--baseline", required=True, metavar="PATH",
+                          help="recorded BENCH_<n>.json to compare "
+                               "against")
+    pcompare.add_argument("--current", default=None, metavar="PATH",
+                          help="current record (default: measure the "
+                               "baseline's cases afresh)")
+    pcompare.add_argument("--repeat", type=int, default=3,
+                          help="timed runs per case when measuring "
+                               "afresh")
+    pcompare.add_argument("--wall-threshold-pct", type=float,
+                          default=10.0, metavar="PCT",
+                          help="relative wall-clock noise band")
+    pcompare.add_argument("--mad-factor", type=float, default=3.0,
+                          help="noise band is max(PCT, this many "
+                               "baseline MADs)")
+    pcompare.add_argument("--no-metrics", action="store_true",
+                          help="skip the simulated-metric drift check")
+
+    report = sub.add_parser(
+        "report", help="telemetry analysis report (markdown): DRAM "
+                       "burstiness, RU load balance, FSM timeline, "
+                       "cache trends",
+        parents=[_common_parent(frames_default=2)])
+    report.add_argument("benchmark_pos", nargs="?", default=None,
+                        metavar="benchmark", choices=all_names,
+                        help="benchmark code (alternative to "
+                             "--benchmark)")
+    _add_benchmark_option(report, all_names, required=False)
+    _add_config_option(report)
+    report.add_argument("--events", default=None, metavar="PATH",
+                        help="analyse an exported JSONL event stream "
+                             "instead of running a simulation")
+    report.add_argument("--out", default=None, metavar="PATH",
+                        help="write the markdown here instead of "
+                             "stdout")
     return parser
 
 
@@ -571,6 +731,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "suite": cmd_suite,
         "sweep": cmd_sweep,
+        "perf": cmd_perf,
+        "report": cmd_report,
     }
     try:
         return handlers[args.command](args)

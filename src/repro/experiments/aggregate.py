@@ -41,6 +41,11 @@ class SpeedupMatrix:
     kinds: List[str]
     axis_names: List[str]
     rows: List[MatrixRow] = field(default_factory=list)
+    #: Flat snapshot of the telemetry metrics merged across every
+    #: completed grid point (None when no point carried a state —
+    #: sweep ran with ``point_telemetry=False`` or from pre-g4
+    #: artifacts).  Counters/histograms are grid-wide sums.
+    telemetry: Optional[Dict[str, float]] = None
 
     def geomeans(self) -> Dict[str, float]:
         """Geometric-mean speedup per kind over all complete rows."""
@@ -112,6 +117,21 @@ class SpeedupMatrix:
                 f"(geomean across everything else)"))
         return "\n\n".join(blocks)
 
+    def format_telemetry(self) -> str:
+        """Grid-wide telemetry counter table ('' when none collected).
+
+        Histogram bucket expansions (``.le_`` entries) are elided —
+        they are for exporters, not for reading.
+        """
+        if not self.telemetry:
+            return ""
+        rows = [[name, f"{value:,.3f}".rstrip("0").rstrip(".")]
+                for name, value in sorted(self.telemetry.items())
+                if ".le_" not in name]
+        return format_table(("metric", "value"), rows,
+                            title="telemetry (merged across all "
+                            "completed points)")
+
     def to_markdown(self) -> str:
         """GitHub-flavored markdown table (the EXPERIMENTS.md pathway)."""
         headers = (["benchmark"] + list(self.axis_names)
@@ -165,6 +185,8 @@ def speedup_matrix(result: SweepResult,
         for kind, cycles in row.cycles.items():
             if cycles:
                 row.speedups[kind] = base / cycles
+    merged = result.merged_metrics()
     return SpeedupMatrix(baseline_kind=baseline, kinds=list(spec.kinds),
                          axis_names=list(spec.axes),
-                         rows=[cells[k] for k in order])
+                         rows=[cells[k] for k in order],
+                         telemetry=merged.snapshot() if merged else None)

@@ -90,6 +90,27 @@ class SweepResult:
         """point_id -> RunSummary for every completed point."""
         return {o.point.point_id: o.summary for o in self.completed}
 
+    def merged_metrics(self) -> Optional["MetricsRegistry"]:
+        """One registry aggregating every completed point's telemetry.
+
+        Counters and histograms add across the grid (merged DRAM
+        accesses equal the sum over the per-point artifacts); gauges
+        keep the last point's value.  Returns None when no completed
+        point carries a telemetry state — point telemetry disabled, or
+        every artifact predates the ``telemetry_state`` field
+        (``getattr`` guard: old pickles simply lack the attribute).
+        """
+        from ..telemetry import MetricsRegistry
+        merged: Optional[MetricsRegistry] = None
+        for outcome in self.completed:
+            state = getattr(outcome.summary, "telemetry_state", None)
+            if not state:
+                continue
+            if merged is None:
+                merged = MetricsRegistry()
+            merged.merge(state)
+        return merged
+
     def format(self) -> str:
         """Human-readable per-point report."""
         lines = [f"sweep {self.spec.name!r}: {len(self.completed)} ok "
@@ -128,7 +149,8 @@ def execute_point(point: SweepPoint) -> RunSummary:
 
 def _point_runner(benchmark: str, point_id: str, frames: int = 0,
                   points: Optional[Dict[str, SweepPoint]] = None,
-                  store_root: str = "") -> RunSummary:
+                  store_root: str = "",
+                  point_telemetry: bool = True) -> RunSummary:
     """The :func:`repro.harness.run_pairs` runner for sweep points.
 
     Module-level and picklable so the process-pool backend can ship it;
@@ -138,22 +160,41 @@ def _point_runner(benchmark: str, point_id: str, frames: int = 0,
     survives any later crash of the driver.  A concurrent or crashed
     predecessor may have finished the point already — the store is
     re-checked first and the artifact reused (idempotent under races).
+
+    With ``point_telemetry`` the runner collects metrics *per point
+    even in worker processes*, where the driver's hub does not reach:
+    a disabled hub is enabled (sinkless) around the simulation and the
+    registry reset before and disabled after, so each checkpointed
+    artifact carries exactly its own point's counters.  A hub the
+    caller already enabled (sequential in-process sweep) is left
+    untouched — its accumulation is the caller's business — except the
+    registry is snapshotted into the summary as before.
     """
     point = points[point_id]
     store = ArtifactStore(store_root)
     existing = store.load(point_id)
     if existing is not None:
         return existing
+    own_session = point_telemetry and not HUB.enabled
+    if own_session:
+        HUB.metrics.reset()
+        HUB.enable()
     wall_start = time.time()
-    summary = execute_point(point)
-    if HUB.enabled:
-        summary.telemetry = HUB.metrics.snapshot()
-        HUB.emit(HarnessSpan(
-            name=f"sweep.point.{point_id}", wall_start_s=wall_start,
-            wall_dur_s=time.time() - wall_start, status="ok", attempts=1,
-            args={"benchmark": point.benchmark, "kind": point.kind,
-                  **point.axis_values}))
-        HUB.metrics.counter("sweep.points.executed").inc()
+    try:
+        summary = execute_point(point)
+        if HUB.enabled:
+            summary.telemetry = HUB.metrics.snapshot()
+            summary.telemetry_state = HUB.metrics.dump()
+            HUB.emit(HarnessSpan(
+                name=f"sweep.point.{point_id}", wall_start_s=wall_start,
+                wall_dur_s=time.time() - wall_start, status="ok",
+                attempts=1,
+                args={"benchmark": point.benchmark, "kind": point.kind,
+                      **point.axis_values}))
+            HUB.metrics.counter("sweep.points.executed").inc()
+    finally:
+        if own_session:
+            HUB.disable()
     store.save(point_id, summary)
     return summary
 
@@ -162,7 +203,8 @@ def run_sweep(spec: ExperimentSpec,
               store_root: Union[str, Path, None] = None,
               workers: Optional[int] = None,
               timeout_s: Optional[float] = None,
-              retries: Optional[int] = None) -> SweepResult:
+              retries: Optional[int] = None,
+              point_telemetry: bool = True) -> SweepResult:
     """Execute (or resume) the sweep a spec describes.
 
     ``store_root`` defaults to ``.repro_sweeps/<spec name>``; pointing a
@@ -173,6 +215,13 @@ def run_sweep(spec: ExperimentSpec,
     order matches ``spec.expand()`` regardless of resume state or
     completion order; an interrupted sweep (Ctrl-C) still returns, with
     untouched points ``skipped``.
+
+    ``point_telemetry`` (default on) has every point — including ones
+    executed in pool workers, whose processes the driver's hub never
+    sees — record its own metrics state into its checkpointed artifact;
+    :meth:`SweepResult.merged_metrics` then aggregates them across the
+    whole grid.  Its cost is one sinkless hub session per point; pass
+    ``False`` to run points with telemetry fully disabled.
     """
     spec.validate()
     workers = spec.workers if workers is None else workers
@@ -207,7 +256,8 @@ def run_sweep(spec: ExperimentSpec,
         frames=spec.frames, timeout_s=timeout_s,
         max_attempts=retries + 1, backoff_s=spec.backoff_s,
         runner=_point_runner, workers=workers,
-        points=by_id, store_root=str(root))
+        points=by_id, store_root=str(root),
+        point_telemetry=point_telemetry)
 
     executed = {o.kind: o for o in report.outcomes}  # kind slot = point_id
     result = SweepResult(spec=spec, store_root=root)

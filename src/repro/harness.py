@@ -77,7 +77,9 @@ TRACE_GENERATION = 1
 #: timing model).  g2: geometry-phase interval accounting made
 #: deterministic when the vertex stream does not divide evenly.
 #: g3: RunSummary grew the ``telemetry`` metrics-snapshot field.
-RESULT_GENERATION = 3
+#: g4: RunSummary grew the ``telemetry_state`` typed metrics state
+#: (the mergeable counterpart of the flat snapshot).
+RESULT_GENERATION = 4
 
 #: Backwards-compatible alias (pre-split single generation number).
 GENERATION = TRACE_GENERATION
@@ -215,6 +217,13 @@ class RunSummary:
     #: Flat telemetry-metrics snapshot of the run (None when the
     #: telemetry hub was disabled or the summary came from the cache).
     telemetry: Optional[Dict[str, float]] = None
+    #: Typed :meth:`MetricsRegistry.dump` state of the run — unlike the
+    #: flat snapshot this distinguishes counters, gauges and histograms,
+    #: so per-point states can be merged across a whole sweep grid with
+    #: :meth:`MetricsRegistry.merge`.  None under the same conditions as
+    #: ``telemetry``; read with ``getattr(summary, "telemetry_state",
+    #: None)`` — artifacts pickled before g4 predate the field.
+    telemetry_state: Optional[Dict[str, dict]] = None
 
     def speedup_over(self, other: "RunSummary") -> float:
         """Execution-time speedup of this run over another."""
@@ -262,6 +271,7 @@ def run_simulation(benchmark: str, kind: str, frames: int = FRAMES,
     summary = summarize(benchmark, kind, result)
     if HUB.enabled:
         summary.telemetry = HUB.metrics.snapshot()
+        summary.telemetry_state = HUB.metrics.dump()
     if use_cache:
         with cachefile.file_lock(path):
             cachefile.write_cache(summary, path)

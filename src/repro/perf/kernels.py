@@ -1,0 +1,34 @@
+"""The timing kernels shared by ``repro perf`` and the profiler.
+
+A *kernel* is the smallest thing worth timing: one simulator run over
+prebuilt traces, with no cache reads, no summarization and no harness
+supervision in the timed region.  ``benchmarks/profile_hotpath.py``
+and :mod:`repro.perf.baseline` both time exactly this function, so the
+profiler's numbers and the recorded baselines move together.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import GPUConfig
+from ..gpu import FrameTrace, GPUSimulator, RunResult
+
+
+def run_kernel(kind: str, traces: List[FrameTrace],
+               width: int, height: int,
+               batched: bool = True,
+               settings: Optional[dict] = None) -> RunResult:
+    """One fresh simulator run of ``kind`` over prebuilt ``traces``.
+
+    Builds the configuration and simulator inside the call (their cost
+    is part of what a baseline should see) but expects the traces —
+    which are configuration-independent and disk-cached — to already
+    exist, so repeated timings measure simulation, not scene generation.
+    """
+    config, scheduler = GPUConfig.build(
+        kind, screen_width=width, screen_height=height,
+        settings=settings or {})
+    sim = GPUSimulator(config, scheduler=scheduler, name=kind,
+                       batched=batched)
+    return sim.run(traces)

@@ -37,6 +37,7 @@ from .events import (CacheDelta, DRAMSample, FSMState, FSMTransition,
                      TileRetire)
 from .hub import (HUB, JsonlSink, RecordingSink, SimClock, TelemetryHub,
                   telemetry_session)
+from .io import load_jsonl_events
 from .metrics import (Counter, DRAM_BURST_BUCKETS, Gauge, Histogram,
                       MetricsRegistry, TILE_LATENCY_BUCKETS)
 
@@ -50,5 +51,6 @@ __all__ = [
     "FSMTransition", "FSMState", "DRAMSample", "CacheDelta",
     "HarnessSpan",
     "chrome_trace", "chrome_trace_events", "write_chrome_trace",
+    "load_jsonl_events",
     "PID_SIM", "PID_RU0", "PID_HARNESS",
 ]

@@ -9,19 +9,27 @@ Maps the typed event stream onto the Trace Event Format:
   counter tracks (``ph: "C"`` — bandwidth, utilization, loaded latency);
 * ``pid`` 999 ("harness") carrying wall-clock suite spans.
 
+Every pid gets ``process_name``/``thread_name`` metadata events so
+Perfetto labels the tracks, and ``otherData.ts_units`` records each
+track's time domain.
+
 Timestamps are simulated cycles emitted directly into the ``ts`` field
 (the format nominally wants microseconds; viewers only require a
 consistent unit, so 1 us on screen = 1 simulated cycle).  Harness spans
 are wall-clock microseconds — a different domain, which is why they live
 in their own process track.  Events without a timestamp (FSM decisions
-made outside the timed core) reuse the last simulated timestamp seen.
+made outside the timed core) get an *inferred* one — the last simulated
+timestamp seen, clamped into the emitting frame's ``[begin, end]``
+window when the event names its frame — and are annotated with
+``args.ts_inferred`` so a reader can tell estimated instants from
+measured ones.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from .events import (CacheDelta, DRAMSample, FSMState, FSMTransition,
                      HarnessSpan, PhaseBegin, PhaseEnd, SchedulerDecision,
@@ -35,9 +43,36 @@ PID_RU0 = 100
 #: pid of the wall-clock harness track.
 PID_HARNESS = 999
 
+#: Time domain of each process track (recorded in ``otherData``).
+TS_UNITS = {"sim": "simulated GPU cycles",
+            "ru": "simulated GPU cycles",
+            "harness": "wall-clock microseconds"}
+
+
+def _frame_windows(events: List[TelemetryEvent]
+                   ) -> Dict[int, Tuple[int, int]]:
+    """frame index -> (begin ts, end ts) from the timestamped phases."""
+    begin: Dict[int, int] = {}
+    end: Dict[int, int] = {}
+    for event in events:
+        if not isinstance(event, (PhaseBegin, PhaseEnd)):
+            continue
+        if event.frame is None or event.ts is None:
+            continue
+        ts = int(event.ts)
+        if isinstance(event, PhaseBegin):
+            if event.frame not in begin or ts < begin[event.frame]:
+                begin[event.frame] = ts
+        elif event.frame not in end or ts > end[event.frame]:
+            end[event.frame] = ts
+    return {frame: (ts, end.get(frame, ts))
+            for frame, ts in begin.items()}
+
 
 def chrome_trace_events(events: Iterable[TelemetryEvent]) -> List[dict]:
     """Convert a typed event stream into trace-event dicts."""
+    events = list(events)
+    windows = _frame_windows(events)
     out: List[dict] = []
     pids_seen: Dict[int, str] = {}
     last_ts = 0
@@ -46,25 +81,45 @@ def chrome_trace_events(events: Iterable[TelemetryEvent]) -> List[dict]:
         pids_seen.setdefault(pid, name)
         return pid
 
-    def _ts(explicit) -> int:
+    def _ts(event: TelemetryEvent,
+            args: Optional[Dict[str, Any]] = None) -> int:
+        """The event's timestamp, inferring (and annotating) when absent.
+
+        An explicit ``ts`` advances the running clock.  A missing one
+        reuses the last timestamp seen but is clamped into the emitting
+        frame's ``[begin, end]`` window when the event carries a frame
+        index — an FSM snapshot for frame *n* emitted before that
+        frame's timed phases must land inside frame *n*, not at the end
+        of frame *n - 1*.  Inferred timestamps are flagged in ``args``.
+        """
         nonlocal last_ts
+        explicit = getattr(event, "ts", None)
         if explicit is not None:
             last_ts = int(explicit)
-        return last_ts
+            return last_ts
+        ts = last_ts
+        frame = getattr(event, "frame", None)
+        if frame is not None and frame in windows:
+            lo, hi = windows[frame]
+            ts = min(max(ts, lo), hi)
+        if args is not None:
+            args["ts_inferred"] = True
+        return ts
 
     for event in events:
         if isinstance(event, PhaseBegin):
+            args: Dict[str, Any] = {"frame": event.frame}
             out.append({"name": event.name, "ph": "B",
-                        "ts": _ts(event.ts),
+                        "ts": _ts(event, args),
                         "pid": _pid(PID_SIM, "sim"), "tid": 0,
-                        "args": {"frame": event.frame}})
+                        "args": args})
         elif isinstance(event, PhaseEnd):
             out.append({"name": event.name, "ph": "E",
-                        "ts": _ts(event.ts),
+                        "ts": _ts(event),
                         "pid": _pid(PID_SIM, "sim"), "tid": 0})
         elif isinstance(event, TileRetire):
             start = event.start_ts if event.start_ts is not None else event.ts
-            end = _ts(event.ts)
+            end = _ts(event)
             out.append({"name": f"tile {event.tile}", "ph": "X",
                         "ts": int(start if start is not None else end),
                         "dur": max(end - int(start or 0), 1),
@@ -73,37 +128,40 @@ def chrome_trace_events(events: Iterable[TelemetryEvent]) -> List[dict]:
                         "args": {"dram_lines": event.dram_lines,
                                  "instructions": event.instructions}})
         elif isinstance(event, TileDispatch):
+            args = {"tile": list(event.tile or ())}
             out.append({"name": "dispatch", "ph": "i", "s": "t",
-                        "ts": _ts(event.ts),
+                        "ts": _ts(event, args),
                         "pid": _pid(PID_RU0 + event.ru, f"RU {event.ru}"),
-                        "tid": 0, "args": {"tile": list(event.tile or ())}})
+                        "tid": 0, "args": args})
         elif isinstance(event, (FSMTransition, FSMState)):
             if isinstance(event, FSMTransition):
                 name = f"fsm:{event.machine} {event.old}->{event.new}"
-                args: Dict[str, Any] = {"old": event.old, "new": event.new}
+                args = {"old": event.old, "new": event.new}
             else:
                 name = f"fsm:{event.machine}={event.state}"
                 args = {"state": event.state, "frame": event.frame}
             out.append({"name": name, "ph": "i", "s": "g",
-                        "ts": _ts(event.ts),
+                        "ts": _ts(event, args),
                         "pid": _pid(PID_SIM, "sim"), "tid": 0,
                         "args": args})
         elif isinstance(event, SchedulerDecision):
+            args = {"frame": event.frame,
+                    "order": event.order,
+                    "supertile_size": event.supertile_size,
+                    "batches": event.batches}
             out.append({"name": f"schedule:{event.order}", "ph": "i",
-                        "s": "p", "ts": _ts(event.ts),
+                        "s": "p", "ts": _ts(event, args),
                         "pid": _pid(PID_SIM, "sim"), "tid": 0,
-                        "args": {"frame": event.frame,
-                                 "order": event.order,
-                                 "supertile_size": event.supertile_size,
-                                 "batches": event.batches}})
+                        "args": args})
         elif isinstance(event, SchedulerRanking):
+            args = {"supertiles": event.supertiles,
+                    "hottest": list(event.hottest)}
             out.append({"name": "ranking", "ph": "i", "s": "p",
-                        "ts": _ts(event.ts),
+                        "ts": _ts(event, args),
                         "pid": _pid(PID_SIM, "sim"), "tid": 0,
-                        "args": {"supertiles": event.supertiles,
-                                 "hottest": list(event.hottest)}})
+                        "args": args})
         elif isinstance(event, DRAMSample):
-            ts = _ts(event.ts)
+            ts = _ts(event)
             pid = _pid(PID_SIM, "sim")
             out.append({"name": "dram.bandwidth", "ph": "C", "ts": ts,
                         "pid": pid, "tid": 0,
@@ -115,11 +173,11 @@ def chrome_trace_events(events: Iterable[TelemetryEvent]) -> List[dict]:
                         "pid": pid, "tid": 0,
                         "args": {"rho": round(event.utilization, 4)}})
         elif isinstance(event, CacheDelta):
+            args = {"hits": event.hits, "misses": event.misses}
             out.append({"name": f"cache.{event.name}", "ph": "C",
-                        "ts": _ts(event.ts),
+                        "ts": _ts(event, args),
                         "pid": _pid(PID_SIM, "sim"), "tid": 0,
-                        "args": {"hits": event.hits,
-                                 "misses": event.misses}})
+                        "args": args})
         elif isinstance(event, HarnessSpan):
             out.append({"name": event.name, "ph": "X",
                         "ts": int(event.wall_start_s * 1e6),
@@ -131,9 +189,16 @@ def chrome_trace_events(events: Iterable[TelemetryEvent]) -> List[dict]:
         # Unknown event types are skipped: the JSONL sink still carries
         # them, and the Chrome view stays well-formed.
 
-    meta = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
-             "args": {"name": label}}
-            for pid, label in sorted(pids_seen.items())]
+    meta: List[dict] = []
+    for pid, label in sorted(pids_seen.items()):
+        tid_label = ("wall clock" if pid == PID_HARNESS
+                     else "simulated cycles")
+        meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                     "tid": 0, "args": {"name": label}})
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": 0, "args": {"name": tid_label}})
+        meta.append({"name": "process_sort_index", "ph": "M", "pid": pid,
+                     "tid": 0, "args": {"sort_index": pid}})
     return meta + out
 
 
@@ -144,6 +209,7 @@ def chrome_trace(events: Iterable[TelemetryEvent],
         "traceEvents": chrome_trace_events(events),
         "displayTimeUnit": "ms",
         "otherData": {"ts_unit": "simulated GPU cycles",
+                      "ts_units": dict(TS_UNITS),
                       "source": "repro.telemetry"},
     }
     if metrics:

@@ -1,0 +1,84 @@
+"""Reading telemetry event streams back from disk.
+
+:class:`~repro.telemetry.hub.JsonlSink` serializes each event as one
+JSON object per line with a ``type`` discriminator; this module is the
+inverse — it reconstructs the typed events so the analysis layer
+(:mod:`repro.perf.report`) can post-process a stream that was exported
+with ``--telemetry-out`` instead of re-running the simulation.
+
+Forward compatibility: lines whose ``type`` is unknown are skipped (a
+newer writer may know event classes this reader does not), as are
+fields a known class no longer has.  Structural damage — non-JSON
+lines, a record without a ``type`` — raises
+:class:`~repro.errors.TraceFormatError` naming the path and line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import json
+from pathlib import Path
+from typing import Dict, List, Type, Union
+
+from ..errors import TraceFormatError
+from .events import (CacheDelta, DRAMSample, FSMState, FSMTransition,
+                     HarnessSpan, PhaseBegin, PhaseEnd, SchedulerDecision,
+                     SchedulerRanking, TelemetryEvent, TileDispatch,
+                     TileRetire)
+
+#: ``type`` discriminator -> event class (what JsonlSink writes).
+EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
+    cls.__name__: cls
+    for cls in (PhaseBegin, PhaseEnd, TileDispatch, TileRetire,
+                SchedulerDecision, SchedulerRanking, FSMTransition,
+                FSMState, DRAMSample, CacheDelta, HarnessSpan)
+}
+
+#: Fields that serialize as JSON arrays but are tuples on the dataclass.
+_TUPLE_FIELDS = ("tile", "hottest")
+
+
+def load_jsonl_events(path: Union[str, Path]) -> List[TelemetryEvent]:
+    """Typed events from a ``JsonlSink`` stream (``.gz`` transparent).
+
+    The emit-order ``seq`` stamped by the hub is restored, so exporters
+    and analyses see the same total order as the live stream.
+    """
+    path = Path(path)
+    opener = gzip.open if path.name.endswith(".gz") else open
+    events: List[TelemetryEvent] = []
+    try:
+        with opener(path, "rt", encoding="utf-8") as stream:
+            for lineno, line in enumerate(stream, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                event = _parse_line(line, path, lineno)
+                if event is not None:
+                    events.append(event)
+    except OSError as exc:
+        raise TraceFormatError(f"{path}: unreadable event stream: {exc}")
+    return events
+
+
+def _parse_line(line: str, path: Path, lineno: int):
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(
+            f"{path}:{lineno}: not a JSON event record: {exc}")
+    if not isinstance(record, dict) or "type" not in record:
+        raise TraceFormatError(
+            f"{path}:{lineno}: event record has no 'type' discriminator")
+    cls = EVENT_TYPES.get(record["type"])
+    if cls is None:
+        return None  # a newer writer's event kind; skip, keep the rest
+    known = {f.name for f in dataclasses.fields(cls) if f.init}
+    kwargs = {k: v for k, v in record.items() if k in known}
+    for name in _TUPLE_FIELDS:
+        if isinstance(kwargs.get(name), list):
+            kwargs[name] = tuple(kwargs[name])
+    event = cls(**kwargs)
+    event.seq = int(record.get("seq", 0))
+    return event

@@ -10,6 +10,13 @@ The registry itself is a plain dict with no locking: the simulator is
 single-threaded per process, and the suite's worker processes each carry
 their own registry (fork).  ``snapshot()`` flattens everything into a
 ``{name: number}`` dict suitable for merging into run summaries or JSON.
+
+Cross-process aggregation: ``dump()`` exports the registry as a typed,
+JSON-able state dict and ``merge()`` folds such a state (or another
+registry) back in — counters add, gauges keep the merged-in value,
+histograms add bucket-wise.  Sweep workers attach a dump to every
+checkpointed point so the driver can reconstruct grid-wide totals that
+the process-pool boundary would otherwise drop.
 """
 
 from __future__ import annotations
@@ -29,19 +36,38 @@ DRAM_BURST_BUCKETS: Tuple[int, ...] = (
 
 
 class Counter:
-    """Monotonically increasing integer metric."""
+    """Monotonically increasing integer metric.
 
-    __slots__ = ("name", "value")
+    ``width_bits`` models a hardware statistics buffer of fixed width
+    (the paper's Section III-E entries use 16-bit access and 24-bit
+    instruction fields): the counter *saturates* at ``2**width - 1``
+    instead of growing without bound, mirroring
+    :func:`repro.core.temperature.saturate`.  ``None`` (the default) is
+    an unbounded software counter.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "value", "width_bits", "_max")
+
+    def __init__(self, name: str, width_bits: Optional[int] = None):
+        if width_bits is not None and width_bits < 1:
+            raise ValueError(f"{name}: width_bits must be >= 1")
         self.name = name
         self.value = 0
+        self.width_bits = width_bits
+        self._max = (1 << width_bits) - 1 if width_bits else None
 
     def inc(self, amount: int = 1) -> None:
-        """Add ``amount`` (must be >= 0) to the counter."""
+        """Add ``amount`` (must be >= 0), saturating at the bit width."""
         if amount < 0:
             raise ValueError(f"{self.name}: counters only go up")
         self.value += amount
+        if self._max is not None and self.value > self._max:
+            self.value = self._max
+
+    @property
+    def saturated(self) -> bool:
+        """True when a width-limited counter has hit its ceiling."""
+        return self._max is not None and self.value >= self._max
 
     def reset(self) -> None:
         """Zero the counter (the instrument object survives)."""
@@ -108,6 +134,28 @@ class Histogram:
         """Average of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's counts in (bucket-wise addition).
+
+        Both histograms must have identical bucket bounds — merging
+        observations across different binnings is meaningless and
+        raises instead of producing a quietly wrong distribution.
+        """
+        if tuple(other.buckets) != self.buckets:
+            raise ValueError(
+                f"{self.name}: cannot merge histograms with different "
+                f"buckets ({list(other.buckets)} vs {list(self.buckets)})")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min_seen is not None and (self.min_seen is None
+                                           or other.min_seen < self.min_seen):
+            self.min_seen = other.min_seen
+        if other.max_seen is not None and (self.max_seen is None
+                                           or other.max_seen > self.max_seen):
+            self.max_seen = other.max_seen
+
     def reset(self) -> None:
         """Zero all counts (bounds and the object survive)."""
         self.counts = [0] * (len(self.buckets) + 1)
@@ -125,9 +173,16 @@ class MetricsRegistry:
     def __init__(self):
         self._metrics: Dict[str, Metric] = {}
 
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter ``name``."""
-        return self._get_or_create(name, Counter, lambda: Counter(name))
+    def counter(self, name: str,
+                width_bits: Optional[int] = None) -> Counter:
+        """Get or create the counter ``name``.
+
+        ``width_bits`` (applied at creation only) makes it a saturating
+        hardware-width counter; asking again for an existing counter
+        returns it unchanged regardless of the argument.
+        """
+        return self._get_or_create(name, Counter,
+                                   lambda: Counter(name, width_bits))
 
     def gauge(self, name: str) -> Gauge:
         """Get or create the gauge ``name``."""
@@ -191,3 +246,69 @@ class MetricsRegistry:
         """
         for metric in self._metrics.values():
             metric.reset()
+
+    # -- cross-process aggregation ------------------------------------------
+
+    def dump(self) -> Dict[str, dict]:
+        """Typed, JSON-able state of every instrument.
+
+        Unlike :meth:`snapshot` (flat, display-oriented), the dump keeps
+        each metric's type and a histogram's full bucket layout, so a
+        dump produced in one process can be merged losslessly in
+        another.  ``reg.merge(other.dump())`` then
+        ``reg.snapshot() == other.snapshot()`` round-trips exactly.
+        """
+        state: Dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                entry: Dict[str, object] = {"type": "counter",
+                                            "value": metric.value}
+                if metric.width_bits is not None:
+                    entry["width_bits"] = metric.width_bits
+            elif isinstance(metric, Gauge):
+                entry = {"type": "gauge", "value": metric.value}
+            else:
+                entry = {"type": "histogram",
+                         "buckets": list(metric.buckets),
+                         "counts": list(metric.counts),
+                         "total": metric.total,
+                         "min": metric.min_seen,
+                         "max": metric.max_seen}
+            state[name] = entry
+        return state
+
+    def merge(self, other: Union["MetricsRegistry", Dict[str, dict]]
+              ) -> "MetricsRegistry":
+        """Fold another registry (or a :meth:`dump` state) into this one.
+
+        Counters add (width-limited ones keep saturating), gauges take
+        the merged-in value (last writer wins, matching
+        :meth:`Gauge.set`), histograms add bucket-wise — a bucket-layout
+        mismatch raises.  Returns ``self`` so merges chain.
+        """
+        state = other.dump() if isinstance(other, MetricsRegistry) else other
+        for name, entry in state.items():
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name, entry.get("width_bits")).inc(
+                    int(entry["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                incoming = Histogram(name, entry["buckets"])
+                incoming.counts = list(entry["counts"])
+                incoming.count = sum(incoming.counts)
+                incoming.total = entry["total"]
+                incoming.min_seen = entry.get("min")
+                incoming.max_seen = entry.get("max")
+                self.histogram(name, tuple(entry["buckets"])).merge(incoming)
+            else:
+                raise ValueError(
+                    f"metric {name!r}: unknown state type {kind!r}")
+        return self
+
+    @classmethod
+    def from_state(cls, state: Dict[str, dict]) -> "MetricsRegistry":
+        """A fresh registry reconstructed from a :meth:`dump` state."""
+        return cls().merge(state)

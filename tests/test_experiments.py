@@ -275,6 +275,66 @@ class TestEngine:
         assert len(healed.resumed) == 3
 
 
+class TestSweepTelemetry:
+    def test_merged_counts_equal_sum_of_point_artifacts(
+            self, shared_cache_dir, tmp_path):
+        # The acceptance check for sweep-wide aggregation: a 2x2 grid's
+        # merged DRAM-access count equals the sum over the per-point
+        # checkpointed artifacts (workers=2 crosses the process-pool
+        # boundary the driver's hub cannot see past).
+        spec = tiny_spec()
+        result = run_sweep(spec, store_root=tmp_path / "store", workers=2)
+        assert len(result.completed) == 4
+        states = [o.summary.telemetry_state for o in result.completed]
+        assert all(states)
+        merged = result.merged_metrics().snapshot()
+        for name in ("raster.dram_accesses", "dram.reads", "frames"):
+            assert merged[name] == sum(s[name]["value"] for s in states)
+        assert merged["frames"] == 4  # one frame per grid point
+
+    def test_resumed_points_keep_their_telemetry(self, shared_cache_dir,
+                                                 tmp_path):
+        spec = tiny_spec()
+        first = run_sweep(spec, store_root=tmp_path / "store")
+        again = run_sweep(spec, store_root=tmp_path / "store")
+        assert len(again.resumed) == 4
+        assert (again.merged_metrics().snapshot()
+                == first.merged_metrics().snapshot())
+
+    def test_point_telemetry_can_be_disabled(self, shared_cache_dir,
+                                             tmp_path):
+        spec = tiny_spec()
+        result = run_sweep(spec, store_root=tmp_path / "store",
+                           point_telemetry=False)
+        assert len(result.completed) == 4
+        assert result.merged_metrics() is None
+        matrix = speedup_matrix(result)
+        assert matrix.telemetry is None
+        assert matrix.format_telemetry() == ""
+
+    def test_matrix_carries_merged_telemetry(self, shared_cache_dir,
+                                             tmp_path):
+        spec = tiny_spec()
+        result = run_sweep(spec, store_root=tmp_path / "store")
+        matrix = speedup_matrix(result)
+        assert matrix.telemetry["frames"] == 4
+        table = matrix.format_telemetry()
+        assert "merged across all completed points" in table
+        assert "dram.reads" in table
+        assert ".le_" not in table  # histogram buckets elided
+
+    def test_merged_metrics_tolerates_pre_g4_artifacts(self):
+        # Old pickled summaries predate telemetry_state entirely; the
+        # getattr guard must treat them as carrying nothing.
+        spec = tiny_spec()
+        result = fake_result(spec, {("baseline", 1): 100,
+                                    ("libra", 1): 50,
+                                    ("baseline", 2): 100,
+                                    ("libra", 2): 50})
+        assert result.merged_metrics() is None
+        assert speedup_matrix(result).telemetry is None
+
+
 def fake_result(spec, cycles_by_point):
     """A SweepResult with scripted total_cycles per (kind, axes) cell."""
     result = SweepResult(spec=spec, store_root="unused")

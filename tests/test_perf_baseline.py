@@ -1,0 +1,217 @@
+"""Tests for performance-baseline tracking (repro.perf.baseline).
+
+The contract under test: ``record`` measures median-of-k wall-clock
+plus deterministic simulated metrics per curated case into a
+fingerprinted document; ``compare`` applies MAD-based noise bands and
+exits 0 when clean, 1 on a regression / metric drift / missing case,
+2 on usage errors.  A synthetically slowed kernel (injected fake
+timer) must trip the regression path.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigValidationError
+from repro.perf import (PerfBaseline, QUICK_CASES, compare_baselines,
+                        load_baseline, next_bench_path, record_baseline,
+                        write_baseline)
+from repro.perf.baseline import PerfCase, _mad
+
+#: One tiny kernel case so recording takes milliseconds.
+FAST_CASES = (PerfCase("kernel.tri_overlap.libra", "tri_overlap", "libra",
+                       frames=1, width=128, height=64),)
+
+
+@pytest.fixture(scope="module")
+def shared_cache_dir(tmp_path_factory):
+    """One trace-cache directory for the module (cases share traces)."""
+    path = tmp_path_factory.mktemp("perf_cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+@pytest.fixture(scope="module")
+def recorded(shared_cache_dir):
+    """A real baseline of the fast case, recorded once per module."""
+    return record_baseline(cases=FAST_CASES, repeat=3)
+
+
+def _slow_timer(step_s: float):
+    """A fake clock advancing ``step_s`` per call — every timed region
+    appears to take exactly ``step_s`` seconds (the synthetically
+    slowed kernel of the acceptance criteria)."""
+    state = {"now": 0.0}
+
+    def timer() -> float:
+        state["now"] += step_s
+        return state["now"]
+
+    return timer
+
+
+class TestRecord:
+    def test_document_shape_and_fingerprint(self, recorded):
+        doc = recorded.to_dict()
+        assert doc["schema"] == 1
+        assert {"git_sha", "python", "platform",
+                "cpu_count"} <= set(doc["fingerprint"])
+        case = doc["cases"]["kernel.tri_overlap.libra"]
+        assert len(case["wall_samples_s"]) == 3
+        assert case["wall_median_s"] == pytest.approx(
+            sorted(case["wall_samples_s"])[1], abs=1e-6)
+        assert case["metrics"]["total_cycles"] > 0
+        assert case["metrics"]["raster_dram_accesses"] > 0
+        assert 0.0 <= case["metrics"]["texture_hit_ratio"] <= 1.0
+
+    def test_simulated_metrics_are_deterministic(self, recorded):
+        again = record_baseline(cases=FAST_CASES, repeat=1)
+        assert (again.cases["kernel.tri_overlap.libra"].metrics
+                == recorded.cases["kernel.tri_overlap.libra"].metrics)
+
+    def test_suite_style_case_sums_over_kinds(self, shared_cache_dir):
+        suite_case = next(c for c in QUICK_CASES if c.style == "suite")
+        baseline = record_baseline(cases=[suite_case], repeat=1)
+        metrics = baseline.cases[suite_case.case_id].metrics
+        assert metrics["total_cycles"] > 0
+        assert 0.0 <= metrics["texture_hit_ratio"] <= 1.0
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ConfigValidationError):
+            record_baseline(cases=FAST_CASES, repeat=0)
+
+    def test_mad(self):
+        assert _mad([]) == 0.0
+        assert _mad([5.0]) == 0.0
+        assert _mad([1.0, 2.0, 9.0]) == 1.0
+
+
+class TestPersistence:
+    def test_write_load_round_trip(self, recorded, tmp_path):
+        path = write_baseline(recorded, tmp_path / "BENCH_1.json")
+        loaded = load_baseline(path)
+        assert loaded.to_dict() == recorded.to_dict()
+
+    def test_next_bench_path_numbering(self, tmp_path):
+        assert next_bench_path(tmp_path).name == "BENCH_1.json"
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        (tmp_path / "BENCH_7.json").write_text("{}")
+        assert next_bench_path(tmp_path).name == "BENCH_8.json"
+
+    def test_load_rejects_non_json(self, tmp_path):
+        bad = tmp_path / "BENCH_1.json"
+        bad.write_text("not json {")
+        with pytest.raises(ConfigValidationError, match="not valid JSON"):
+            load_baseline(bad)
+
+    def test_load_rejects_wrong_document(self, tmp_path):
+        bad = tmp_path / "BENCH_1.json"
+        bad.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ConfigValidationError, match="no 'cases'"):
+            load_baseline(bad)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigValidationError, match="cannot read"):
+            load_baseline(tmp_path / "BENCH_404.json")
+
+
+class TestCompare:
+    def test_identical_records_are_clean(self, recorded):
+        report = compare_baselines(recorded, recorded)
+        assert report.exit_code == 0
+        assert [v.status for v in report.verdicts] == ["ok"]
+        assert "ok" in report.format()
+
+    def test_slowed_kernel_is_a_regression(self, recorded,
+                                           shared_cache_dir):
+        slowed = record_baseline(cases=FAST_CASES, repeat=2,
+                                 timer=_slow_timer(5.0))
+        report = compare_baselines(slowed, recorded)
+        assert report.exit_code == 1
+        assert report.verdicts[0].status == "regression"
+        assert "band" in report.verdicts[0].detail
+
+    def test_faster_is_informational(self, recorded):
+        fast = PerfBaseline.from_dict(recorded.to_dict())
+        case = fast.cases["kernel.tri_overlap.libra"]
+        case.wall_median_s *= 0.01
+        report = compare_baselines(fast, recorded)
+        assert report.exit_code == 0
+        assert report.verdicts[0].status == "faster"
+
+    def test_metric_drift_fails_regardless_of_wall_clock(self, recorded):
+        drifted = PerfBaseline.from_dict(recorded.to_dict())
+        drifted.cases["kernel.tri_overlap.libra"].metrics[
+            "total_cycles"] += 1
+        report = compare_baselines(drifted, recorded)
+        assert report.exit_code == 1
+        assert report.verdicts[0].status == "metrics-drift"
+        assert "total_cycles" in report.verdicts[0].detail
+        # ... unless the deterministic check is explicitly waived.
+        waived = compare_baselines(drifted, recorded, check_metrics=False)
+        assert waived.exit_code == 0
+
+    def test_missing_case_fails(self, recorded):
+        empty = PerfBaseline(fingerprint={}, repeat=1, cases={})
+        report = compare_baselines(empty, recorded)
+        assert report.exit_code == 1
+        assert report.verdicts[0].status == "missing"
+
+    def test_mad_band_absorbs_noise(self, recorded):
+        base = PerfBaseline.from_dict(recorded.to_dict())
+        case = base.cases["kernel.tri_overlap.libra"]
+        case.wall_median_s = 1.0
+        case.wall_mad_s = 0.1
+        noisy = PerfBaseline.from_dict(base.to_dict())
+        # +25% is outside a 10% threshold but inside 3 MADs (0.3s).
+        noisy.cases["kernel.tri_overlap.libra"].wall_median_s = 1.25
+        assert compare_baselines(noisy, base).exit_code == 0
+        tight = compare_baselines(noisy, base, mad_factor=1.0)
+        assert tight.exit_code == 1
+
+
+class TestCli:
+    def test_record_compare_round_trip_exits_0(self, shared_cache_dir,
+                                               tmp_path, capsys):
+        out = str(tmp_path / "BENCH_1.json")
+        assert main(["perf", "record", "--quick", "--repeat", "1",
+                     "--out", out]) == 0
+        assert "wrote perf baseline" in capsys.readouterr().out
+        # Self-comparison of the very same file: zero deltas, exit 0.
+        assert main(["perf", "compare", "--baseline", out,
+                     "--current", out]) == 0
+        assert "perf compare" in capsys.readouterr().out
+
+    def test_compare_detects_tampered_metrics(self, shared_cache_dir,
+                                              tmp_path, capsys):
+        out = tmp_path / "BENCH_1.json"
+        assert main(["perf", "record", "--quick", "--repeat", "1",
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        case = next(iter(doc["cases"].values()))
+        case["metrics"]["total_cycles"] += 1000
+        tampered = tmp_path / "BENCH_2.json"
+        tampered.write_text(json.dumps(doc))
+        code = main(["perf", "compare", "--baseline", str(out),
+                     "--current", str(tampered)])
+        assert code == 1
+        assert "metrics-drift" in capsys.readouterr().out
+
+    def test_bad_repeat_is_usage_error(self, capsys):
+        assert main(["perf", "record", "--repeat", "0"]) == 2
+
+    def test_record_defaults_to_next_bench_path(self, shared_cache_dir,
+                                                tmp_path, monkeypatch,
+                                                capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["perf", "record", "--quick", "--repeat", "1"]) == 0
+        assert (tmp_path / "BENCH_1.json").exists()
+        assert main(["perf", "record", "--quick", "--repeat", "1"]) == 0
+        assert (tmp_path / "BENCH_2.json").exists()

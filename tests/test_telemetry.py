@@ -15,10 +15,11 @@ import pytest
 from repro.config import libra_config
 from repro.core import LibraScheduler
 from repro.gpu import GPUSimulator
-from repro.telemetry import (DRAMSample, FSMTransition, HUB, HarnessSpan,
-                             Histogram, MetricsRegistry, PhaseBegin,
-                             PhaseEnd, RecordingSink, TileDispatch,
-                             TileRetire, chrome_trace, telemetry_session)
+from repro.telemetry import (DRAMSample, FSMState, FSMTransition, HUB,
+                             HarnessSpan, Histogram, MetricsRegistry,
+                             PhaseBegin, PhaseEnd, RecordingSink,
+                             TileDispatch, TileRetire, chrome_trace,
+                             telemetry_session)
 from repro.workloads import TraceBuilder, make_scene_builder
 
 WIDTH, HEIGHT, TILE = 256, 128, 32
@@ -166,6 +167,85 @@ class TestMetrics:
         counter.inc()  # the cached reference still feeds the registry
         assert reg.snapshot()["n"] == 1
 
+    def test_width_limited_counter_saturates(self):
+        # The paper's Section III-E stat-buffer widths: 16-bit access
+        # and 24-bit instruction fields saturate instead of wrapping.
+        reg = MetricsRegistry()
+        access = reg.counter("st.accesses", width_bits=16)
+        access.inc((1 << 16) - 2)
+        assert not access.saturated
+        access.inc(5)  # would cross the ceiling
+        assert access.value == (1 << 16) - 1
+        assert access.saturated
+        access.inc(1000)  # stays pinned, never wraps
+        assert access.value == (1 << 16) - 1
+        instr = reg.counter("st.instructions", width_bits=24)
+        instr.inc(1 << 30)
+        assert instr.value == (1 << 24) - 1
+
+    def test_counter_width_fixed_at_creation(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n", width_bits=8)
+        assert reg.counter("n", width_bits=32) is c  # width ignored
+        c.inc(10_000)
+        assert c.value == 255
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad", width_bits=0)
+
+    def test_histogram_boundary_values_merge_consistently(self):
+        # Observations exactly on bucket bounds must land in the same
+        # bucket whether observed directly or folded in via merge.
+        a = Histogram("h", (10, 20, 40))
+        b = Histogram("h", (10, 20, 40))
+        for v in (10, 20, 40):
+            a.observe(v)
+            b.observe(v)
+        a.merge(b)
+        assert a.counts == [2, 2, 2, 0]
+        assert a.count == 6
+        assert a.total == 140
+        assert a.min_seen == 10 and a.max_seen == 40
+
+    def test_histogram_merge_rejects_bucket_mismatch(self):
+        a = Histogram("h", (10, 20))
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(Histogram("h", (10, 30)))
+
+    def test_dump_merge_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.counter("w", width_bits=16).inc(70_000)  # saturated
+        reg.gauge("g").set(1.25)
+        h = reg.histogram("lat", (100, 200))
+        h.observe(100)
+        h.observe(250)
+        rebuilt = MetricsRegistry.from_state(reg.dump())
+        assert rebuilt.snapshot() == reg.snapshot()
+        # The width survives the trip: merging more keeps saturating.
+        rebuilt.counter("w").inc(1)
+        assert rebuilt.snapshot()["w"] == (1 << 16) - 1
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = MetricsRegistry()
+        a.counter("dram.reads").inc(10)
+        a.histogram("lat", (100,)).observe(50)
+        a.gauge("ratio").set(0.5)
+        b = MetricsRegistry()
+        b.counter("dram.reads").inc(32)
+        b.histogram("lat", (100,)).observe(150)
+        b.gauge("ratio").set(0.9)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["dram.reads"] == 42
+        assert snap["lat.count"] == 2
+        assert snap["lat.le_100"] == 1
+        assert snap["lat.le_inf"] == 1
+        assert snap["ratio"] == 0.9  # last write wins
+
+    def test_merge_rejects_unknown_state_type(self):
+        with pytest.raises(ValueError, match="unknown state type"):
+            MetricsRegistry().merge({"x": {"type": "exotic", "value": 1}})
+
     def test_run_populates_expected_names(self):
         with telemetry_session(RecordingSink()):
             _run_libra(_small_traces(frames=2))
@@ -220,13 +300,73 @@ class TestChromeTrace:
         assert {e["pid"] for e in by_ph["B"]} == {0}
         assert any(e["name"] == "dram.bandwidth" for e in by_ph["C"])
         assert any(e["name"].startswith("fsm:") for e in by_ph["i"])
-        names = {e["args"]["name"] for e in by_ph["M"]}
+        names = {e["args"]["name"] for e in by_ph["M"]
+                 if e["name"] == "process_name"}
         assert {"sim", "RU 0", "harness"} <= names
 
     def test_missing_ts_reuses_last_seen(self):
         events = chrome_trace(self._events())["traceEvents"]
         fsm = next(e for e in events if e["name"].startswith("fsm:"))
         assert fsm["ts"] == 400  # the TileRetire before it
+        assert fsm["args"]["ts_inferred"] is True
+
+    def test_process_and_thread_metadata(self):
+        events = chrome_trace(self._events())["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        by_pid = {}
+        for entry in meta:
+            by_pid.setdefault(entry["pid"], {})[entry["name"]] = \
+                entry["args"]
+        for pid in (0, 100, 999):
+            assert by_pid[pid]["process_name"]["name"]
+            assert by_pid[pid]["process_sort_index"]["sort_index"] == pid
+        # The thread label names the time domain of each track.
+        assert by_pid[0]["thread_name"]["name"] == "simulated cycles"
+        assert by_pid[999]["thread_name"]["name"] == "wall clock"
+
+    def test_ts_units_recorded_in_other_data(self):
+        doc = chrome_trace(self._events())
+        units = doc["otherData"]["ts_units"]
+        assert units["harness"] == "wall-clock microseconds"
+        assert units["sim"] == units["ru"] == "simulated GPU cycles"
+        # The legacy single-unit key stays for older readers.
+        assert doc["otherData"]["ts_unit"] == "simulated GPU cycles"
+
+    def test_tsless_frame_event_clamped_into_its_frame(self):
+        # Frame 0 runs [0, 1000], frame 1 runs [5000, 6000].  An FSM
+        # snapshot for frame 1 emitted before frame 1's timed phases
+        # (so last_ts is still 1000) must not land at the end of frame
+        # 0 — it is clamped forward to frame 1's begin.
+        events = [
+            PhaseBegin(name="frame", ts=0, frame=0),
+            PhaseEnd(name="frame", ts=1000, frame=0),
+            FSMState(machine="order", state="zorder", frame=1),
+            PhaseBegin(name="frame", ts=5000, frame=1),
+            PhaseEnd(name="frame", ts=6000, frame=1),
+        ]
+        for i, event in enumerate(events):
+            event.seq = i + 1
+        trace = chrome_trace(events)["traceEvents"]
+        fsm = next(e for e in trace if e["name"].startswith("fsm:"))
+        assert fsm["ts"] == 5000
+        assert fsm["args"]["ts_inferred"] is True
+
+    def test_tsless_frame_event_clamped_backwards(self):
+        # Symmetrically: a frame-0 instant emitted after a later
+        # timestamp was seen clamps back into frame 0's window.
+        events = [
+            PhaseBegin(name="frame", ts=0, frame=0),
+            PhaseEnd(name="frame", ts=1000, frame=0),
+            PhaseBegin(name="frame", ts=5000, frame=1),
+            FSMState(machine="order", state="zorder", frame=0),
+            PhaseEnd(name="frame", ts=6000, frame=1),
+        ]
+        for i, event in enumerate(events):
+            event.seq = i + 1
+        trace = chrome_trace(events)["traceEvents"]
+        fsm = next(e for e in trace if e["name"].startswith("fsm:"))
+        assert fsm["ts"] == 1000
+        assert fsm["args"]["ts_inferred"] is True
 
 
 class TestCliTrace:
