@@ -30,8 +30,9 @@ from .core import (LibraScheduler, StaticSupertileScheduler,
                    ZOrderScheduler)
 from .energy import EnergyCounts, EnergyModel, EnergyParams, EnergyReport
 from .errors import (BenchmarkTimeoutError, CacheCorruptionError,
-                     ConfigValidationError, ReproError, SimulationError,
-                     TraceFormatError)
+                     CircuitOpenError, ConfigValidationError, ReproError,
+                     SimulationError, TraceFormatError, WorkerCrashError,
+                     WorkerHungError)
 from .geometry import (DrawCall, GeometryPipeline, Mesh, Primitive,
                        ShaderProfile)
 from .gpu import (FrameResult, FrameTrace, GPUSimulator, RunResult,
@@ -77,6 +78,7 @@ __all__ = [
     # error taxonomy
     "ReproError", "CacheCorruptionError", "TraceFormatError",
     "ConfigValidationError", "BenchmarkTimeoutError", "SimulationError",
+    "WorkerCrashError", "WorkerHungError", "CircuitOpenError",
     # the supported façade (see repro.api and docs/api.md)
     "api", "build_traces", "simulate", "compare", "sweep", "load_spec",
     "run_suite", "RunSummary", "SuiteReport", "ComparisonReport",

@@ -16,7 +16,18 @@ goes through this module so the same guarantees hold everywhere:
   interleave their writes to one entry.
 * **Quarantine** — corrupt entries are renamed to ``<name>.corrupt[.N]``
   (and logged) instead of deleted, preserving the evidence for
-  post-mortems while unblocking the rebuild.
+  post-mortems while unblocking the rebuild.  The quarantine is capped:
+  only the newest :func:`quarantine_keep` corrupt files per directory
+  are kept (``REPRO_QUARANTINE_KEEP``, default 16), so a flapping
+  writer cannot fill the disk with evidence; prunes are counted in
+  telemetry (``cachefile.quarantine.pruned``).
+
+Chaos: :func:`write_cache` is an injection site of the deterministic
+chaos harness (:mod:`repro.chaos`) — an armed single-shot fault makes
+one write fail with ``ENOSPC`` or produce a corrupt-on-disk entry
+(digest over the real payload, payload bit-flipped), exactly the
+storage faults the integrity layer exists to catch.  Nothing is
+injected unless a chaos plan armed a fault in this process.
 
 The entry layout is ``MAGIC (4 bytes) | sha256(payload) (32 bytes) |
 payload (pickle)``.  Files written by older releases (bare pickles) fail
@@ -36,7 +47,9 @@ import tempfile
 from pathlib import Path
 from typing import Any, Iterator, Optional, Union
 
+from . import chaos
 from .errors import CacheCorruptionError
+from .telemetry import HUB
 
 try:  # advisory locks are POSIX-only; degrade gracefully elsewhere
     import fcntl
@@ -99,11 +112,54 @@ def file_lock(path: PathLike) -> Iterator[None]:
             fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
+def quarantine_keep() -> int:
+    """How many corrupt files a directory may hold (newest kept)."""
+    try:
+        return max(int(os.environ.get("REPRO_QUARANTINE_KEEP", 16)), 1)
+    except ValueError:
+        return 16
+
+
+def _prune_quarantine(directory: Path, keep: int) -> int:
+    """Drop all but the ``keep`` newest ``*.corrupt*`` files; count drops.
+
+    Oldest-first by mtime: recent corruption is the evidence someone
+    will actually look at; a months-old flapping writer's leavings are
+    just disk pressure.  Races (another process pruning the same file)
+    are ignored.
+    """
+    corpses = []
+    try:
+        for candidate in directory.iterdir():
+            if ".corrupt" in candidate.name:
+                with contextlib.suppress(OSError):
+                    corpses.append((candidate.stat().st_mtime_ns,
+                                    candidate))
+    except OSError:
+        return 0
+    if len(corpses) <= keep:
+        return 0
+    corpses.sort()
+    pruned = 0
+    for _, victim in corpses[:len(corpses) - keep]:
+        with contextlib.suppress(OSError):
+            os.unlink(victim)
+            pruned += 1
+    if pruned:
+        logger.info("pruned %d aged-out quarantined cache file(s) "
+                    "from %s (keep=%d)", pruned, directory, keep)
+        if HUB.enabled:
+            HUB.metrics.counter("cachefile.quarantine.pruned").inc(pruned)
+    return pruned
+
+
 def quarantine(path: PathLike, reason: str) -> Optional[Path]:
     """Move a corrupt cache entry aside (``<name>.corrupt[.N]``) and log.
 
     Returns the quarantine path, or None if the entry vanished (another
     process quarantined it first — not an error under concurrent runs).
+    The directory's quarantine population is then capped at
+    :func:`quarantine_keep` (oldest pruned first).
     """
     path = Path(path)
     dest = path.with_name(path.name + ".corrupt")
@@ -117,6 +173,9 @@ def quarantine(path: PathLike, reason: str) -> Optional[Path]:
         return None
     logger.warning("quarantined corrupt cache entry %s -> %s (%s); "
                    "it will be rebuilt", path, dest.name, reason)
+    if HUB.enabled:
+        HUB.metrics.counter("cachefile.quarantined").inc()
+    _prune_quarantine(path.parent, quarantine_keep())
     return dest
 
 
@@ -129,6 +188,14 @@ def write_cache(obj: Any, path: PathLike) -> None:
     """
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     digest = hashlib.sha256(payload).digest()
+    fault = chaos.consume_cache_fault()
+    if fault == "enospc":
+        raise chaos.enospc_error(path)
+    if fault == "corrupt":
+        # Digest stays honest, payload does not: the entry lands on
+        # disk looking exactly like storage-layer bit rot, and the next
+        # read must detect and quarantine it.
+        payload = chaos.corrupt_bytes(payload)
     atomic_write_bytes(path, MAGIC + digest + payload)
 
 

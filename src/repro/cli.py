@@ -53,6 +53,7 @@ stderr with exit status 1 — never a traceback.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import logging
 import sys
 import warnings
@@ -425,8 +426,15 @@ def cmd_sweep(args) -> int:
     rerun with the same grid resumes, skipping them.  Prints the
     per-point report, the speedup-vs-baseline matrix and the per-axis
     marginals.  Exit status: 2 for an unusable spec, 1 when any point
-    failed, else 0.
+    failed or was quarantined by the circuit breaker, else 0.
+
+    ``--chaos SEED`` runs the sweep under the deterministic fault
+    harness (:mod:`repro.chaos`): seeded worker crashes, hangs, slow
+    starts and cache faults are injected underneath the supervision
+    layer, which must absorb them — the run terminates, and every
+    non-quarantined point converges to the fault-free result.
     """
+    from . import chaos
     from .experiments import (ExperimentSpec, parse_axis_option,
                               run_sweep, speedup_matrix)
     try:
@@ -449,9 +457,28 @@ def cmd_sweep(args) -> int:
     except ConfigValidationError as exc:
         logger.error("%s", exc)
         return 2
-    result = run_sweep(spec, store_root=args.out, workers=args.workers,
-                       timeout_s=args.timeout, retries=args.retries,
-                       point_telemetry=not args.no_point_telemetry)
+    chaos_seed = getattr(args, "chaos", None)
+    if chaos_seed is not None:
+        faults = None
+        if getattr(args, "chaos_faults", None):
+            faults = tuple(f.strip()
+                           for f in args.chaos_faults.split(",")
+                           if f.strip())
+            bad = [f for f in faults if f not in chaos.ALL_FAULTS]
+            if bad:
+                logger.error("unknown chaos fault(s) %s; valid: %s",
+                             ", ".join(bad), ", ".join(chaos.ALL_FAULTS))
+                return 2
+        chaos_ctx = chaos.session(
+            chaos_seed, faults=faults,
+            curse=getattr(args, "chaos_curse", None) or "")
+    else:
+        chaos_ctx = contextlib.nullcontext()
+    with chaos_ctx:
+        result = run_sweep(spec, store_root=args.out,
+                           workers=args.workers, timeout_s=args.timeout,
+                           retries=args.retries,
+                           point_telemetry=not args.no_point_telemetry)
     print(result.format())
     print()
     matrix = speedup_matrix(result)
@@ -463,7 +490,7 @@ def cmd_sweep(args) -> int:
     if telemetry_table:
         print()
         print(telemetry_table)
-    return 1 if result.failed else 0
+    return 1 if (result.failed or result.tripped) else 0
 
 
 def cmd_perf(args) -> int:
@@ -657,6 +684,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-point-telemetry", action="store_true",
                        help="skip per-point metrics collection (no "
                             "merged telemetry in the report)")
+    sweep.add_argument("--chaos", default=None, type=int, metavar="SEED",
+                       help="run under the deterministic chaos harness: "
+                            "inject seeded worker crashes/hangs and "
+                            "cache faults (forces the supervised "
+                            "backend; results must still converge)")
+    sweep.add_argument("--chaos-faults", default=None, metavar="F1,F2",
+                       help="restrict injected faults (subset of: "
+                            "crash, crash_late, hang, slow, corrupt, "
+                            "enospc; default all)")
+    sweep.add_argument("--chaos-curse", default=None, metavar="SUBSTR",
+                       help="point ids containing SUBSTR fail on every "
+                            "attempt — must trip the circuit breaker")
 
     perf = sub.add_parser(
         "perf", help="performance baselines: record a fingerprinted "

@@ -19,9 +19,18 @@ supervisor in :mod:`repro.harness`, the ``repro`` CLI) can distinguish
   wall-clock budget.
 * :class:`SimulationError` — the timing simulator failed mid-run; wraps
   the original exception (``raise ... from exc``) with frame context.
+* :class:`WorkerCrashError` — a supervised worker process died without
+  returning (crash, SIGKILL/OOM).  Transient: the next attempt runs in
+  a fresh process.
+* :class:`WorkerHungError` — a supervised worker stopped heartbeating
+  and was preempted.  Transient for the same reason.
+* :class:`CircuitOpenError` — a (benchmark, config) combination was
+  quarantined by the circuit breaker after systematic failures; the
+  run was never attempted.
 
 Classes carry a ``transient`` flag the supervisor consults when deciding
-whether a bounded retry with backoff is worthwhile.
+whether a bounded retry with backoff is worthwhile;
+:func:`is_transient` applies the policy to arbitrary exceptions.
 """
 
 from __future__ import annotations
@@ -54,3 +63,31 @@ class BenchmarkTimeoutError(ReproError, TimeoutError):
 
 class SimulationError(ReproError):
     """The timing simulator failed mid-run (wraps the original cause)."""
+
+
+class WorkerCrashError(ReproError):
+    """A supervised worker process died without returning a result."""
+
+    transient = True
+
+
+class WorkerHungError(ReproError):
+    """A supervised worker stopped heartbeating and was preempted."""
+
+    transient = True
+
+
+class CircuitOpenError(ReproError):
+    """The circuit breaker quarantined this (benchmark, config) cell."""
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether retrying ``exc`` after backoff can plausibly succeed.
+
+    :class:`ReproError` subclasses carry the decision on their
+    ``transient`` flag; bare :class:`OSError` (I/O hiccups, full disks,
+    interrupted syscalls) is treated as transient too.
+    """
+    if isinstance(exc, ReproError):
+        return exc.transient
+    return isinstance(exc, OSError)

@@ -12,7 +12,15 @@ bandwidth sensitivity.  This package makes those first-class:
   per-point checkpoints in an :class:`ArtifactStore` so an interrupted
   sweep *resumes* instead of restarting.
 * :func:`speedup_matrix` / :class:`SpeedupMatrix` — aggregation:
-  speedup-vs-baseline matrices, geomeans, per-axis marginals.
+  speedup-vs-baseline matrices, geomeans, per-axis marginals, with
+  per-cell provenance (completed/degraded/tripped) and a PARTIAL
+  marker on matrices with holes.
+
+Parallel and chaos-mode sweeps run under the worker-lifecycle
+supervisor (:mod:`repro.supervision`): heartbeat/hang detection,
+adaptive deadlines, escalating preemption, and a circuit breaker whose
+trips persist in the :class:`ArtifactStore` (see
+``docs/robustness.md``).
 
 See ``docs/experiments.md`` for the spec schema, the artifact layout
 and a worked Figure 18/19 reproduction.

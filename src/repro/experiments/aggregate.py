@@ -8,6 +8,13 @@ against the spec's ``baseline_kind`` — and reduce it further into
 geomeans and per-axis marginals (the Figure 18 "speedup vs number of
 Raster Units" curve is exactly the ``raster_units`` marginal of a
 two-axis sweep).
+
+Provenance rides along: every cell knows whether its number came from a
+clean run (``completed``/``resumed``), a recovery (``degraded`` —
+marked ``†`` in tables), or is a hole (``✗`` failed, ``⊘`` quarantined
+by the circuit breaker, ``—`` skipped/absent), and a matrix with any
+hole renders a ``PARTIAL`` footer.  A degraded-mode sweep can therefore
+never be mistaken for a complete one downstream.
 """
 
 from __future__ import annotations
@@ -31,6 +38,16 @@ class MatrixRow:
     #: kind -> speedup over the baseline kind at this same grid cell
     #: (empty when the baseline itself is missing).
     speedups: Dict[str, float] = field(default_factory=dict)
+    #: kind -> how that cell's number was obtained (``completed``,
+    #: ``resumed``, ``degraded``) or why it is missing (``failed``,
+    #: ``tripped``, ``skipped``).  Kinds absent from the sweep are
+    #: absent here too.
+    provenance: Dict[str, str] = field(default_factory=dict)
+
+    def cell_mark(self, kind: str) -> str:
+        """Table marker for one cell ('' for a clean value)."""
+        return {"degraded": "†", "failed": "✗",
+                "tripped": "⊘"}.get(self.provenance.get(kind, ""), "")
 
 
 @dataclass
@@ -46,6 +63,26 @@ class SpeedupMatrix:
     #: sweep ran with ``point_telemetry=False`` or from pre-g4
     #: artifacts).  Counters/histograms are grid-wide sums.
     telemetry: Optional[Dict[str, float]] = None
+
+    @property
+    def partial(self) -> bool:
+        """True when any cell of the grid lacks a completed value."""
+        return any(p in ("failed", "tripped", "skipped")
+                   for row in self.rows
+                   for p in row.provenance.values())
+
+    def _footer(self) -> str:
+        """Legend appended to rendered tables of a partial matrix."""
+        counts: Dict[str, int] = {}
+        for row in self.rows:
+            for p in row.provenance.values():
+                counts[p] = counts.get(p, 0) + 1
+        parts = [f"{counts[p]} {p}" for p in
+                 ("degraded", "failed", "tripped", "skipped")
+                 if counts.get(p)]
+        prefix = "PARTIAL matrix: " if self.partial else "annotations: "
+        return (prefix + ", ".join(parts)
+                + "  († degraded, ✗ failed, ⊘ breaker-tripped)")
 
     def geomeans(self) -> Dict[str, float]:
         """Geometric-mean speedup per kind over all complete rows."""
@@ -81,17 +118,29 @@ class SpeedupMatrix:
         return out
 
     def format(self) -> str:
-        """Fixed-width table: one row per grid cell plus a geomean row."""
+        """Fixed-width table: one row per grid cell plus a geomean row.
+
+        Degraded cells carry a ``†``; holes show why (``✗`` failed,
+        ``⊘`` breaker-tripped, ``—`` skipped/absent); any annotation
+        adds a legend footer, and a matrix with holes says ``PARTIAL``
+        in it.
+        """
         headers = (["benchmark"] + list(self.axis_names)
                    + [f"{k} cycles" for k in self.kinds]
                    + [f"{k} speedup" for k in self.kinds])
         table: List[List[Any]] = []
+        annotated = False
         for row in self.rows:
             line: List[Any] = [row.benchmark]
             line += [row.axes.get(a, "") for a in self.axis_names]
-            line += [f"{row.cycles[k]:,}" if k in row.cycles else "—"
-                     for k in self.kinds]
-            line += [f"{row.speedups[k]:.3f}" if k in row.speedups else "—"
+            for k in self.kinds:
+                mark = row.cell_mark(k)
+                annotated = annotated or bool(mark)
+                line.append(f"{row.cycles[k]:,}{mark}"
+                            if k in row.cycles else (mark or "—"))
+            line += [f"{row.speedups[k]:.3f}{row.cell_mark(k)}"
+                     if k in row.speedups
+                     else (row.cell_mark(k) or "—")
                      for k in self.kinds]
             table.append(line)
         means = self.geomeans()
@@ -99,8 +148,11 @@ class SpeedupMatrix:
                      + [""] * len(self.kinds)
                      + [f"{means[k]:.3f}" if k in means else "—"
                         for k in self.kinds])
-        return format_table(headers, table,
-                            title=f"speedup over {self.baseline_kind}")
+        rendered = format_table(headers, table,
+                                title=f"speedup over {self.baseline_kind}")
+        if annotated or self.partial:
+            rendered += "\n" + self._footer()
+        return rendered
 
     def format_marginals(self) -> str:
         """One compact table per swept axis (empty string when axis-free)."""
@@ -133,22 +185,33 @@ class SpeedupMatrix:
                             "completed points)")
 
     def to_markdown(self) -> str:
-        """GitHub-flavored markdown table (the EXPERIMENTS.md pathway)."""
+        """GitHub-flavored markdown table (the EXPERIMENTS.md pathway).
+
+        Carries the same provenance marks and PARTIAL footer as
+        :meth:`format`, so published tables disclose degraded cells.
+        """
         headers = (["benchmark"] + list(self.axis_names)
                    + [f"{k} speedup" for k in self.kinds])
         lines = ["| " + " | ".join(headers) + " |",
                  "|" + "---|" * len(headers)]
+        annotated = False
         for row in self.rows:
             cells = [row.benchmark]
             cells += [str(row.axes.get(a, "")) for a in self.axis_names]
-            cells += [f"{row.speedups[k]:.3f}" if k in row.speedups
-                      else "—" for k in self.kinds]
+            for k in self.kinds:
+                mark = row.cell_mark(k)
+                annotated = annotated or bool(mark)
+                cells.append(f"{row.speedups[k]:.3f}{mark}"
+                             if k in row.speedups else (mark or "—"))
             lines.append("| " + " | ".join(cells) + " |")
         means = self.geomeans()
         cells = ["**geomean**"] + [""] * len(self.axis_names)
         cells += [f"**{means[k]:.3f}**" if k in means else "—"
                   for k in self.kinds]
         lines.append("| " + " | ".join(cells) + " |")
+        if annotated or self.partial:
+            lines.append("")
+            lines.append(self._footer())
         return "\n".join(lines)
 
 
@@ -177,6 +240,13 @@ def speedup_matrix(result: SweepResult,
             order.append(key)
         if outcome.ok:
             cells[key].cycles[point.kind] = outcome.summary.total_cycles
+        if outcome.provenance:
+            cells[key].provenance[point.kind] = outcome.provenance
+        elif outcome.resumed:
+            cells[key].provenance[point.kind] = "resumed"
+        else:
+            cells[key].provenance[point.kind] = \
+                "completed" if outcome.ok else outcome.status
     for key in order:
         row = cells[key]
         base = row.cycles.get(baseline)

@@ -13,9 +13,20 @@ the process pool.  Each point's summary is checkpointed to the store
 finishes — killing the driver mid-grid loses at most the points that
 were in flight.
 
+Parallel and chaos-mode runs go through the worker-lifecycle supervisor
+(:mod:`repro.supervision`): monitored forked children with heartbeat
+hang detection, adaptive deadlines, SIGTERM→SIGKILL preemption, and a
+circuit breaker (keyed ``benchmark|kind``, persisted in the store as
+``breakers.json``) that quarantines systematically failing
+combinations.  Every outcome carries a provenance tag
+(completed/resumed/degraded/failed/tripped/skipped) and a grid with
+holes is reported ``[PARTIAL]`` — see ``docs/robustness.md``.  The
+deterministic fault injector (:mod:`repro.chaos`, ``repro sweep
+--chaos SEED``) exercises all of it end to end.
+
 Telemetry: when the hub is enabled the engine emits a ``sweep`` span
 plus one ``sweep.point.<id>`` span per executed point, and counts
-``sweep.points.{total,resumed,executed,failed}``.
+``sweep.points.{total,resumed,executed,failed,tripped}``.
 """
 
 from __future__ import annotations
@@ -26,10 +37,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from .. import harness
+from .. import chaos, harness, supervision
 from ..config import GPUConfig
 from ..gpu import GPUSimulator
 from ..harness import RunSummary
+from ..supervision import CircuitBreaker, SupervisionPolicy, Supervisor
 from ..telemetry import HUB, HarnessSpan
 from .spec import ExperimentSpec, SweepPoint
 from .store import ArtifactStore
@@ -42,7 +54,8 @@ class PointOutcome:
     """What happened to one grid point (mirrors BenchmarkOutcome)."""
 
     point: SweepPoint
-    #: ``ok`` (summary present), ``failed`` or ``skipped`` — plus
+    #: ``ok`` (summary present), ``failed``, ``skipped`` or ``tripped``
+    #: (quarantined by the circuit breaker, never attempted) — plus
     #: ``resumed`` as a flag, not a status: a resumed point is ``ok``.
     status: str
     summary: Optional[RunSummary] = None
@@ -51,6 +64,15 @@ class PointOutcome:
     attempts: int = 0
     elapsed_s: float = 0.0
     resumed: bool = False
+    #: How the result was obtained: ``completed`` (clean first
+    #: attempt), ``resumed`` (artifact served from the store),
+    #: ``degraded`` (ok, but only after retries or a preemption),
+    #: ``failed``, ``tripped`` or ``skipped``.  Empty when the point
+    #: ran on a legacy (unsupervised) backend.
+    provenance: str = ""
+    #: Times the supervisor had to SIGTERM/SIGKILL a worker for this
+    #: point (supervised backend only).
+    preemptions: int = 0
 
     @property
     def ok(self) -> bool:
@@ -80,6 +102,35 @@ class SweepResult:
     def skipped(self) -> List[PointOutcome]:
         """Points never attempted (interrupted sweep)."""
         return [o for o in self.outcomes if o.status == "skipped"]
+
+    @property
+    def tripped(self) -> List[PointOutcome]:
+        """Points quarantined by the circuit breaker (never attempted)."""
+        return [o for o in self.outcomes if o.status == "tripped"]
+
+    @property
+    def partial(self) -> bool:
+        """True when any point lacks a summary (the matrix has holes)."""
+        return len(self.completed) < len(self.outcomes)
+
+    def provenance(self) -> Dict[str, str]:
+        """point_id -> provenance for every point of the grid.
+
+        Legacy-backend outcomes (empty provenance) are mapped from
+        their status so downstream consumers (the speedup matrix) can
+        always rely on a value being present.
+        """
+        fallback = {"ok": "completed", "failed": "failed",
+                    "skipped": "skipped", "tripped": "tripped"}
+        out: Dict[str, str] = {}
+        for o in self.outcomes:
+            if o.provenance:
+                out[o.point.point_id] = o.provenance
+            elif o.resumed:
+                out[o.point.point_id] = "resumed"
+            else:
+                out[o.point.point_id] = fallback.get(o.status, o.status)
+        return out
 
     @property
     def resumed(self) -> List[PointOutcome]:
@@ -112,15 +163,28 @@ class SweepResult:
         return merged
 
     def format(self) -> str:
-        """Human-readable per-point report."""
+        """Human-readable per-point report.
+
+        A sweep with any hole (failed/skipped/tripped point) carries a
+        ``[PARTIAL]`` marker on the header line — scripts consuming
+        sweep output must never mistake a degraded grid for a complete
+        one.
+        """
+        tripped = f", {len(self.tripped)} tripped" if self.tripped else ""
         lines = [f"sweep {self.spec.name!r}: {len(self.completed)} ok "
                  f"({len(self.resumed)} resumed), {len(self.failed)} "
-                 f"failed, {len(self.skipped)} skipped "
-                 f"of {len(self.outcomes)} points"]
+                 f"failed, {len(self.skipped)} skipped{tripped} "
+                 f"of {len(self.outcomes)} points"
+                 + (" [PARTIAL]" if self.partial else "")]
         for o in self.outcomes:
             tag = "resumed" if o.resumed else o.status
-            detail = (f"{o.summary.total_cycles:,} cycles" if o.ok
-                      else f"{o.error_type}: {o.error}")
+            if o.ok:
+                detail = f"{o.summary.total_cycles:,} cycles"
+                if o.provenance == "degraded":
+                    detail += (f" (degraded: {o.attempts} attempts, "
+                               f"{o.preemptions} preemptions)")
+            else:
+                detail = f"{o.error_type}: {o.error}"
             lines.append(f"  [{tag:>7}] {o.point.describe()} — {detail}")
         return "\n".join(lines)
 
@@ -175,6 +239,10 @@ def _point_runner(benchmark: str, point_id: str, frames: int = 0,
     existing = store.load(point_id)
     if existing is not None:
         return existing
+    # Chaos fires *after* the resume check (a completed point is never
+    # re-faulted) and *before* any simulation work, so an injected
+    # crash/hang costs nothing but the supervised retry.
+    chaos.on_point_start(point_id, store_root)
     own_session = point_telemetry and not HUB.enabled
     if own_session:
         HUB.metrics.reset()
@@ -196,6 +264,9 @@ def _point_runner(benchmark: str, point_id: str, frames: int = 0,
         if own_session:
             HUB.disable()
     store.save(point_id, summary)
+    # The crash_late chaos window: checkpoint durable, result not yet
+    # returned.  The retry must be served from the store, not re-run.
+    chaos.on_checkpoint_saved(point_id)
     return summary
 
 
@@ -204,7 +275,9 @@ def run_sweep(spec: ExperimentSpec,
               workers: Optional[int] = None,
               timeout_s: Optional[float] = None,
               retries: Optional[int] = None,
-              point_telemetry: bool = True) -> SweepResult:
+              point_telemetry: bool = True,
+              supervise: Optional[bool] = None,
+              policy: Optional[SupervisionPolicy] = None) -> SweepResult:
     """Execute (or resume) the sweep a spec describes.
 
     ``store_root`` defaults to ``.repro_sweeps/<spec name>``; pointing a
@@ -222,11 +295,30 @@ def run_sweep(spec: ExperimentSpec,
     :meth:`SweepResult.merged_metrics` then aggregates them across the
     whole grid.  Its cost is one sinkless hub session per point; pass
     ``False`` to run points with telemetry fully disabled.
+
+    ``supervise`` selects the worker-lifecycle backend
+    (:mod:`repro.supervision`): each point runs in a monitored forked
+    child with heartbeat/hang detection, adaptive deadlines, escalating
+    SIGTERM→SIGKILL preemption and a circuit breaker keyed by
+    ``(benchmark, kind)`` whose state persists in the artifact store
+    across resumes.  The default (None) auto-selects: supervised when
+    ``workers > 1`` or a chaos plan (:mod:`repro.chaos`) is active —
+    injected crashes in an unsupervised in-process sweep would kill the
+    driver — and the legacy in-process path otherwise, which keeps
+    sequential sweeps monkeypatch-friendly.  ``policy`` overrides the
+    supervision tunables.
     """
     spec.validate()
     workers = spec.workers if workers is None else workers
     timeout_s = spec.timeout_s if timeout_s is None else timeout_s
     retries = spec.retries if retries is None else retries
+    chaos_plan = chaos.active()
+    if supervise is None:
+        supervise = (workers > 1 or chaos_plan is not None) \
+            and supervision.available()
+    if chaos_plan is not None:
+        logger.warning("sweep %s runs under %s", spec.name,
+                       chaos_plan.describe())
     root = Path(store_root) if store_root is not None \
         else Path(".repro_sweeps") / spec.name
     store = ArtifactStore(root)
@@ -251,13 +343,32 @@ def run_sweep(spec: ExperimentSpec,
         harness.get_traces(*key)
 
     by_id = {p.point_id: p for p in pending}
-    report = harness.run_pairs(
-        [(p.benchmark, p.point_id) for p in pending],
+    run_pairs_kwargs = dict(
         frames=spec.frames, timeout_s=timeout_s,
         max_attempts=retries + 1, backoff_s=spec.backoff_s,
         runner=_point_runner, workers=workers,
         points=by_id, store_root=str(root),
         point_telemetry=point_telemetry)
+    breaker: Optional[CircuitBreaker] = None
+    if supervise:
+        sup_policy = policy or SupervisionPolicy()
+        breaker = CircuitBreaker.from_state(
+            store.load_breaker_state(),
+            threshold=sup_policy.breaker_threshold,
+            cooldown_s=sup_policy.breaker_cooldown_s)
+        kind_of = {p.point_id: p.kind for p in points}
+        run_pairs_kwargs.update(
+            supervisor=Supervisor(policy=sup_policy, breaker=breaker),
+            # The pair's kind slot carries the point id; the breaker
+            # quarantines per (benchmark, config kind) so one doomed
+            # combination trips once instead of per grid point.
+            breaker_key_for=lambda bench, pid:
+                f"{bench}|{kind_of.get(pid, pid)}")
+    report = harness.run_pairs(
+        [(p.benchmark, p.point_id) for p in pending],
+        **run_pairs_kwargs)
+    if breaker is not None:
+        store.record_breaker_state(breaker.to_state())
 
     executed = {o.kind: o for o in report.outcomes}  # kind slot = point_id
     result = SweepResult(spec=spec, store_root=root)
@@ -265,15 +376,21 @@ def run_sweep(spec: ExperimentSpec,
         pid = point.point_id
         if pid in done:
             result.outcomes.append(PointOutcome(
-                point=point, status="ok", summary=done[pid], resumed=True))
+                point=point, status="ok", summary=done[pid],
+                resumed=True, provenance="resumed"))
             continue
         o = executed[pid]
         result.outcomes.append(PointOutcome(
             point=point, status=o.status, summary=o.summary,
             error=o.error, error_type=o.error_type,
-            attempts=o.attempts, elapsed_s=o.elapsed_s))
+            attempts=o.attempts, elapsed_s=o.elapsed_s,
+            provenance=o.provenance,
+            preemptions=getattr(o, "preemptions", 0)))
     if HUB.enabled:
         HUB.metrics.counter("sweep.points.failed").inc(len(result.failed))
+        if result.tripped:
+            HUB.metrics.counter("sweep.points.tripped").inc(
+                len(result.tripped))
         HUB.emit(HarnessSpan(
             name=f"sweep.{spec.name}", wall_start_s=wall_start,
             wall_dur_s=time.time() - wall_start, status="done",
@@ -281,5 +398,6 @@ def run_sweep(spec: ExperimentSpec,
             args={"ok": len(result.completed),
                   "resumed": len(result.resumed),
                   "failed": len(result.failed),
-                  "skipped": len(result.skipped)}))
+                  "skipped": len(result.skipped),
+                  "tripped": len(result.tripped)}))
     return result

@@ -5,6 +5,7 @@ One directory per sweep::
     <root>/
       manifest.json          # spec snapshot + grid fingerprint
       points/<point_id>.pkl  # one checksummed RunSummary per finished point
+      breakers.json          # circuit-breaker state (trips survive resume)
 
 Every write goes through :mod:`repro.cachefile` (atomic replace +
 SHA-256 checksum + advisory lock), so a SIGKILL of the sweep driver —
@@ -31,6 +32,7 @@ logger = logging.getLogger(__name__)
 
 MANIFEST_NAME = "manifest.json"
 POINTS_DIR = "points"
+BREAKERS_NAME = "breakers.json"
 
 
 class ArtifactStore:
@@ -99,6 +101,41 @@ class ArtifactStore:
             return json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             cachefile.quarantine(path, f"unreadable manifest: {exc}")
+            return None
+
+    # -- circuit-breaker state ----------------------------------------------
+
+    @property
+    def breakers_path(self) -> Path:
+        """Path of the persisted circuit-breaker state."""
+        return self.root / BREAKERS_NAME
+
+    def record_breaker_state(self, state: dict) -> None:
+        """Persist a :meth:`CircuitBreaker.to_state` snapshot (atomic).
+
+        Written at the end of every supervised sweep, so a resumed
+        sweep honours earlier trips: a (benchmark, config) combination
+        quarantined yesterday stays quarantined until its cooldown —
+        not until someone happens to rerun it three more times.
+        """
+        cachefile.atomic_write_bytes(
+            self.breakers_path,
+            json.dumps(state, indent=2, sort_keys=True,
+                       default=str).encode())
+
+    def load_breaker_state(self) -> Optional[dict]:
+        """The persisted breaker snapshot, or None (absent/corrupt).
+
+        A corrupt file is quarantined and treated as absent — losing
+        breaker history merely costs a few retries, never correctness.
+        """
+        path = self.breakers_path
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            cachefile.quarantine(path, f"unreadable breaker state: {exc}")
             return None
 
     # -- point artifacts ----------------------------------------------------

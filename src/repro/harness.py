@@ -50,7 +50,9 @@ from . import cachefile
 from .config import GPUConfig
 from .core import TileScheduler
 from .errors import (BenchmarkTimeoutError, CacheCorruptionError,
-                     ConfigValidationError, ReproError, SimulationError)
+                     ConfigValidationError, ReproError, SimulationError,
+                     is_transient)
+from .supervision import SupervisedJob, Supervisor, backoff_delay
 from .gpu import FrameTrace, GPUSimulator, RunResult
 from .telemetry import HUB, HarnessSpan
 from .workloads import TraceBuilder, benchmark_names, make_scene_builder
@@ -339,14 +341,24 @@ class BenchmarkOutcome:
 
     benchmark: str
     kind: str
-    #: ``ok`` (summary present), ``failed`` (all attempts exhausted) or
-    #: ``skipped`` (never attempted: unknown name or aborted suite).
+    #: ``ok`` (summary present), ``failed`` (all attempts exhausted),
+    #: ``skipped`` (never attempted: unknown name or aborted suite) or
+    #: ``tripped`` (quarantined by the supervisor's circuit breaker
+    #: without being attempted; supervised backend only).
     status: str
     summary: Optional[RunSummary] = None
     error: Optional[str] = None
     error_type: Optional[str] = None
     attempts: int = 0
     elapsed_s: float = 0.0
+    #: How the result was obtained: ``completed`` (clean first attempt),
+    #: ``degraded`` (recovered via retry/preemption), ``failed``,
+    #: ``tripped`` or ``skipped``.  Empty on the legacy (unsupervised)
+    #: backends, which predate provenance tracking.
+    provenance: str = ""
+    #: Times the supervisor had to SIGTERM/SIGKILL a worker for this
+    #: pair (supervised backend only).
+    preemptions: int = 0
 
     @property
     def ok(self) -> bool:
@@ -411,6 +423,13 @@ def _wall_clock_limit(seconds: Optional[float], label: str) -> Iterator[None]:
     Uses ``SIGALRM``/``setitimer``, so it only engages on the main
     thread of a POSIX process; elsewhere (worker threads, Windows) it
     degrades to no enforcement rather than failing the run.
+
+    Timers nest: an enclosing ``_wall_clock_limit`` (or any other
+    ``ITIMER_REAL`` user) gets both its handler *and its remaining
+    time* back on exit — with the seconds this block consumed
+    subtracted, so an outer budget keeps counting across inner blocks.
+    An outer timer that expired entirely inside the block fires
+    immediately on restore instead of being silently cancelled.
     """
     usable = (seconds is not None and seconds > 0
               and hasattr(signal, "setitimer")
@@ -424,19 +443,25 @@ def _wall_clock_limit(seconds: Optional[float], label: str) -> Iterator[None]:
             f"{label}: exceeded {seconds:.1f}s wall-clock budget")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    prior_remaining, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    entered = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if prior_remaining > 0.0:
+            elapsed = time.monotonic() - entered
+            # An outer budget that ran out while we were inside must
+            # still fire — re-arm with an epsilon, never with <= 0
+            # (which setitimer would read as "cancel").
+            signal.setitimer(signal.ITIMER_REAL,
+                             max(prior_remaining - elapsed, 1e-6))
 
 
 def _is_transient(exc: BaseException) -> bool:
     """Whether retrying after backoff can plausibly succeed."""
-    if isinstance(exc, ReproError):
-        return exc.transient
-    return isinstance(exc, OSError)
+    return is_transient(exc)
 
 
 def _attempt_pair(benchmark: str, kind: str, frames: int,
@@ -482,7 +507,10 @@ def _attempt_pair(benchmark: str, kind: str, frames: int,
                 "; retrying" if retryable else "")
             if not retryable:
                 break
-            time.sleep(backoff_s * (2 ** (attempt - 1)))
+            # Jittered: concurrent workers retrying the same transient
+            # fault (a quarantined shared cache entry) must fan out,
+            # not thunder back in at the exact same instant.
+            time.sleep(backoff_delay(backoff_s, attempt))
     outcome.elapsed_s = time.monotonic() - start
     if HUB.enabled:
         HUB.emit(HarnessSpan(
@@ -563,6 +591,8 @@ def run_pairs(pairs: Sequence[Tuple[str, str]],
               runner: Optional[Callable[..., RunSummary]] = None,
               workers: int = 1,
               valid: Optional[Sequence[str]] = None,
+              supervisor: Optional[Supervisor] = None,
+              breaker_key_for: Optional[Callable[[str, str], str]] = None,
               **run_kwargs) -> SuiteReport:
     """Supervised execution of an explicit ``(benchmark, kind)`` pair list.
 
@@ -578,6 +608,16 @@ def run_pairs(pairs: Sequence[Tuple[str, str]],
     benchmark falls outside it are reported as ``skipped``.  ``None``
     (the default here, unlike :func:`run_suite`) runs every pair as
     given.
+
+    Passing a :class:`~repro.supervision.Supervisor` switches to the
+    worker-lifecycle backend: every pair runs in a monitored forked
+    child with heartbeat/hang detection, adaptive deadlines, escalating
+    preemption, parent-side jittered retries and (when the supervisor
+    carries a breaker) circuit breaking keyed by
+    ``breaker_key_for(benchmark, kind)``.  Outcomes gain ``provenance``
+    and may carry the ``tripped`` status.  The legacy sequential and
+    process-pool backends are completely untouched when ``supervisor``
+    is None — callers that monkeypatch runners in-process keep working.
     """
     if max_attempts < 1:
         raise ConfigValidationError("max_attempts must be >= 1")
@@ -585,6 +625,12 @@ def run_pairs(pairs: Sequence[Tuple[str, str]],
         raise ConfigValidationError("workers must be >= 1")
     runner = runner or run_simulation
     suite_wall_start = time.time()
+    if supervisor is not None:
+        report = _run_suite_supervised(pairs, valid, workers, frames,
+                                       timeout_s, max_attempts,
+                                       backoff_s, runner, run_kwargs,
+                                       supervisor, breaker_key_for)
+        return _finalize_suite(report, suite_wall_start)
     if workers > 1:
         report = _run_suite_parallel(pairs, valid, workers, frames,
                                      timeout_s, max_attempts, backoff_s,
@@ -697,3 +743,60 @@ def _run_suite_parallel(pairs: Sequence[Tuple[str, str]],
             slots[i] = _skipped(benchmark, kind, "suite interrupted",
                                 "KeyboardInterrupt")
     return SuiteReport(outcomes=list(slots))
+
+
+def _supervised_pair_target(benchmark: str, kind: str, frames: int,
+                            runner: Callable[..., RunSummary],
+                            run_kwargs: dict) -> RunSummary:
+    """What one supervised worker process executes for a pair.
+
+    No in-worker retry/timeout machinery: deadlines, preemption and
+    retries all live in the supervising parent, which can also handle
+    the failure modes in-process code cannot (hangs, OOM kills).
+    """
+    return runner(benchmark, kind, frames=frames, **run_kwargs)
+
+
+def _run_suite_supervised(pairs: Sequence[Tuple[str, str]],
+                          valid: Optional[Sequence[str]], workers: int,
+                          frames: int, timeout_s: Optional[float],
+                          max_attempts: int, backoff_s: float,
+                          runner: Callable[..., RunSummary],
+                          run_kwargs: dict, supervisor: Supervisor,
+                          breaker_key_for: Optional[Callable[[str, str],
+                                                             str]]
+                          ) -> SuiteReport:
+    """The :class:`~repro.supervision.Supervisor` backend of run_pairs.
+
+    Translates pairs to :class:`~repro.supervision.SupervisedJob`\\ s and
+    worker outcomes back to :class:`BenchmarkOutcome`\\ s, preserving the
+    report's outcome order.  Works with ``workers == 1`` too — unlike
+    the legacy sequential path, each pair still gets its own monitored
+    process, which is what makes chaos-injected crashes and hangs
+    survivable.
+    """
+    slots: List[Optional[BenchmarkOutcome]] = [None] * len(pairs)
+    jobs: List[SupervisedJob] = []
+    job_slots: List[int] = []
+    for i, (benchmark, kind) in enumerate(pairs):
+        if valid is not None and benchmark not in valid:
+            slots[i] = _unknown_benchmark(benchmark, kind, valid)
+            continue
+        jobs.append(SupervisedJob(
+            label=f"{benchmark}/{kind}", fn=_supervised_pair_target,
+            args=(benchmark, kind, frames, runner, run_kwargs),
+            breaker_key=breaker_key_for(benchmark, kind)
+            if breaker_key_for else ""))
+        job_slots.append(i)
+    worker_outcomes = supervisor.run(
+        jobs, timeout_s=timeout_s, max_attempts=max_attempts,
+        backoff_s=backoff_s, workers=workers)
+    for slot, wo in zip(job_slots, worker_outcomes):
+        benchmark, kind = pairs[slot]
+        slots[slot] = BenchmarkOutcome(
+            benchmark, kind, wo.status,
+            summary=wo.result if wo.ok else None,
+            error=wo.error, error_type=wo.error_type,
+            attempts=wo.attempts, elapsed_s=wo.elapsed_s,
+            provenance=wo.provenance, preemptions=wo.preemptions)
+    return SuiteReport(outcomes=[s for s in slots if s is not None])

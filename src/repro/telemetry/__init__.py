@@ -33,8 +33,8 @@ from .chrome import (PID_HARNESS, PID_RU0, PID_SIM, chrome_trace,
                      chrome_trace_events, write_chrome_trace)
 from .events import (CacheDelta, DRAMSample, FSMState, FSMTransition,
                      HarnessSpan, PhaseBegin, PhaseEnd, SchedulerDecision,
-                     SchedulerRanking, TelemetryEvent, TileDispatch,
-                     TileRetire)
+                     SchedulerRanking, SupervisorEvent, TelemetryEvent,
+                     TileDispatch, TileRetire)
 from .hub import (HUB, JsonlSink, RecordingSink, SimClock, TelemetryHub,
                   telemetry_session)
 from .io import load_jsonl_events
@@ -49,7 +49,7 @@ __all__ = [
     "TelemetryEvent", "PhaseBegin", "PhaseEnd", "TileDispatch",
     "TileRetire", "SchedulerDecision", "SchedulerRanking",
     "FSMTransition", "FSMState", "DRAMSample", "CacheDelta",
-    "HarnessSpan",
+    "HarnessSpan", "SupervisorEvent",
     "chrome_trace", "chrome_trace_events", "write_chrome_trace",
     "load_jsonl_events",
     "PID_SIM", "PID_RU0", "PID_HARNESS",

@@ -149,3 +149,23 @@ class HarnessSpan(TelemetryEvent):
     status: str = ""
     attempts: int = 0
     args: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class SupervisorEvent(TelemetryEvent):
+    """A worker-lifecycle decision by the run supervisor.
+
+    ``kind`` is one of ``preempt`` (a worker was SIGTERM/SIGKILL'd for
+    hanging or blowing its deadline), ``heartbeat_gap`` (a stale
+    heartbeat was observed), ``worker_death`` (a worker died without
+    returning — crash, OOM kill), ``breaker_trip`` (a (benchmark,
+    config) combination was quarantined), ``breaker_probe`` (half-open
+    re-probe) or ``breaker_close`` (probe succeeded).  Wall-clock
+    domain, like :class:`HarnessSpan`.
+    """
+
+    kind: str = ""
+    #: What the decision was about (a job label or breaker key).
+    target: str = ""
+    detail: str = ""
+    wall_s: float = 0.0
