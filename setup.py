@@ -1,3 +1,10 @@
+"""Legacy installer shim: all metadata lives in pyproject.toml.
+
+Kept so ancient tooling that insists on ``setup.py`` still resolves the
+project (including the ``numpy>=1.21`` floor declared there — see
+``repro.compat.NUMPY_FLOOR`` for the matching runtime gate).
+"""
+
 from setuptools import setup
 
 setup()

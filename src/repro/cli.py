@@ -520,6 +520,13 @@ def cmd_perf(args) -> int:
               f"median of {args.repeat}) to {path}")
         return 0
     baseline = perf.load_baseline(args.baseline)
+    if args.quick:
+        quick_ids = {c.case_id for c in perf.QUICK_CASES}
+        baseline.cases = {cid: c for cid, c in baseline.cases.items()
+                          if cid in quick_ids}
+        if not baseline.cases:
+            logger.error("baseline %s has no quick cases", args.baseline)
+            return 2
     if args.current:
         current = perf.load_baseline(args.current)
     else:
@@ -732,6 +739,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "baseline MADs)")
     pcompare.add_argument("--no-metrics", action="store_true",
                           help="skip the simulated-metric drift check")
+    pcompare.add_argument("--quick", action="store_true",
+                          help="compare only the quick case subset of "
+                               "the baseline (so a --quick record can "
+                               "be gated against a full baseline)")
 
     report = sub.add_parser(
         "report", help="telemetry analysis report (markdown): DRAM "

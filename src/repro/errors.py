@@ -27,6 +27,10 @@ supervisor in :mod:`repro.harness`, the ``repro`` CLI) can distinguish
 * :class:`CircuitOpenError` — a (benchmark, config) combination was
   quarantined by the circuit breaker after systematic failures; the
   run was never attempted.
+* :class:`DependencyError` — a required third-party dependency is
+  missing or below the floor the vectorized kernels need; raised at
+  import of the kernel modules so runs fail fast with the remedy
+  instead of deep inside a sweep.
 
 Classes carry a ``transient`` flag the supervisor consults when deciding
 whether a bounded retry with backoff is worthwhile;
@@ -75,6 +79,10 @@ class WorkerHungError(ReproError):
     """A supervised worker stopped heartbeating and was preempted."""
 
     transient = True
+
+
+class DependencyError(ReproError, ImportError):
+    """A required dependency is missing or too old for the kernels."""
 
 
 class CircuitOpenError(ReproError):

@@ -26,6 +26,7 @@ from ..memory.hierarchy import SharedMemory, make_texture_l1
 from ..memory.traffic import FRAMEBUFFER, PARAMETER, TEXTURE, WRITEBACK
 from ..telemetry import (HUB, SimClock, TILE_LATENCY_BUCKETS, TileDispatch,
                          TileRetire)
+from . import tilestream
 from .shader_core import CoreCluster
 from .workload import TileCoord, TileWorkload
 
@@ -100,6 +101,16 @@ class TimingRasterUnit:
         self._cycles_per_line = 0.0
         self._tile_dram = 0
         self._mshrs_total = self.cluster.mshrs_total
+        #: Whole-tile L1/cadence plan (see _begin_tile); None means the
+        #: per-line fused loop handles this tile.
+        self._plan = None
+        self._plan_ptr = 0
+        dram = shared.dram
+        #: Integer-valued service cycles make bulk float accumulation
+        #: exact (sums of integers are order-independent in float64), a
+        #: precondition of the run-length Color Buffer flush.
+        self._svc_integer = (dram._hit_service.is_integer()
+                             and dram._miss_service.is_integer())
         self.stats = RasterUnitStats()
         self._bind_hot()
 
@@ -131,6 +142,7 @@ class TimingRasterUnit:
         self._cycles_needed = 0.0
         self._line_idx = 0
         self._tile_dram = 0
+        self._plan = None
         self.stats = RasterUnitStats()
         self._bind_hot()
         if HUB.enabled:
@@ -178,10 +190,14 @@ class TimingRasterUnit:
                     and self._cycles_done + _EPS
                     >= self._line_idx * self._cycles_per_line):
                 if self.batched:
-                    cycle_budget, dram_misses, stalled = \
-                        self._stream_texture_lines(lines, n_lines,
-                                                   cycle_budget,
-                                                   miss_budget)
+                    if self._plan is not None:
+                        cycle_budget, dram_misses, stalled = \
+                            self._stream_planned(cycle_budget, miss_budget)
+                    else:
+                        cycle_budget, dram_misses, stalled = \
+                            self._stream_texture_lines(lines, n_lines,
+                                                       cycle_budget,
+                                                       miss_budget)
                     miss_budget -= dram_misses
                     if stalled:
                         # Memory-limited: the MSHR pool cannot absorb
@@ -232,6 +248,9 @@ class TimingRasterUnit:
         n_lines = len(workload.texture_lines)
         self._cycles_per_line = (self._cycles_needed / n_lines
                                  if n_lines else 0.0)
+        self._plan = None
+        if self.batched and not self.ideal_memory and n_lines:
+            self._plan_tile(workload, n_lines)
         if not self.ideal_memory:
             pb_lines = workload.pb_lines
             if self.batched:
@@ -257,7 +276,43 @@ class TimingRasterUnit:
             fb_lines = w.fb_lines
             if self._compressor is not None and fb_lines:
                 fb_lines = self._compressor.compress_flush(fb_lines)
-            if self.batched:
+                if self.batched:
+                    self.shared.stream_to_dram_batch(fb_lines, FRAMEBUFFER)
+                else:
+                    for line in fb_lines:
+                        self.shared.stream_to_dram(line, FRAMEBUFFER)
+            elif self.batched and self._svc_integer and fb_lines:
+                # The flush stream is row-consecutive; replay it as
+                # precomputed (bank, row, count) runs.  Within a run
+                # every request after the first hits the open row, and
+                # integer-valued service cycles keep the bulk float
+                # accumulation bit-identical to the per-line walk.
+                dram = self.shared.dram
+                d_open = dram._open_rows
+                row_hits = row_misses = 0
+                n = 0
+                for bank, row_of_bank, count in tilestream.fb_runs(
+                        w, dram._lines_per_row, dram._bank_mask,
+                        dram._bank_bits):
+                    n += count
+                    if d_open[bank] == row_of_bank:
+                        row_hits += count
+                    else:
+                        d_open[bank] = row_of_bank
+                        row_misses += 1
+                        row_hits += count - 1
+                dram._service_cycles_sum += (row_hits * dram._hit_service
+                                             + row_misses
+                                             * dram._miss_service)
+                dram._service_count += n
+                dram._interval_requests += n
+                d_stats = dram.stats
+                d_stats.writes += n
+                d_stats.row_hits += row_hits
+                d_stats.row_misses += row_misses
+                d_stats.activations += row_misses
+                self.shared.traffic.add(FRAMEBUFFER, n)
+            elif self.batched:
                 self.shared.stream_to_dram_batch(fb_lines, FRAMEBUFFER)
             else:
                 for line in fb_lines:
@@ -285,7 +340,191 @@ class TimingRasterUnit:
                 self._m_tiles.inc()
                 self._m_tile_latency.observe(now - self._tile_start_ts)
         self._current = None
+        self._plan = None
         return float(self.config.raster_unit.tile_flush_cycles)
+
+    # -- planned tile path -----------------------------------------------------
+    def _plan_tile(self, workload: TileWorkload, n_lines: int) -> None:
+        """Pre-apply the tile's whole texture-L1 walk and build its plan.
+
+        The L1 is private to this unit, tiles never span frames, and its
+        statistics are only observed at frame end — so the complete L1
+        effect of the tile (hits, misses, evictions, final LRU state)
+        can be applied at dispatch.  The walk visits each *distinct*
+        line once, in first-occurrence order, which under the set-safety
+        condition of :func:`tilestream.l1_layout` evicts exactly the
+        lines the scalar per-access walk would, in the same order;
+        duplicate occurrences are guaranteed hits and are accounted in
+        bulk.  What remains per interval is the plan: which stream
+        positions miss (-> L2/DRAM, which *are* interleaving-sensitive
+        and stay per-call) and the memoized compute cadence.
+        """
+        l1 = self.l1
+        if l1._dirty:
+            # A dirty texture L1 would need writeback bookkeeping the
+            # plan does not model; impossible for texture reads, but
+            # fall back rather than assume.
+            return
+        layout = tilestream.l1_layout(workload, l1._set_mask, l1.ways)
+        if layout is None:
+            return
+        ulines, pos_of, retouch = layout
+        sets = l1._sets
+        mask = l1._set_mask
+        nways = l1.ways
+        mlines: List[int] = []
+        mpos: List[int] = []
+        ml_append = mlines.append
+        mp_append = mpos.append
+        evictions = 0
+        for line in ulines:
+            ways = sets[line & mask]
+            if ways.pop(line, 0) is None:
+                ways[line] = None
+            else:
+                if len(ways) >= nways:
+                    for evicted in ways:
+                        break
+                    del ways[evicted]
+                    evictions += 1
+                ways[line] = None
+                ml_append(line)
+                mp_append(pos_of[line])
+        for line in retouch:
+            ways = sets[line & mask]
+            del ways[line]
+            ways[line] = None
+        misses = len(mlines)
+        l1_stats = l1.stats
+        l1_stats.accesses += n_lines
+        l1_stats.hits += n_lines - misses
+        l1_stats.misses += misses
+        l1_stats.evictions += evictions
+        stats = self.stats
+        stats.texture_accesses += n_lines
+        stats.texture_latency_sum += self._l1_latency * (n_lines - misses)
+        self._plan = (tilestream.cadence(workload, self._cycles_per_line),
+                      mpos, mlines, misses)
+        self._plan_ptr = 0
+
+    def _stream_planned(self, cycle_budget: float, miss_budget: int):
+        """Consume this interval's slice of the planned tile stream.
+
+        The memoized cadence yields how many lines the budget covers;
+        only the planned L1-miss positions inside that slice walk the
+        shared L2/DRAM (inlined, in stream order — the part that must
+        stay at interval granularity because other units interleave).
+        Returns ``(cycle_budget, dram_misses, stalled)`` like the fused
+        loop.
+        """
+        cad, mpos, mlines, nmiss = self._plan
+        index = self._line_idx
+        k, done_end, budget_end = cad.consume(index, self._cycles_done,
+                                              cycle_budget)
+        end = index + k
+        p = self._plan_ptr
+        if p >= nmiss or mpos[p] >= end:
+            # Pure-hit slice: no shared-state traffic, nothing to account
+            # (L1 stats and latency were pre-applied at plan time).
+            self._line_idx = end
+            self._cycles_done = done_end
+            return budget_end, 0, False
+        dram_misses = 0
+        stalled = False
+        (_, _, _, _, _,
+         l2_sets, l2_mask, l2_nways, l2_dirty, l2_stats,
+         dram, d_open, d_lpr, d_bmask, d_bbits, d_hit, d_miss,
+         d_stats, traffic, _) = self._hot
+        l2_lat = self._l1_latency + self._l2_latency
+        dram_lat = l2_lat + dram._loaded_latency
+        svc_sum = dram._service_cycles_sum
+        p0 = p
+        l2_hits = l2_evictions = l2_writebacks = 0
+        d_row_hits = d_row_misses = 0
+        while p < nmiss:
+            pos = mpos[p]
+            if pos >= end:
+                break
+            line = mlines[p]
+            p += 1
+            ways = l2_sets[line & l2_mask]
+            if ways.pop(line, 0) is None:
+                ways[line] = None
+                l2_hits += 1
+                continue
+            victim = None
+            if len(ways) >= l2_nways:
+                for victim in ways:
+                    break
+                del ways[victim]
+                l2_evictions += 1
+                if victim in l2_dirty:
+                    l2_dirty.discard(victim)
+                    l2_writebacks += 1
+                else:
+                    victim = None
+            ways[line] = None
+            row = line // d_lpr
+            bank = row & d_bmask
+            row_of_bank = row >> d_bbits
+            if d_open[bank] == row_of_bank:
+                d_row_hits += 1
+                svc_sum += d_hit
+            else:
+                d_row_misses += 1
+                d_open[bank] = row_of_bank
+                svc_sum += d_miss
+            if victim is not None:
+                row = victim // d_lpr
+                bank = row & d_bmask
+                row_of_bank = row >> d_bbits
+                if d_open[bank] == row_of_bank:
+                    d_row_hits += 1
+                    svc_sum += d_hit
+                else:
+                    d_row_misses += 1
+                    d_open[bank] = row_of_bank
+                    svc_sum += d_miss
+            dram_misses += 1
+            if dram_misses >= miss_budget:
+                # The access that exhausted the MSHR budget is the
+                # last one performed; the tile resumes right after
+                # it next interval, with the scalar path's exact
+                # ``done`` value at that position.
+                stalled = True
+                end = pos + 1
+                done_end = cad.done_after[pos]
+                break
+        self._plan_ptr = p
+        slice_misses = p - p0
+        l2_stats.accesses += slice_misses
+        l2_stats.hits += l2_hits
+        l2_stats.misses += slice_misses - l2_hits
+        l2_stats.evictions += l2_evictions
+        l2_stats.writebacks += l2_writebacks
+        requests = dram_misses + l2_writebacks
+        if requests:
+            dram._service_cycles_sum = svc_sum
+            dram._service_count += requests
+            dram._interval_requests += requests
+            d_stats.reads += dram_misses
+            d_stats.writes += l2_writebacks
+            d_stats.row_hits += d_row_hits
+            d_stats.row_misses += d_row_misses
+            d_stats.activations += d_row_misses
+            traffic.add(TEXTURE, dram_misses)
+        if l2_writebacks:
+            traffic.add(WRITEBACK, l2_writebacks)
+        unit_stats = self.stats
+        unit_stats.texture_latency_sum += (l2_lat * l2_hits
+                                           + dram_lat * dram_misses)
+        unit_stats.dram_texture_misses += dram_misses
+        self._tile_dram += dram_misses
+        self._line_idx = end
+        self._cycles_done = done_end
+        if stalled:
+            return 0.0, dram_misses, True
+        return budget_end, dram_misses, False
 
     # -- batched memory path ---------------------------------------------------
     def _stream_texture_lines(self, lines: Sequence[int], n_lines: int,

@@ -21,6 +21,7 @@ Write policy is write-back / write-allocate; dirty evictions are queued on
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -106,9 +107,13 @@ class Cache:
         self.ways = config.ways
         self._set_mask = self.num_sets - 1
         # Per-set dict of line -> None, least-recently-used first
-        # (insertion order); values are unused.
-        self._sets: List[Dict[int, None]] = [
-            {} for _ in range(self.num_sets)]
+        # (insertion order); values are unused.  Sets are materialized
+        # lazily on first touch: an L2 has thousands of sets and most
+        # short runs touch a fraction of them, so allocating them all up
+        # front dominates construction cost.  Iteration over sets (for
+        # resident_lines/flush) must always go through sorted indices so
+        # the observable order matches an eagerly-allocated list.
+        self._sets: Dict[int, Dict[int, None]] = defaultdict(dict)
         self._dirty: set = set()
         #: Dirty victim lines awaiting writeback, drained by the next level.
         self.pending_writebacks: List[int] = []
@@ -118,31 +123,12 @@ class Cache:
         """Access one line; returns True on hit.
 
         On a miss the line is allocated; a dirty victim, if any, is
-        appended to ``pending_writebacks``.
+        appended to ``pending_writebacks``.  This is a batch of one:
+        the touch/victim/writeback policy lives solely in
+        :meth:`lookup_batch` so the scalar and batched paths cannot
+        drift apart.
         """
-        stats = self.stats
-        stats.accesses += 1
-        ways = self._sets[line & self._set_mask]
-        if line in ways:
-            stats.hits += 1
-            del ways[line]
-            ways[line] = None
-            if write:
-                self._dirty.add(line)
-            return True
-        stats.misses += 1
-        if len(ways) >= self.ways:
-            evicted = next(iter(ways))
-            del ways[evicted]
-            stats.evictions += 1
-            if evicted in self._dirty:
-                self._dirty.discard(evicted)
-                stats.writebacks += 1
-                self.pending_writebacks.append(evicted)
-        ways[line] = None
-        if write:
-            self._dirty.add(line)
-        return False
+        return self.lookup_batch((line,), write=write) == 1
 
     def lookup_batch(self, lines: Iterable[int], write: bool = False,
                      miss_record: Optional[
@@ -226,13 +212,15 @@ class Cache:
 
     def contains(self, line: int) -> bool:
         """True when the line is resident."""
-        return line in self._sets[line & self._set_mask]
+        ways = self._sets.get(line & self._set_mask)
+        return ways is not None and line in ways
 
     def resident_lines(self) -> List[int]:
         """All resident line addresses, LRU-to-MRU within each set."""
+        sets = self._sets
         out: List[int] = []
-        for ways in self._sets:
-            out.extend(ways)
+        for index in sorted(sets):
+            out.extend(sets[index])
         return out
 
     def flush(self) -> List[int]:
@@ -240,14 +228,12 @@ class Cache:
         dirty = sorted(self._dirty)
         self.stats.writebacks += len(dirty)
         self._dirty.clear()
-        for ways in self._sets:
-            ways.clear()
+        self._sets.clear()
         return dirty
 
     def reset(self) -> None:
         """Invalidate contents and zero the statistics."""
-        for ways in self._sets:
-            ways.clear()
+        self._sets.clear()
         self._dirty.clear()
         self.pending_writebacks.clear()
         self.stats.reset()

@@ -1,0 +1,301 @@
+"""Array-based set-associative LRU cache kernel.
+
+:class:`ArrayCache` keeps the cache state as dense numpy arrays — a
+``(num_sets, ways)`` tag matrix, a stamp matrix encoding LRU order, and
+a dirty-bit matrix — and services an entire line stream per call:
+``np.unique``-compressed stream, one vectorized tag match for every
+distinct line, bulk statistics.  It is *observably bit-identical* to
+the dict-based :class:`~repro.memory.cache.Cache`: same hit counts,
+same eviction victims in the same order, same ``pending_writebacks``
+and ``miss_record`` contents, same ``resident_lines()`` LRU order.
+
+The vectorized path is only legal when the batch satisfies two
+trace-checkable conditions (violations fall back to an exact per-line
+loop over the same arrays):
+
+* **set-safety** — no cache set sees more than ``ways`` distinct lines
+  in the batch, which guarantees a line once touched is never evicted
+  within the batch (so duplicate occurrences are hits) and that every
+  eviction still finds an untouched entry;
+* **victim-safety** — for each set, the ``e`` oldest resident entries
+  (``e`` = evictions the batch will cause there) contain no line the
+  batch is about to touch.  Then the victims are exactly those entries
+  in age order, independent of how touches and misses interleave, and
+  hit/miss classification against the *entry* state is exact.
+
+Where the dict cache wins on interval-sized batches (tens of lines —
+numpy dispatch overhead dominates there, which is why the simulator's
+inner loop keeps dicts), :class:`ArrayCache` wins on long streams:
+the per-line Python cost is replaced by a handful of array ops.  See
+``docs/performance.md`` for the measured crossover.
+
+Line addresses must be non-negative (``-1`` is the empty-slot tag).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..compat import require_numpy
+from ..config import CacheConfig
+from ..errors import ConfigValidationError
+from .cache import Cache, CacheStats
+
+np = require_numpy()
+
+_EMPTY = -1
+_BIG = np.iinfo(np.int64).max
+
+
+class ArrayCache(Cache):
+    """Set-associative LRU cache backed by numpy state arrays.
+
+    Drop-in behavioural replacement for :class:`Cache` (same public
+    surface, same observable semantics); ``min_batch`` sets the stream
+    length below which the vectorized kernel is not worth its dispatch
+    overhead and the exact per-line loop runs instead.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "array-cache",
+                 min_batch: int = 4096):
+        config.validate()
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self._set_mask = self.num_sets - 1
+        self.min_batch = min_batch
+        shape = (self.num_sets, self.ways)
+        self._tags = np.full(shape, _EMPTY, dtype=np.int64)
+        self._stamps = np.zeros(shape, dtype=np.int64)
+        self._dirty_mask = np.zeros(shape, dtype=bool)
+        #: Monotonic access counter; per-set LRU order = ascending stamp.
+        self._clock = 0
+        self.pending_writebacks: List[int] = []
+        self.stats = CacheStats()
+
+    # -- observable state ---------------------------------------------------
+    @property
+    def _dirty(self) -> set:
+        """Dirty resident lines (same view the dict cache keeps as a set)."""
+        live = self._dirty_mask & (self._tags != _EMPTY)
+        return set(self._tags[live].tolist())
+
+    def contains(self, line: int) -> bool:
+        """True when the line is resident."""
+        return bool((self._tags[line & self._set_mask] == line).any())
+
+    def resident_lines(self) -> List[int]:
+        """All resident line addresses, LRU-to-MRU within each set."""
+        tags = self._tags
+        stamps = self._stamps
+        occupied = tags != _EMPTY
+        out: List[int] = []
+        for index in np.flatnonzero(occupied.any(axis=1)).tolist():
+            row = occupied[index]
+            order = np.argsort(np.where(row, stamps[index], _BIG),
+                               kind="stable")
+            out.extend(tags[index][order[:int(row.sum())]].tolist())
+        return out
+
+    def flush(self) -> List[int]:
+        """Invalidate everything; returns dirty lines needing writeback."""
+        live = self._dirty_mask & (self._tags != _EMPTY)
+        dirty = sorted(self._tags[live].tolist())
+        self.stats.writebacks += len(dirty)
+        self._tags.fill(_EMPTY)
+        self._stamps.fill(0)
+        self._dirty_mask.fill(False)
+        return dirty
+
+    def reset(self) -> None:
+        """Invalidate contents and zero the statistics."""
+        self._tags.fill(_EMPTY)
+        self._stamps.fill(0)
+        self._dirty_mask.fill(False)
+        self._clock = 0
+        self.pending_writebacks.clear()
+        self.stats.reset()
+
+    # -- access paths -------------------------------------------------------
+    def lookup(self, line: int, write: bool = False) -> bool:
+        """Access one line; returns True on hit."""
+        return self._scalar((line,), write, None) == 1
+
+    def lookup_batch(self, lines: Iterable[int], write: bool = False,
+                     miss_record: Optional[
+                         List[Tuple[int, Optional[int]]]] = None) -> int:
+        """Access a whole line stream in one call; returns the hit count.
+
+        Streams of at least ``min_batch`` lines go through the
+        vectorized kernel when its safety conditions hold (see module
+        docstring); everything else runs the exact per-line loop.
+        """
+        seq = (lines if isinstance(lines, (list, tuple, np.ndarray))
+               else list(lines))
+        if len(seq) >= self.min_batch:
+            hits = self._kernel(seq, write, miss_record)
+            if hits is not None:
+                return hits
+        return self._scalar(seq, write, miss_record)
+
+    def _scalar(self, seq: Sequence[int], write: bool,
+                record: Optional[list]) -> int:
+        """Exact per-line reference walk over the array state."""
+        tags = self._tags
+        stamps = self._stamps
+        dirty = self._dirty_mask
+        mask = self._set_mask
+        pending = self.pending_writebacks
+        clock = self._clock
+        hits = evictions = writebacks = 0
+        if isinstance(seq, np.ndarray):
+            seq = seq.tolist()  # plain ints, so miss_record stays exact
+        for line in seq:
+            index = line & mask
+            trow = tags[index]
+            eq = trow == line
+            if eq.any():
+                way = int(eq.argmax())
+                hits += 1
+            else:
+                empty = trow == _EMPTY
+                victim = None
+                if empty.any():
+                    way = int(empty.argmax())
+                else:
+                    way = int(stamps[index].argmin())
+                    evictions += 1
+                    if dirty[index, way]:
+                        dirty[index, way] = False
+                        writebacks += 1
+                        victim = int(trow[way])
+                        pending.append(victim)
+                tags[index, way] = line
+                if record is not None:
+                    record.append((line, victim))
+            stamps[index, way] = clock
+            clock += 1
+            if write:
+                dirty[index, way] = True
+        self._clock = clock
+        n = len(seq)
+        stats = self.stats
+        stats.accesses += n
+        stats.hits += hits
+        stats.misses += n - hits
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        return hits
+
+    def _kernel(self, seq: Sequence[int], write: bool,
+                record: Optional[list]) -> Optional[int]:
+        """Vectorized whole-stream walk; None when a safety check fails."""
+        arr = np.asarray(seq, dtype=np.int64)
+        n = arr.shape[0]
+        if n == 0:
+            return 0
+        if int(arr.min()) < 0:
+            raise ConfigValidationError(
+                f"{self.name}: line addresses must be non-negative")
+        # np.unique-compressed stream in first-occurrence order, with
+        # each line's last occurrence (final LRU rank within its set).
+        values, first = np.unique(arr, return_index=True)
+        _, rlast = np.unique(arr[::-1], return_index=True)
+        order = np.argsort(first, kind="stable")
+        uniq = values[order]
+        last = (n - 1 - rlast)[order]
+        nuniq = uniq.shape[0]
+        setid = uniq & self._set_mask
+        usets, uset_inv, uset_count = np.unique(
+            setid, return_inverse=True, return_counts=True)
+        ways = self.ways
+        if int(uset_count.max()) > ways:
+            return None  # set-safety violated
+        tags = self._tags
+        stamps = self._stamps
+        dirty = self._dirty_mask
+        set_tags = tags[usets]                      # (S, ways) snapshot
+        set_stamps = stamps[usets]
+        # Vectorized tag match of every distinct line against its set.
+        hit_mat = tags[setid] == uniq[:, None]      # (U, ways)
+        hit = hit_mat.any(axis=1)
+        hit_way = hit_mat.argmax(axis=1)
+        miss = ~hit
+        nmiss = int(miss.sum())
+        hits_total = int(hit.sum()) + (n - nuniq)   # duplicates all hit
+        nsets = usets.shape[0]
+        miss_per_set = np.bincount(uset_inv[miss], minlength=nsets)
+        free = ways - (set_tags != _EMPTY).sum(axis=1)
+        evict = miss_per_set - free
+        np.maximum(evict, 0, out=evict)
+        # Which (set, way) slots the batch touches (hit candidates).
+        cand = np.zeros((nsets, ways), dtype=bool)
+        cand[uset_inv[hit], hit_way[hit]] = True
+        if evict.any():
+            # Victim-safety: the evict_s oldest residents of each set
+            # must contain no candidate, otherwise victim identity
+            # depends on how touches and misses interleave.
+            age_order = np.argsort(
+                np.where(set_tags == _EMPTY, _BIG, set_stamps),
+                axis=1, kind="stable")
+            cand_by_age = np.take_along_axis(cand, age_order, axis=1)
+            rank = np.arange(ways)[None, :]
+            if (cand_by_age & (rank < evict[:, None])).any():
+                return None  # victim-safety violated
+        if nmiss:
+            # Per-set slot order for misses: empty ways first, then the
+            # victims in age order; candidate ways are never reachable
+            # (misses per set never exceed empties + victims).
+            slot_key = np.where(set_tags == _EMPTY, np.int64(-1),
+                                np.where(cand, _BIG, set_stamps))
+            slot_order = np.argsort(slot_key, axis=1, kind="stable")
+            miss_sets = uset_inv[miss]
+            # Rank of each miss within its set (first-occurrence order).
+            by_set = np.argsort(miss_sets, kind="stable")
+            sorted_sets = miss_sets[by_set]
+            starts = np.flatnonzero(
+                np.r_[True, sorted_sets[1:] != sorted_sets[:-1]])
+            group_len = np.diff(np.append(starts, nmiss))
+            rank_sorted = np.arange(nmiss) - np.repeat(starts, group_len)
+            rank = np.empty(nmiss, dtype=np.int64)
+            rank[by_set] = rank_sorted
+            miss_way = slot_order[miss_sets, rank]
+            real_sets = setid[miss]
+            old = tags[real_sets, miss_way].copy()
+            evicted = old != _EMPTY
+            dirty_victim = np.zeros(nmiss, dtype=bool)
+            dirty_victim[evicted] = dirty[real_sets[evicted],
+                                          miss_way[evicted]]
+            dirty[real_sets, miss_way] = False
+            tags[real_sets, miss_way] = uniq[miss]
+            # Misses are already in stream (first-occurrence) order, so
+            # writebacks and the miss record come out in scalar order.
+            self.pending_writebacks.extend(old[dirty_victim].tolist())
+            if record is not None:
+                rec_append = record.append
+                for line, victim, is_dirty in zip(uniq[miss].tolist(),
+                                                  old.tolist(),
+                                                  dirty_victim.tolist()):
+                    rec_append((line, victim if is_dirty else None))
+            n_evictions = int(evicted.sum())
+            n_writebacks = int(dirty_victim.sum())
+        else:
+            n_evictions = n_writebacks = 0
+        # Final stamps: every touched line ends ordered by its last
+        # occurrence, behind all untouched survivors (older clock).
+        way_all = hit_way
+        if nmiss:
+            way_all = np.where(miss, 0, hit_way)
+            way_all[miss] = miss_way
+        stamps[setid, way_all] = self._clock + last
+        if write:
+            dirty[setid, way_all] = True
+        self._clock += n
+        stats = self.stats
+        stats.accesses += n
+        stats.hits += hits_total
+        stats.misses += nmiss
+        stats.evictions += n_evictions
+        stats.writebacks += n_writebacks
+        return hits_total

@@ -43,8 +43,12 @@ from .kernels import run_kernel
 #: Schema version of the BENCH_*.json document.
 SCHEMA_VERSION = 1
 
-#: The simulated metrics recorded per case (all deterministic).
-SIM_METRICS = ("total_cycles", "raster_dram_accesses", "texture_hit_ratio")
+#: The simulated metrics recorded per case (all deterministic).  The
+#: first three come from simulator cases; the rest from the synthetic
+#: micro cases (hit/access counts and integer service cycles).  The
+#: drift gate checks whichever names a case's record carries.
+SIM_METRICS = ("total_cycles", "raster_dram_accesses", "texture_hit_ratio",
+               "hits", "accesses", "row_hits", "service_cycles")
 
 
 @dataclass(frozen=True)
@@ -59,18 +63,26 @@ class PerfCase:
     frames: int
     width: int
     height: int
-    #: ``kernel`` (bare simulator run) or ``suite`` (supervised
+    #: ``kernel`` (bare simulator run), ``suite`` (supervised
     #: ``harness.run_suite`` macro run including its retry/span
-    #: bookkeeping).
+    #: bookkeeping) or ``micro`` (synthetic stream through one batched
+    #: memory kernel, see :mod:`repro.perf.micro`; ``width`` is the
+    #: batch length and ``height`` the batch count).
     style: str = "kernel"
 
 
 #: The quick set: what CI and the test suite run (seconds, not minutes).
+#: The synthetic micro cases belong here — they build no traces, so
+#: they cost milliseconds while still drift-gating the batched kernels.
 QUICK_CASES: Tuple[PerfCase, ...] = (
     PerfCase("kernel.tri_overlap.libra", "tri_overlap", "libra",
              frames=2, width=256, height=128),
     PerfCase("suite.tri_overlap", "tri_overlap", "baseline,libra",
              frames=1, width=128, height=64, style="suite"),
+    PerfCase("micro.cache_lru.batch", "synthetic", "cache_lru",
+             frames=1, width=4096, height=48, style="micro"),
+    PerfCase("micro.dram.interval_batch", "synthetic", "dram_batch",
+             frames=1, width=4096, height=48, style="micro"),
 )
 
 #: The full curated set for real baseline records.
@@ -197,6 +209,9 @@ def _run_case(case: PerfCase) -> Dict[str, float]:
                 "texture_hit_ratio": round(
                     sum(s.texture_hit_ratio for s in summaries)
                     / len(summaries), 9)}
+    if case.style == "micro":
+        from .micro import run_micro
+        return run_micro(case.kind, chunk=case.width, chunks=case.height)
     raise ConfigValidationError(
         f"perf case {case.case_id}: unknown style {case.style!r}")
 

@@ -5,7 +5,8 @@ from .blending import BLEND_MODES, blend
 from .fragment import FragmentProcessor, pick_mip_level, touched_lines
 from .framebuffer import FrameBuffer, TileColorBuffer, tile_flush_lines
 from .pipeline import RasterPipeline, TileRenderResult
-from .rasterizer import FragmentBatch, rasterize_in_region
+from .rasterizer import (FragmentBatch, TileFragments, rasterize_in_region,
+                         rasterize_tile)
 from .texture import BLOCK, TEXELS_PER_LINE, Texture, TextureSet, select_mip
 from .zbuffer import TileZBuffer, filter_batch
 
@@ -21,7 +22,9 @@ __all__ = [
     "RasterPipeline",
     "TileRenderResult",
     "FragmentBatch",
+    "TileFragments",
     "rasterize_in_region",
+    "rasterize_tile",
     "Texture",
     "TextureSet",
     "select_mip",

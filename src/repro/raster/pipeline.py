@@ -23,7 +23,7 @@ from ..geometry.primitive import Primitive
 from .blending import blend
 from .fragment import FragmentProcessor, pick_mip_level, touched_lines
 from .framebuffer import FrameBuffer, TileColorBuffer
-from .rasterizer import rasterize_in_region
+from .rasterizer import rasterize_in_region, rasterize_tile
 from .texture import TextureSet
 from .zbuffer import TileZBuffer, filter_batch
 
@@ -61,13 +61,19 @@ class RasterPipeline:
     def __init__(self, width: int, height: int, tile_size: int,
                  textures: TextureSet, shade_colors: bool = True,
                  collect_lines: bool = True,
-                 framebuffer: Optional[FrameBuffer] = None):
+                 framebuffer: Optional[FrameBuffer] = None,
+                 batched: bool = True):
         self.width = width
         self.height = height
         self.tile_size = tile_size
         self.textures = textures
         self.shade_colors = shade_colors
         self.collect_lines = collect_lines
+        #: Rasterize all of a tile's primitives in one broadcast kernel
+        #: (:func:`rasterize_tile`); ``False`` keeps the per-primitive
+        #: scalar path, the parity oracle the batched path is checked
+        #: against (the two are bit-identical).
+        self.batched = batched
         self.framebuffer = framebuffer or FrameBuffer(
             width, height, store_pixels=shade_colors)
         self._zbuffer = TileZBuffer(tile_size)
@@ -83,9 +89,13 @@ class RasterPipeline:
         processor = FragmentProcessor(self.textures)
         result = TileRenderResult(tile=tile, num_primitives=len(primitives))
 
-        for prim in primitives:
-            batch = rasterize_in_region(prim, x0, y0,
-                                        self.tile_size, self.tile_size)
+        packed = rasterize_tile(primitives, x0, y0, self.tile_size,
+                                self.tile_size) if self.batched else None
+        for index, prim in enumerate(primitives):
+            batch = (packed.batch_for(index) if packed is not None
+                     else rasterize_in_region(prim, x0, y0,
+                                              self.tile_size,
+                                              self.tile_size))
             result.fragments_rasterized += batch.count
             if batch.count == 0:
                 continue

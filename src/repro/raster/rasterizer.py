@@ -1,9 +1,20 @@
 """Edge-function triangle rasterization (the Rasterizer stage).
 
-Discretizes a screen-space primitive into fragments inside a rectangular
+Discretizes screen-space primitives into fragments inside a rectangular
 region (a tile), producing per-fragment perspective-correct interpolants.
-Vectorized with numpy over the region so the functional path can render
-real frames; the same routine drives trace generation for the timing model.
+Two entry points share the same arithmetic:
+
+* :func:`rasterize_in_region` — one primitive against the region.  This
+  is the scalar reference (the *parity oracle* of the batched path).
+* :func:`rasterize_tile` — every primitive of a tile in one shot: the
+  edge functions of all P primitives are evaluated as one (P, H, W)
+  broadcast and the covered fragments come back as packed
+  structure-of-arrays (:class:`TileFragments`), sliceable per primitive.
+  Because every elementwise operation runs on exactly the same operand
+  values as the scalar path (broadcasting never changes per-element
+  IEEE arithmetic) and the bounding-box clip is applied as an explicit
+  mask, each slice is *bit-identical* to the corresponding
+  :func:`rasterize_in_region` call — a property the test suite checks.
 
 Fill convention is the top-left rule, so triangles sharing an edge never
 double-shade a pixel.
@@ -12,6 +23,7 @@ double-shade a pixel.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -121,6 +133,153 @@ def rasterize_in_region(prim: Primitive, x0: int, y0: int,
         u=u,
         v=v,
     )
+
+
+@dataclass
+class TileFragments:
+    """All fragments of one tile, packed primitive-major (SoA layout).
+
+    Fragments of primitive ``i`` occupy the contiguous slice
+    ``offsets[i]:offsets[i+1]`` of every array, in the same row-major
+    pixel order :func:`rasterize_in_region` produces.
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    depth: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    #: Primitive index (into the tile's list) per fragment.
+    prim_id: np.ndarray
+    #: (P + 1,) prefix sums of per-primitive fragment counts.
+    offsets: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Total fragments across all primitives."""
+        return len(self.xs)
+
+    def batch_for(self, index: int) -> FragmentBatch:
+        """The fragments of one primitive as a :class:`FragmentBatch`.
+
+        Returns array *views* into the packed storage (no copies).
+        """
+        sl = slice(int(self.offsets[index]), int(self.offsets[index + 1]))
+        return FragmentBatch(xs=self.xs[sl], ys=self.ys[sl],
+                             depth=self.depth[sl], u=self.u[sl],
+                             v=self.v[sl])
+
+
+def rasterize_tile(prims: Sequence[Primitive], x0: int, y0: int,
+                   width: int, height: int) -> TileFragments:
+    """Rasterize every primitive of a tile in one broadcast evaluation.
+
+    Equivalent to calling :func:`rasterize_in_region` per primitive and
+    concatenating the results (each slice is bit-identical, see module
+    docstring), but the edge functions, fill-rule masks and
+    perspective-correct interpolation all run once over a (P, H, W)
+    grid instead of P times over per-primitive grids.
+    """
+    num = len(prims)
+    izeros = np.zeros(0, dtype=np.int64)
+    fzeros = np.zeros(0)
+    if num == 0:
+        return TileFragments(xs=izeros, ys=izeros, depth=fzeros,
+                             u=fzeros, v=fzeros, prim_id=izeros,
+                             offsets=np.zeros(1, dtype=np.int64))
+
+    # Per-primitive setup mirrors the scalar path exactly: winding
+    # normalization, then the bounding box clipped to the region.
+    # Degenerate primitives keep an empty box (never selected).
+    verts = np.zeros((num, 3, 2))
+    area2s = np.ones(num)
+    boxes = np.zeros((num, 4), dtype=np.int64)    # min_x max_x min_y max_y
+    d = np.zeros((num, 3))
+    iw = np.zeros((num, 3))
+    uvw = np.zeros((num, 3, 2))
+    for i, prim in enumerate(prims):
+        area2 = prim.signed_area()
+        if area2 == 0.0:
+            continue
+        order = (0, 2, 1) if area2 < 0.0 else (0, 1, 2)
+        xy = prim.xy[list(order)]
+        min_x = max(int(np.floor(xy[:, 0].min())), x0)
+        max_x = min(int(np.ceil(xy[:, 0].max())), x0 + width)
+        min_y = max(int(np.floor(xy[:, 1].min())), y0)
+        max_y = min(int(np.ceil(xy[:, 1].max())), y0 + height)
+        if min_x >= max_x or min_y >= max_y:
+            continue
+        verts[i] = xy
+        area2s[i] = abs(area2)
+        boxes[i] = (min_x, max_x, min_y, max_y)
+        sel = list(order)
+        d[i] = prim.depth[sel]
+        iw[i] = prim.inv_w[sel]
+        uvw[i] = prim.uv_over_w[sel]
+
+    live = boxes[:, 0] < boxes[:, 1]
+    if not live.any():
+        return TileFragments(xs=izeros, ys=izeros, depth=fzeros,
+                             u=fzeros, v=fzeros, prim_id=izeros,
+                             offsets=np.zeros(num + 1, dtype=np.int64))
+
+    ax, ay = verts[:, 0, 0, None, None], verts[:, 0, 1, None, None]
+    bx, by = verts[:, 1, 0, None, None], verts[:, 1, 1, None, None]
+    cx, cy = verts[:, 2, 0, None, None], verts[:, 2, 1, None, None]
+
+    gx = np.arange(x0, x0 + width, dtype=np.int64)
+    gy = np.arange(y0, y0 + height, dtype=np.int64)
+    px = (gx.astype(np.float64) + 0.5)[None, None, :]
+    py = (gy.astype(np.float64) + 0.5)[None, :, None]
+
+    # Edge functions of every primitive over the whole tile; each element
+    # is computed with the exact operand values of the scalar path.
+    e0 = (cx - bx) * (py - by) - (cy - by) * (px - bx)
+    e1 = (ax - cx) * (py - cy) - (ay - cy) * (px - cx)
+    e2 = (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+    mask = _inside_many(e0, bx, by, cx, cy) \
+        & _inside_many(e1, cx, cy, ax, ay) \
+        & _inside_many(e2, ax, ay, bx, by)
+    # The scalar path only ever evaluates pixels inside the clipped
+    # bounding box; masking to the same rectangle makes the fragment
+    # sets equal by construction (not just up to rounding).
+    mask &= (gx[None, None, :] >= boxes[:, 0, None, None]) \
+        & (gx[None, None, :] < boxes[:, 1, None, None]) \
+        & (gy[None, :, None] >= boxes[:, 2, None, None]) \
+        & (gy[None, :, None] < boxes[:, 3, None, None])
+
+    pid, ys_grid, xs_grid = np.nonzero(mask)
+    w0 = e0[mask] / area2s[pid]
+    w1 = e1[mask] / area2s[pid]
+    w2 = e2[mask] / area2s[pid]
+
+    depth = w0 * d[pid, 0] + w1 * d[pid, 1] + w2 * d[pid, 2]
+    inv_w = w0 * iw[pid, 0] + w1 * iw[pid, 1] + w2 * iw[pid, 2]
+    inv_w = np.where(inv_w == 0.0, 1e-30, inv_w)
+    u = (w0 * uvw[pid, 0, 0] + w1 * uvw[pid, 1, 0]
+         + w2 * uvw[pid, 2, 0]) / inv_w
+    v = (w0 * uvw[pid, 0, 1] + w1 * uvw[pid, 1, 1]
+         + w2 * uvw[pid, 2, 1]) / inv_w
+
+    counts = np.bincount(pid, minlength=num)
+    offsets = np.zeros(num + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return TileFragments(xs=xs_grid + x0, ys=ys_grid + y0, depth=depth,
+                         u=u, v=v, prim_id=pid, offsets=offsets)
+
+
+def _inside_many(edge_values: np.ndarray, ex0: np.ndarray, ey0: np.ndarray,
+                 ex1: np.ndarray, ey1: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_inside`: per-primitive top-left fill rule.
+
+    ``edge_values`` is (P, H, W); the vertex coordinates are (P, 1, 1),
+    so the inclusive/exclusive choice broadcasts per primitive.
+    """
+    dx = ex1 - ex0
+    dy = ey1 - ey0
+    inclusive = ((dy == 0.0) & (dx > 0.0)) | (dy < 0.0)
+    return np.where(inclusive, edge_values >= 0.0, edge_values > 0.0)
 
 
 def _inside(edge_values: np.ndarray, ex0: float, ey0: float,

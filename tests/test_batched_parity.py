@@ -19,8 +19,12 @@ from repro.core import (LibraScheduler, TemperatureScheduler,
 from repro.gpu import GPUSimulator
 from repro.gpu.frame import FrameDriver
 from repro.memory.cache import Cache
+from repro.perf.kernels import run_kernel
+from repro.telemetry import HUB, RecordingSink
+from repro.workloads.scene import SceneBuilder
+from repro.workloads.traces import TraceBuilder
 
-from faults import tiny_builder
+from faults import tiny_builder, tiny_params
 
 # Tiny geometry: 4 sets x 2 ways so random streams of a few dozen lines
 # exercise eviction and writeback constantly.
@@ -162,6 +166,75 @@ class TestFullSimulationParity:
             == [f.raster_cycles for f in golden.frames]
         assert fast.mean_texture_hit_ratio \
             == golden.mean_texture_hit_ratio
+
+
+def _random_scene_traces(seed: int, frames: int = 2):
+    """Traces of a randomized scene (content varies with the seed)."""
+    params = tiny_params(seed=seed, roaming_sprites=2 + seed % 4,
+                         hud_elements=seed % 3,
+                         scroll_speed=4.0 + 3.0 * (seed % 5))
+    builder = TraceBuilder(SceneBuilder(params, 128, 64), 128, 64, 32)
+    return builder.build_many(frames)
+
+
+#: Every config-kind family, including the alternative schedulers.
+ALL_KINDS = ("baseline", "ptr", "libra", "temperature", "supertile")
+
+
+class TestRandomizedSceneKindParity:
+    """Randomized scenes x config kinds x telemetry: bit-identical.
+
+    The tentpole contract: for every scheduler family the simulator
+    ships — not just the three of the curated perf set — and with the
+    telemetry hub on or off, the batched structure-of-arrays path must
+    reproduce the scalar oracle's metrics bit for bit.
+    """
+
+    @pytest.fixture(scope="class")
+    def scene_traces(self):
+        return {seed: _random_scene_traces(seed) for seed in (3, 11)}
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_kind_parity_on_random_scene(self, scene_traces, seed, kind):
+        traces = scene_traces[seed]
+        fast = run_kernel(kind, traces, 128, 64, batched=True)
+        golden = run_kernel(kind, traces, 128, 64, batched=False)
+        assert fast.total_cycles == golden.total_cycles
+        assert fast.raster_dram_accesses == golden.raster_dram_accesses
+        assert fast.mean_texture_hit_ratio \
+            == golden.mean_texture_hit_ratio
+        for fa, fb in zip(fast.frames, golden.frames):
+            assert _frame_key(fa) == _frame_key(fb)
+
+    @pytest.mark.parametrize("kind", ["libra", "temperature"])
+    def test_parity_with_telemetry_enabled(self, scene_traces, kind):
+        traces = scene_traces[3]
+        results = []
+        for batched in (True, False):
+            sink = RecordingSink()
+            HUB.enable(sink)
+            try:
+                results.append(run_kernel(kind, traces, 128, 64,
+                                          batched=batched))
+            finally:
+                HUB.disable()
+        fast, golden = results
+        assert fast.total_cycles == golden.total_cycles
+        assert fast.raster_dram_accesses == golden.raster_dram_accesses
+        for fa, fb in zip(fast.frames, golden.frames):
+            assert _frame_key(fa) == _frame_key(fb)
+
+    def test_telemetry_does_not_perturb_metrics(self, scene_traces):
+        traces = scene_traces[11]
+        quiet = run_kernel("libra", traces, 128, 64)
+        HUB.enable(RecordingSink())
+        try:
+            loud = run_kernel("libra", traces, 128, 64)
+        finally:
+            HUB.disable()
+        assert (quiet.total_cycles, quiet.raster_dram_accesses) \
+            == (loud.total_cycles, loud.raster_dram_accesses)
 
 
 class TestGeometryIntervalDeterminism:
