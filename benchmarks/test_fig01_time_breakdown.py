@@ -7,6 +7,9 @@ We reproduce the geometry/raster split per benchmark on the baseline GPU.
 
 from common import FULL_SUITE, banner, pedantic, result, run
 
+from repro.figures.expectations import (FIG1_MIN_MEAN_RASTER_FRACTION,
+                                        FIG1_MIN_RASTER_FRACTION,
+                                        FIG1_PAPER_RASTER_FRACTION)
 from repro.stats import arithmetic_mean, format_table
 
 
@@ -29,7 +32,8 @@ def test_fig01_raster_dominates(benchmark):
     print(format_table(("bench", "geometry cyc", "raster cyc", "raster %"),
                        rows))
     mean_fraction = arithmetic_mean(fractions)
-    result("fig1.mean_raster_fraction", mean_fraction, paper=0.88)
+    result("fig1.mean_raster_fraction", mean_fraction,
+           paper=FIG1_PAPER_RASTER_FRACTION)
     # Shape check: rasterization dominates for every benchmark.
-    assert mean_fraction > 0.70
-    assert min(fractions) > 0.5
+    assert mean_fraction > FIG1_MIN_MEAN_RASTER_FRACTION
+    assert min(fractions) > FIG1_MIN_RASTER_FRACTION

@@ -10,6 +10,10 @@ clustering quantitatively.
 import numpy as np
 from common import banner, pedantic, result, run
 
+from repro.figures.expectations import (FIG2_HOT_FRACTION,
+                                        FIG2_HOT_PERCENTILE,
+                                        FIG2_MIN_CLUSTERING,
+                                        FIG2_MIN_HOT_SHARE)
 from repro.stats import hot_cold_summary, render_ascii, tile_matrix
 
 
@@ -28,14 +32,14 @@ def test_fig02_heatmap(benchmark):
     matrix = tile_matrix(per_tile, tiles_x, tiles_y)
     print(render_ascii(matrix))
 
-    stats = hot_cold_summary(per_tile, hot_fraction=0.1)
+    stats = hot_cold_summary(per_tile, hot_fraction=FIG2_HOT_FRACTION)
     result("fig2.top10pct_tile_share_of_dram", stats["hot_share"])
 
     # Imbalance: the hottest 10% of tiles carry well over 10% of traffic.
-    assert stats["hot_share"] > 0.2
+    assert stats["hot_share"] > FIG2_MIN_HOT_SHARE
 
     # Clustering: hot tiles have hot neighbours (spatial autocorrelation).
-    hot_threshold = np.percentile(matrix[matrix > 0], 80)
+    hot_threshold = np.percentile(matrix[matrix > 0], FIG2_HOT_PERCENTILE)
     hot_mask = matrix >= hot_threshold
     neighbor_hot = 0
     hot_total = 0
@@ -52,4 +56,5 @@ def test_fig02_heatmap(benchmark):
                     break
     clustering = neighbor_hot / max(hot_total, 1)
     result("fig2.hot_tile_clustering", clustering)
-    assert clustering > 0.5  # most hot tiles touch another hot tile
+    # most hot tiles touch another hot tile
+    assert clustering > FIG2_MIN_CLUSTERING

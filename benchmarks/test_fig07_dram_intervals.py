@@ -8,11 +8,11 @@ that LIBRA's temperature scheduling reduces the burstiness.
 
 from common import banner, pedantic, result, run
 
+from repro.figures.expectations import (FIG7_MIN_BASELINE_COV,
+                                        FIG7_MIN_PEAK_OVER_MEAN,
+                                        FIG7_REBIN as REBIN)
 from repro.stats import (coefficient_of_variation, format_series,
                          rebin_series)
-
-#: Simulation interval is 1000 cycles; the paper plots 5000-cycle bins.
-REBIN = 5
 
 
 def collect():
@@ -40,5 +40,5 @@ def test_fig07_dram_burstiness(benchmark):
 
     # Shape: visible burstiness on the baseline (peaks well above the
     # mean), i.e. there is something for the scheduler to smooth.
-    assert peak_over_mean > 1.5
-    assert base_cov > 0.2
+    assert peak_over_mean > FIG7_MIN_PEAK_OVER_MEAN
+    assert base_cov > FIG7_MIN_BASELINE_COV

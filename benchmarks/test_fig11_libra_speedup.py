@@ -9,6 +9,12 @@ core count in a single Raster Unit.
 from common import (MEMORY_SUITE, banner, pedantic, print_speedup_table,
                     result, speedups)
 
+from repro.figures.expectations import (FIG11_MAX_REGRESSIONS,
+                                        FIG11_MIN_PTR_SPEEDUP,
+                                        FIG11_PAPER_LIBRA_SPEEDUP,
+                                        FIG11_PAPER_PTR_SPEEDUP,
+                                        FIG11_PAPER_SCHEDULER_GAIN,
+                                        FIG11_REGRESSION_TOLERANCE)
 from repro.stats import geometric_mean
 
 
@@ -26,13 +32,17 @@ def test_fig11_speedup_breakdown(benchmark):
                         MEMORY_SUITE, {"PTR": ptr, "LIBRA": libra})
     ptr_mean = geometric_mean(list(ptr.values()))
     libra_mean = geometric_mean(list(libra.values()))
-    result("fig11.ptr_speedup", ptr_mean, paper=1.132)
-    result("fig11.libra_speedup", libra_mean, paper=1.209)
-    result("fig11.scheduler_gain", libra_mean / ptr_mean, paper=1.077)
+    result("fig11.ptr_speedup", ptr_mean, paper=FIG11_PAPER_PTR_SPEEDUP)
+    result("fig11.libra_speedup", libra_mean,
+           paper=FIG11_PAPER_LIBRA_SPEEDUP)
+    result("fig11.scheduler_gain", libra_mean / ptr_mean,
+           paper=FIG11_PAPER_SCHEDULER_GAIN)
 
     # Shape: PTR alone beats the baseline; the scheduler adds on top.
-    assert ptr_mean > 1.03
+    assert ptr_mean > FIG11_MIN_PTR_SPEEDUP
     assert libra_mean > ptr_mean
     # LIBRA helps (or at worst is neutral) for almost every benchmark.
-    losses = [n for n in MEMORY_SUITE if libra[n] < ptr[n] * 0.98]
-    assert len(losses) <= 3, f"LIBRA regressions: {losses}"
+    losses = [n for n in MEMORY_SUITE
+              if libra[n] < ptr[n] * FIG11_REGRESSION_TOLERANCE]
+    assert len(losses) <= FIG11_MAX_REGRESSIONS, \
+        f"LIBRA regressions: {losses}"

@@ -8,6 +8,9 @@ accesses happen, not how many there are; still, some apps drop up to 20%
 
 from common import MEMORY_SUITE, banner, pedantic, result, run
 
+from repro.figures.expectations import (FIG14_MEAN_BAND,
+                                        FIG14_PAPER_NORMALIZED_DRAM,
+                                        FIG14_PER_BENCH_BAND)
 from repro.stats import arithmetic_mean, format_table
 
 
@@ -34,9 +37,11 @@ def test_fig14_normalized_dram(benchmark):
     print(format_table(("bench", "PTR accesses", "LIBRA accesses",
                         "normalized"), table))
     mean_ratio = arithmetic_mean(ratios)
-    result("fig14.mean_normalized_dram", mean_ratio, paper=1.0)
+    result("fig14.mean_normalized_dram", mean_ratio,
+           paper=FIG14_PAPER_NORMALIZED_DRAM)
 
     # Shape: the scheduler neither inflates nor is designed to shrink
     # DRAM traffic — everything stays within a modest band of 1.0.
-    assert 0.85 < mean_ratio < 1.10
-    assert all(0.7 < r < 1.25 for r in ratios)
+    assert FIG14_MEAN_BAND[0] < mean_ratio < FIG14_MEAN_BAND[1]
+    assert all(FIG14_PER_BENCH_BAND[0] < r < FIG14_PER_BENCH_BAND[1]
+               for r in ratios)

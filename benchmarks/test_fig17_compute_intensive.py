@@ -8,6 +8,13 @@ hierarchy; crucially, the scheduler "does not harm their performance".
 from common import (COMPUTE_SUITE, banner, pedantic, print_speedup_table,
                     result, speedups)
 
+from repro.figures.expectations import (FIG17_MAX_SCHEDULER_GAIN,
+                                        FIG17_MEAN_TOLERANCE,
+                                        FIG17_MIN_PTR_SPEEDUP,
+                                        FIG17_PAPER_LIBRA_SPEEDUP,
+                                        FIG17_PAPER_PTR_SPEEDUP,
+                                        FIG17_PAPER_SCHEDULER_GAIN,
+                                        FIG17_PER_BENCH_TOLERANCE)
 from repro.stats import geometric_mean
 
 
@@ -25,14 +32,17 @@ def test_fig17_compute_intensive(benchmark):
                         COMPUTE_SUITE, {"PTR": ptr, "LIBRA": libra})
     ptr_mean = geometric_mean(list(ptr.values()))
     libra_mean = geometric_mean(list(libra.values()))
-    result("fig17.ptr_speedup", ptr_mean, paper=1.099)
-    result("fig17.libra_speedup", libra_mean, paper=1.116)
-    result("fig17.scheduler_gain", libra_mean / ptr_mean, paper=1.017)
+    result("fig17.ptr_speedup", ptr_mean, paper=FIG17_PAPER_PTR_SPEEDUP)
+    result("fig17.libra_speedup", libra_mean,
+           paper=FIG17_PAPER_LIBRA_SPEEDUP)
+    result("fig17.scheduler_gain", libra_mean / ptr_mean,
+           paper=FIG17_PAPER_SCHEDULER_GAIN)
 
     # Shape: PTR helps compute-bound apps (limited per-tile parallelism),
     # the scheduler's extra contribution is small, and LIBRA never hurts.
-    assert ptr_mean > 1.03
-    assert libra_mean >= ptr_mean * 0.99
-    assert (libra_mean / ptr_mean) < 1.05  # scheduler gain stays small
+    assert ptr_mean > FIG17_MIN_PTR_SPEEDUP
+    assert libra_mean >= ptr_mean * FIG17_MEAN_TOLERANCE
+    # scheduler gain stays small
+    assert (libra_mean / ptr_mean) < FIG17_MAX_SCHEDULER_GAIN
     for name in COMPUTE_SUITE:
-        assert libra[name] >= ptr[name] * 0.97, name
+        assert libra[name] >= ptr[name] * FIG17_PER_BENCH_TOLERANCE, name

@@ -8,6 +8,15 @@ import pytest
 from common import banner, pedantic
 
 from repro.config import GPU_FREQUENCY_HZ, baseline_config, libra_config
+from repro.figures.expectations import (TABLE1_DRAM_ROW_HIT_CYCLES,
+                                        TABLE1_DRAM_ROW_MISS_CYCLES,
+                                        TABLE1_FREQUENCY_HZ,
+                                        TABLE1_L2_CACHE_BYTES,
+                                        TABLE1_TEXTURE_CACHE_BYTES,
+                                        TABLE1_TILE_CACHE_BYTES,
+                                        TABLE1_TILE_SIZE,
+                                        TABLE1_TOTAL_CORES,
+                                        TABLE1_VERTEX_CACHE_BYTES)
 from repro.stats import format_table
 
 
@@ -46,14 +55,15 @@ def test_table1_parameters(benchmark):
     ]
     print(format_table(("parameter", "this model", "paper"), rows))
 
-    assert base.frequency_hz == GPU_FREQUENCY_HZ == 800_000_000
+    assert base.frequency_hz == GPU_FREQUENCY_HZ == TABLE1_FREQUENCY_HZ
     assert (base.screen_width, base.screen_height) == (1920, 1080)
-    assert base.tile_size == 32
+    assert base.tile_size == TABLE1_TILE_SIZE
     assert base.num_tiles == 2040
-    assert base.vertex_cache.size_bytes == 4 * 1024
-    assert base.tile_cache.size_bytes == 32 * 1024
-    assert base.texture_cache.size_bytes == 32 * 1024
-    assert base.l2_cache.size_bytes == 2 * 1024 * 1024
+    assert base.vertex_cache.size_bytes == TABLE1_VERTEX_CACHE_BYTES
+    assert base.tile_cache.size_bytes == TABLE1_TILE_CACHE_BYTES
+    assert base.texture_cache.size_bytes == TABLE1_TEXTURE_CACHE_BYTES
+    assert base.l2_cache.size_bytes == TABLE1_L2_CACHE_BYTES
     assert base.l2_cache.latency_cycles == 18
-    assert (base.dram.row_hit_cycles, base.dram.row_miss_cycles) == (50, 100)
-    assert base.total_cores == libra.total_cores == 8
+    assert ((base.dram.row_hit_cycles, base.dram.row_miss_cycles)
+            == (TABLE1_DRAM_ROW_HIT_CYCLES, TABLE1_DRAM_ROW_MISS_CYCLES))
+    assert base.total_cores == libra.total_cores == TABLE1_TOTAL_CORES

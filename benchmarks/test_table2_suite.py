@@ -8,6 +8,9 @@ the benchmarks is more than 4MB").
 
 from common import FULL_SUITE, banner, pedantic, result
 
+from repro.figures.expectations import (TABLE2_MEMORY_INTENSIVE_COUNT,
+                                        TABLE2_MIN_MEAN_FOOTPRINT_MB,
+                                        TABLE2_SUITE_SIZE)
 from repro.stats import format_table
 from repro.workloads import table2_rows
 
@@ -27,14 +30,16 @@ def test_table2_suite(benchmark):
     print(format_table(("code", "title", "style", "class", "textures",
                         "tex MB"), table))
 
-    assert len(rows) == 32
+    assert len(rows) == TABLE2_SUITE_SIZE
     styles = {r["style"] for r in rows}
     assert styles == {"2D", "2.5D", "3D"}
     memory_count = sum(1 for r in rows if r["memory_intensive"])
-    result("table2.memory_intensive_count", memory_count, paper=16)
-    assert memory_count == 16
+    result("table2.memory_intensive_count", memory_count,
+           paper=TABLE2_MEMORY_INTENSIVE_COUNT)
+    assert memory_count == TABLE2_MEMORY_INTENSIVE_COUNT
 
     mean_footprint = sum(r["texture_mb"] for r in rows) / len(rows)
-    result("table2.mean_texture_footprint_mb", mean_footprint, paper=4.0)
-    assert mean_footprint > 4.0
-    assert len(FULL_SUITE) == 32
+    result("table2.mean_texture_footprint_mb", mean_footprint,
+           paper=TABLE2_MIN_MEAN_FOOTPRINT_MB)
+    assert mean_footprint > TABLE2_MIN_MEAN_FOOTPRINT_MB
+    assert len(FULL_SUITE) == TABLE2_SUITE_SIZE

@@ -1,7 +1,16 @@
 #!/usr/bin/env python
-"""Regenerate EXPERIMENTS.md from a benchmark-suite log.
+"""Regenerate EXPERIMENTS.md — thin wrapper over ``repro.figures.render``.
 
-The benches in ``benchmarks/`` print grep-friendly lines of the form
+The maintained one-command flow is the figure pipeline, which runs the
+committed registry through resumable sweeps and writes the markdown
+(and the HTML dashboard) itself:
+
+    PYTHONPATH=src python -m repro figures --format md --out out/
+    cp out/EXPERIMENTS.md EXPERIMENTS.md
+
+This script keeps the legacy log-based flow working for results the
+registry does not cover yet.  The benches in ``benchmarks/`` print
+grep-friendly lines of the form
 
     RESULT <key>: measured=<value> [paper=<value>]
 
@@ -24,255 +33,14 @@ checkpoints on disk — no re-simulation):
 from __future__ import annotations
 
 import argparse
-import re
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-RESULT_RE = re.compile(
-    r"RESULT (?P<key>[\w.%+-]+): measured=(?P<measured>[-\w.%]+)"
-    r"(?: paper=(?P<paper>[-\w.%]+))?")
-
-#: (section title, paper claim, result-key prefix, commentary)
-SECTIONS = [
-    ("Figure 1 — execution-time breakdown",
-     "≈88% of GPU time is spent in the raster process.",
-     "fig1.",
-     "Our synthetic scenes are vertex-light compared to commercial games; "
-     "the geometry share comes mostly from per-draw-call overhead. The "
-     "qualitative claim (raster dominates for every benchmark) holds."),
-    ("Figure 2 — per-tile DRAM heatmap",
-     "Hot tiles cluster around the character, HUD and detailed props; "
-     "background tiles are cold.",
-     "fig2.",
-     "The regenerated heatmap shows the same structure: a hot cluster "
-     "share far above uniform, and hot tiles overwhelmingly adjacent to "
-     "other hot tiles."),
-    ("Figure 4 — doubling cores in one Raster Unit",
-     "16 of 32 benchmarks gain <1.50x from 4→8 cores; some <1.10x.",
-     "fig4.",
-     "Reproduced directionally: every speedup is far from the ideal 2x, "
-     "and the memory-bound half scales worst. Our per-tile parallelism "
-     "model is milder than the paper's real games, so fewer benchmarks "
-     "fall below 1.5x."),
-    ("Figure 6 — memory intensiveness vs PTR speedup",
-     "Time-on-memory and PTR speedup are strongly anticorrelated; 16/32 "
-     "benchmarks spend ≥25% of time on memory.",
-     "fig6.",
-     "The anticorrelation reproduces with the same ideal-L1 methodology. "
-     "Our suite's memory fractions span 0–0.4."),
-    ("Figure 7 — DRAM requests per 5000-cycle interval (CCS)",
-     "Within-frame DRAM demand is strongly bursty.",
-     "fig7.",
-     "Clear burstiness on the baseline (peak ≫ mean); LIBRA's temperature "
-     "scheduling lowers the coefficient of variation."),
-    ("Figure 8 — frame-to-frame coherence",
-     ">80% of tiles change their DRAM accesses by <20% between frames.",
-     "fig8.",
-     "The procedural workloads were built to have this property and the "
-     "measured CDF confirms it — the temperature predictor's premise."),
-    ("Table I — simulation parameters", "See paper Table I.", "table1.",
-     "All cache/DRAM/organization parameters match Table I exactly "
-     "(checked by assertions)."),
-    ("Table II — benchmark suite",
-     "32 games, 2D/2.5D/3D, >4MB average per-frame footprint.",
-     "table2.",
-     "Reconstruction: 16 codes from the paper text plus 16 synthetic "
-     "additions; the 16/16 memory/compute split is enforced by design "
-     "and verified by the Figure 6 measurement."),
-    ("Figure 11 — LIBRA speedup (memory-intensive)",
-     "PTR alone +13.2%; scheduler +7.7% more; total +20.9%.",
-     "fig11.",
-     "Shape reproduced: PTR alone gives a solid speedup and the adaptive "
-     "scheduler adds on top for almost every benchmark. Our scheduler "
-     "margin is smaller than the paper's — our interval-grain DRAM model "
-     "understates how catastrophic fine-grain congestion is on real "
-     "hardware."),
-    ("Figure 12 — texture access latency",
-     "PTR alone raises latency on several apps; LIBRA cuts it by 13.5% "
-     "on average (up to 40%).",
-     "fig12.",
-     "The first half of the claim reproduces cleanly: PTR alone "
-     "increases texture latency. LIBRA recovers part of that increase "
-     "(and up to 12% on individual benchmarks like GrT/SuS) but not the "
-     "paper's full 13.5% average — our interval-grain congestion model "
-     "understates the latency LIBRA saves at fine grain."),
-    ("Figure 13 — texture cache hit ratio",
-     "LIBRA raises the overall texture hit ratio (avg +10.6%).",
-     "fig13.",
-     "LIBRA preserves the hit ratio relative to PTR (losing less than "
-     "PTR does against the 8-core baseline, whose single larger L1 "
-     "naturally hits more). The paper's +10.6% gain over the *baseline* "
-     "does not reproduce: in our model the baseline's aggregated L1 is "
-     "already replication-free, so there is less for supertiles to win "
-     "back."),
-    ("Figure 14 — DRAM accesses, LIBRA vs PTR",
-     "No significant change in access count (balance, not volume).",
-     "fig14.",
-     "Reproduced: the normalized access count stays near 1.0 for every "
-     "benchmark."),
-    ("Figure 15 — total GPU energy",
-     "PTR saves 5.5%; LIBRA 9.2% total.",
-     "fig15.",
-     "Reproduced in shape: both save energy (mostly static energy from "
-     "shorter execution), LIBRA at least as much as PTR."),
-    ("Figure 16 — static supertiles vs dynamic",
-     "Static 2/4/8/16 supertiles: +0.6/2.1/2.8/3.2% over PTR; LIBRA ~+7%.",
-     "fig16.",
-     "LIBRA beats every static size on average; in our model large "
-     "static supertiles are roughly neutral because cross-unit L2 "
-     "sharing offsets their intra-unit locality gain."),
-    ("Figure 17 — compute-intensive apps",
-     "PTR +9.9%, scheduler only +1.7% more; never harmful.",
-     "fig17.",
-     "Reproduced: the adaptive controller keeps Z-order on "
-     "high-hit-ratio apps, so LIBRA == PTR within noise."),
-    ("Figure 18 — scaling Raster Units",
-     "2/3/4 units: +20.9/31.3/28.8% over equal-core baselines.",
-     "fig18.",
-     "More units help and returns diminish, matching the paper's trend."),
-    ("Figure 19 — threshold sensitivity",
-     "Best thresholds: 0.25% (resize), 3% (ordering); curves are flat.",
-     "fig19",
-     "Reproduced: all threshold settings land within a narrow band, so "
-     "the mechanism is robust to its tuning — same conclusion as the "
-     "paper."),
-    ("Section III-E — hardware overhead",
-     "510×64-bit stats buffer (≈4KB, <0.2% of L2); ranking 13761 cycles, "
-     "hidden under geometry.",
-     "hw.",
-     "All three numbers match the paper exactly (they are arithmetic "
-     "properties of the design, independent of workloads)."),
-    ("Figure 9 — tile vs supertile heat (HCR)",
-     "Hotspots cover clusters of neighboring tiles; supertile "
-     "aggregation preserves the heat structure.",
-     "fig9.",
-     "Reproduced: supertile heat keeps a strong hot/median contrast and "
-     "correlates tightly with tile-level heat."),
-    ("Ablations (beyond the paper)",
-     "—",
-     "ablation.",
-     "Extra studies this reproduction adds: the scheduling design space "
-     "(Hilbert / reverse-frame / random / oracle-predictor) and LIBRA vs "
-     "PFR-style inter-frame parallelism. Notable honest findings: the "
-     "adaptive LIBRA matches or beats the perfect-predictor oracle "
-     "(frame coherence costs nothing), and on this model both "
-     "reverse-frame traversal (cross-frame L2 reuse) and PFR "
-     "(inter-frame parallelism) are strong competitors — at the price, "
-     "for PFR, of a full frame of added latency that a speedup metric "
-     "does not show."),
-    ("Model robustness (beyond the paper)",
-     "—",
-     "robust.",
-     "The LIBRA >= PTR > baseline ordering survives halving/doubling the "
-     "coupling interval and enabling AFBC-style FB compression."),
-]
-
-HEADER = """# EXPERIMENTS — paper vs. measured
-
-Generated from a full run of the benchmark suite
-(`pytest benchmarks/ --benchmark-only -q -s | tee bench.log`, then
-`python scripts/make_experiments_md.py bench.log`).
-
-Absolute cycle counts are not comparable to the paper (different
-simulator, synthetic workloads, reduced 960x512 resolution — see
-DESIGN.md); what is compared is the *shape* of each result: orderings,
-signs, splits, and rough magnitudes. Every row below is also asserted by
-the corresponding bench, so `pytest benchmarks/` failing means a shape
-regressed.
-"""
-
-
-def parse_results(path: str) -> Dict[str, Tuple[str, Optional[str]]]:
-    results: Dict[str, Tuple[str, Optional[str]]] = {}
-    with open(path) as handle:
-        for line in handle:
-            match = RESULT_RE.search(line)
-            if match:
-                results[match.group("key")] = (match.group("measured"),
-                                               match.group("paper"))
-    return results
-
-
-def render(results: Dict[str, Tuple[str, Optional[str]]]) -> str:
-    out = [HEADER]
-    used = set()
-    for title, claim, prefix, commentary in SECTIONS:
-        rows = {k: v for k, v in results.items() if k.startswith(prefix)}
-        used.update(rows)
-        out.append(f"\n## {title}\n")
-        out.append(f"**Paper:** {claim}\n")
-        if rows:
-            out.append("| metric | measured | paper |")
-            out.append("|---|---|---|")
-            for key, (measured, paper) in sorted(rows.items()):
-                short = key[len(prefix):].lstrip(".")
-                out.append(f"| {short} | {measured} | {paper or '—'} |")
-            out.append("")
-        else:
-            out.append("*(no RESULT lines found in the log for this "
-                       "experiment)*\n")
-        out.append(f"{commentary}\n")
-    leftovers = {k: v for k, v in results.items() if k not in used}
-    if leftovers:
-        out.append("\n## Other recorded results\n")
-        out.append("| metric | measured | paper |")
-        out.append("|---|---|---|")
-        for key, (measured, paper) in sorted(leftovers.items()):
-            out.append(f"| {key} | {measured} | {paper or '—'} |")
-        out.append("")
-    return "\n".join(out)
-
-
-def render_sweep(store_root: str) -> str:
-    """One markdown section for a completed ``repro sweep`` store.
-
-    Reads the manifest and the per-point checkpoints (through the
-    checksum layer — corrupt artifacts are reported as missing cells,
-    never rendered) and pivots them with the same aggregation ``repro
-    sweep`` prints, so the committed table equals the CLI output.
-    """
-    from repro.experiments import (ArtifactStore, ExperimentSpec,
-                                   PointOutcome, SweepResult,
-                                   speedup_matrix)
-    store = ArtifactStore(store_root)
-    manifest = store.read_manifest()
-    if manifest is None:
-        raise SystemExit(f"{store_root}: not a sweep artifact store "
-                         "(no readable manifest.json)")
-    spec = ExperimentSpec.from_dict(manifest["spec"])
-    points = spec.expand()
-    done = store.load_completed(points)
-    result = SweepResult(spec=spec, store_root=Path(store_root))
-    for point in points:
-        summary = done.get(point.point_id)
-        if summary is None:
-            result.outcomes.append(PointOutcome(
-                point=point, status="skipped", error="no artifact",
-                error_type="missing"))
-        else:
-            result.outcomes.append(PointOutcome(
-                point=point, status="ok", summary=summary, resumed=True))
-    matrix = speedup_matrix(result)
-    out = [f"\n## Sweep: {spec.name}\n",
-           f"Grid: benchmarks={', '.join(spec.benchmarks)}; "
-           f"kinds={', '.join(spec.kinds)}; "
-           + "; ".join(f"{a}={v}" for a, v in spec.axes.items())
-           + f"; frames={spec.frames} at {spec.width}x{spec.height} "
-           f"({len(done)}/{len(points)} points on disk in "
-           f"`{store_root}`).\n",
-           matrix.to_markdown(), ""]
-    if matrix.telemetry:
-        out += ["\n### Merged telemetry (summed across all completed "
-                "points)\n",
-                "| metric | value |", "|---|---|"]
-        out += [f"| `{name}` | {value:,g} |"
-                for name, value in sorted(matrix.telemetry.items())
-                if ".le_" not in name]
-        out.append("")
-    return "\n".join(out)
+from repro.figures.render import (HEADER, parse_results,  # noqa: E402
+                                  render, render_sweep)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -29,6 +29,13 @@ Subcommands:
   telemetry (or post-process an exported JSONL stream) and emit a
   markdown analysis: DRAM bandwidth burstiness, per-RU load balance,
   FSM decision timeline, cache hit-ratio trends, anomaly flags.
+* ``repro figures [--only FIG,...] [--quick] [--out DIR]`` — the
+  one-command paper-reproduction pipeline: run the committed figure
+  registry through the resumable sweep engine, evaluate every shape
+  claim, and write ``figures_manifest.json`` plus a self-contained
+  HTML dashboard (``--format md`` regenerates EXPERIMENTS.md instead).
+  Exit 0 when every shape claim holds, 1 on any regression, 2 on
+  usage errors (see ``repro.figures`` and ``docs/figures.md``).
 
 Flag conventions, shared across subcommands: single-target commands
 take ``--benchmark``, sweep-style commands take ``--benchmarks`` (comma
@@ -588,6 +595,78 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _split_csv(chunks: List[str]) -> List[str]:
+    out: List[str] = []
+    for chunk in chunks or []:
+        out += [item.strip() for item in chunk.split(",")
+                if item.strip()]
+    return out
+
+
+def cmd_figures(args) -> int:
+    """Handle ``repro figures`` (the paper-reproduction pipeline).
+
+    Exit contract: 0 every selected figure's shape claims hold, 1 any
+    regression (or partial/error figure), 2 usage (unknown figure id).
+    The manifest is always written, whatever the verdicts — CI wants
+    the evidence most when the gate fails.
+    """
+    import json
+    from pathlib import Path
+
+    from .figures import (figure_registry, record_perf_analysis,
+                          render_dashboard, render_experiments_md,
+                          run_figures)
+    only = _split_csv(args.only)
+    seeded = _split_csv(args.seed_regression)
+    known = list(figure_registry(quick=args.quick))
+    unknown = [fid for fid in only + seeded if fid not in known]
+    if unknown:
+        logger.error("unknown figure id(s): %s (known: %s)",
+                     ", ".join(sorted(set(unknown))), ", ".join(known))
+        return 2
+    report = run_figures(
+        only=only or None, quick=args.quick, store_root=args.store,
+        workers=args.workers, timeout_s=args.timeout,
+        retries=args.retries, seed_regression=seeded or None)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    manifest_path = out / "figures_manifest.json"
+    manifest_path.write_text(
+        json.dumps(report.to_manifest(), indent=2, sort_keys=True)
+        + "\n")
+    written = [manifest_path]
+    if args.fmt in ("html", "both"):
+        perf_md = None
+        if any(f.fid == "fig7" for f in report.figures):
+            perf_md = record_perf_analysis(quick=args.quick)
+        html_path = out / "figures_dashboard.html"
+        html_path.write_text(render_dashboard(report,
+                                              perf_markdown=perf_md))
+        written.append(html_path)
+    if args.fmt in ("md", "both"):
+        md_path = out / "EXPERIMENTS.md"
+        md_path.write_text(render_experiments_md(report))
+        written.append(md_path)
+
+    badge = {"pass": "PASS", "fail": "FAIL", "partial": "PARTIAL",
+             "error": "ERROR"}
+    for outcome in report.figures:
+        held = sum(1 for e in outcome.expectations if e.passed)
+        print(f"{outcome.fid:<8} {badge.get(outcome.status, '?'):<8} "
+              f"{held}/{len(outcome.expectations)} claims  "
+              f"{outcome.title}")
+    executed = sum(len(r.completed) - len(r.resumed)
+                   for r in report.sweeps.values())
+    resumed = sum(len(r.resumed) for r in report.sweeps.values())
+    print(f"figures: {len(report.passed)}/{len(report.figures)} pass "
+          f"({executed} points executed, {resumed} resumed)")
+    for path in written:
+        print(f"wrote {path}")
+    return report.exit_code
+
+
 def cmd_heatmap(args) -> int:
     """Handle ``repro heatmap``."""
     traces = _build_traces(args.benchmark, 2, args.width, args.height)
@@ -744,6 +823,35 @@ def build_parser() -> argparse.ArgumentParser:
                                "the baseline (so a --quick record can "
                                "be gated against a full baseline)")
 
+    figures = sub.add_parser(
+        "figures", help="one-command paper reproduction: run the "
+                        "figure registry through resumable sweeps, "
+                        "check every shape claim, render the dashboard",
+        parents=[_supervision_parent()])
+    figures.add_argument("--only", action="append", default=[],
+                         metavar="FIG[,FIG...]",
+                         help="restrict to these figure ids "
+                              "(repeatable or comma-separated; "
+                              "e.g. fig1,table2)")
+    figures.add_argument("--quick", action="store_true",
+                         help="CI-sized profile: smaller screen, fewer "
+                              "frames, benchmark subsets (uses its own "
+                              "artifact stores)")
+    figures.add_argument("--out", default="figures_out", metavar="DIR",
+                         help="output directory for the manifest, "
+                              "dashboard and markdown")
+    figures.add_argument("--store", default=None, metavar="DIR",
+                         help="artifact-store root (default "
+                              ".repro_figures); rerunning against the "
+                              "same store resumes completed points")
+    figures.add_argument("--format", default="html", dest="fmt",
+                         choices=("html", "md", "both"),
+                         help="html: dashboard; md: regenerate "
+                              "EXPERIMENTS.md; both")
+    figures.add_argument("--seed-regression", action="append",
+                         default=[], metavar="FIG[,FIG...]",
+                         help=argparse.SUPPRESS)
+
     report = sub.add_parser(
         "report", help="telemetry analysis report (markdown): DRAM "
                        "burstiness, RU load balance, FSM timeline, "
@@ -783,6 +891,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "perf": cmd_perf,
         "report": cmd_report,
+        "figures": cmd_figures,
     }
     try:
         return handlers[args.command](args)

@@ -42,7 +42,15 @@ _SPARK = " ▁▂▃▄▅▆▇█"
 
 
 def _sparkline(values: Sequence[float], width: int = 60) -> str:
-    """A unicode sparkline, resampled to at most ``width`` cells."""
+    """A unicode sparkline, resampled to at most ``width`` cells.
+
+    Degenerate series render a stable placeholder instead of garbage:
+    an empty series is ``(no samples)``, a zero-range (all-equal)
+    series is a flat line — mid-height when positive, floor-height
+    otherwise — and out-of-band values clamp to the glyph range rather
+    than wrapping the index (a negative sample must not pick a glyph
+    from the end of the scale).
+    """
     if not values:
         return "(no samples)"
     if len(values) > width:
@@ -52,9 +60,12 @@ def _sparkline(values: Sequence[float], width: int = 60) -> str:
                                  int((i + 1) * stride))])
                   for i in range(width)]
     peak = max(values)
+    if peak == min(values):
+        return _SPARK[4 if peak > 0 else 1] * len(values)
     if peak <= 0:
         return _SPARK[1] * len(values)
-    return "".join(_SPARK[min(8, int(8 * v / peak + 0.5))] for v in values)
+    return "".join(_SPARK[max(0, min(8, int(8 * v / peak + 0.5)))]
+                   for v in values)
 
 
 def _mean(values: Sequence[float]) -> float:
@@ -62,9 +73,16 @@ def _mean(values: Sequence[float]) -> float:
 
 
 def _cv(values: Sequence[float]) -> float:
-    """Coefficient of variation (stddev over mean)."""
+    """Coefficient of variation (stddev over mean).
+
+    0.0 for the degenerate cases — an empty series, an all-equal
+    series (no variation by definition), or a zero mean (the ratio is
+    undefined; callers want "no signal", not a ZeroDivisionError).
+    """
+    if not values:
+        return 0.0
     mean = _mean(values)
-    if mean == 0:
+    if mean == 0 or min(values) == max(values):
         return 0.0
     var = _mean([(v - mean) ** 2 for v in values])
     return var ** 0.5 / mean

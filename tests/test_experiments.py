@@ -389,6 +389,46 @@ class TestAggregation:
         assert "—" in matrix.format()
         assert "—" in matrix.to_markdown()
 
+    def test_markdown_partial_cells_and_footer(self):
+        spec = tiny_spec(axes={"raster_units": [1, 2, 3]})
+        result = fake_result(spec, {("baseline", 1): 100,
+                                    ("libra", 1): 50,
+                                    ("baseline", 2): 100,
+                                    ("baseline", 3): 100})
+        # libra@ru=1 completed but via degraded recovery; libra@ru=2
+        # stays failed; libra@ru=3 was quarantined by the breaker.
+        for outcome in result.outcomes:
+            if outcome.point.kind != "libra":
+                continue
+            ru = dict(outcome.point.axes)["raster_units"]
+            if ru == 1:
+                outcome.provenance = "degraded"
+            elif ru == 3:
+                outcome.status = "tripped"
+        markdown = speedup_matrix(result).to_markdown()
+        lines = markdown.splitlines()
+        assert "| 2.000† |" in lines[2]  # degraded value carries †
+        assert "| ✗ |" in lines[3]      # failed cell is a marked hole
+        assert "| ⊘ |" in lines[4]      # breaker-tripped likewise
+        assert lines[-1] == ("PARTIAL matrix: 1 degraded, 1 failed, "
+                             "1 tripped  "
+                             "(† degraded, ✗ failed, ⊘ breaker-tripped)")
+
+    def test_markdown_degraded_only_footer_is_not_partial(self):
+        spec = tiny_spec()
+        result = fake_result(spec, {("baseline", 1): 100,
+                                    ("libra", 1): 50,
+                                    ("baseline", 2): 100,
+                                    ("libra", 2): 80})
+        result.outcomes[1].provenance = "degraded"
+        matrix = speedup_matrix(result)
+        assert not matrix.partial
+        markdown = matrix.to_markdown()
+        assert "1.250" in markdown
+        assert markdown.splitlines()[-1].startswith("annotations: "
+                                                    "1 degraded")
+        assert "PARTIAL" not in markdown
+
     def test_markdown_shape(self):
         spec = tiny_spec()
         result = fake_result(spec, {("baseline", 1): 100, ("libra", 1): 50,

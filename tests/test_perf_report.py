@@ -9,6 +9,7 @@ import pytest
 from repro.cli import main
 from repro.errors import TraceFormatError
 from repro.perf import build_report
+from repro.perf.report import _SPARK, _cv, _sparkline
 from repro.telemetry import (CacheDelta, DRAMSample, FSMState,
                              FSMTransition, HUB, JsonlSink, PhaseBegin,
                              PhaseEnd, RecordingSink, SchedulerDecision,
@@ -82,6 +83,51 @@ class TestLiveRunReport:
         assert "No DRAM interval samples" in report
         assert "No tile-retire events" in report
         assert "No scheduler/FSM events" in report
+
+
+class TestSparkline:
+    def test_empty_series_placeholder(self):
+        assert _sparkline([]) == "(no samples)"
+
+    def test_all_equal_positive_renders_flat_mid_height(self):
+        assert _sparkline([7.0, 7.0, 7.0]) == _SPARK[4] * 3
+
+    def test_all_zero_renders_flat_floor(self):
+        assert _sparkline([0.0, 0.0]) == _SPARK[1] * 2
+
+    def test_all_equal_negative_renders_flat_floor(self):
+        assert _sparkline([-3.0, -3.0]) == _SPARK[1] * 2
+
+    def test_negative_values_clamp_instead_of_wrapping(self):
+        # A negative sample must pick the floor glyph, never wrap the
+        # index around to a tall bar from the end of the scale.
+        line = _sparkline([-50.0, 0.0, 100.0])
+        assert line[0] == _SPARK[0]
+        assert line[-1] == _SPARK[8]
+
+    def test_peak_maps_to_top_glyph(self):
+        line = _sparkline([0.0, 50.0, 100.0])
+        assert line == _SPARK[0] + _SPARK[4] + _SPARK[8]
+
+    def test_long_series_resampled_to_width(self):
+        line = _sparkline(list(range(600)), width=60)
+        assert len(line) == 60
+        assert line[-1] == _SPARK[8]
+
+
+class TestCoefficientOfVariation:
+    def test_empty_series(self):
+        assert _cv([]) == 0.0
+
+    def test_all_equal_has_no_variation(self):
+        assert _cv([5.0, 5.0, 5.0]) == 0.0
+
+    def test_zero_mean_is_no_signal_not_a_crash(self):
+        assert _cv([-1.0, 1.0]) == 0.0
+
+    def test_known_value(self):
+        # mean 2, population variance 2/3
+        assert _cv([1.0, 2.0, 3.0]) == pytest.approx((2 / 3) ** 0.5 / 2)
 
 
 class TestAnomalyFlags:
