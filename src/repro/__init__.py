@@ -31,8 +31,8 @@ from .core import (LibraScheduler, StaticSupertileScheduler,
 from .energy import EnergyCounts, EnergyModel, EnergyParams, EnergyReport
 from .errors import (BenchmarkTimeoutError, CacheCorruptionError,
                      CircuitOpenError, ConfigValidationError, ReproError,
-                     SimulationError, TraceFormatError, WorkerCrashError,
-                     WorkerHungError)
+                     ServiceError, SimulationError, TraceFormatError,
+                     WorkerCrashError, WorkerHungError)
 from .geometry import (DrawCall, GeometryPipeline, Mesh, Primitive,
                        ShaderProfile)
 from .gpu import (FrameResult, FrameTrace, GPUSimulator, RunResult,
@@ -46,12 +46,12 @@ from .workloads import (SceneBuilder, TraceBuilder, TraceCache,
                         memory_intensive_names)
 # The curated façade (must come last: it composes the layers above).
 from . import api
-from .api import (ComparisonReport, ExperimentSpec, RunSummary,
-                  SpeedupMatrix, SuiteReport, SweepPoint, SweepResult,
-                  build_traces, compare, load_spec, run_suite, simulate,
-                  speedup_matrix, sweep)
+from .api import (ComparisonReport, ExperimentSpec, JobRecord, RunSummary,
+                  SpeedupMatrix, SuiteReport, SweepClient, SweepPoint,
+                  SweepResult, build_traces, compare, load_spec, run_suite,
+                  run_worker, serve, simulate, speedup_matrix, sweep)
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -79,9 +79,12 @@ __all__ = [
     "ReproError", "CacheCorruptionError", "TraceFormatError",
     "ConfigValidationError", "BenchmarkTimeoutError", "SimulationError",
     "WorkerCrashError", "WorkerHungError", "CircuitOpenError",
+    "ServiceError",
     # the supported façade (see repro.api and docs/api.md)
     "api", "build_traces", "simulate", "compare", "sweep", "load_spec",
     "run_suite", "RunSummary", "SuiteReport", "ComparisonReport",
     "ExperimentSpec", "SweepPoint", "SweepResult", "SpeedupMatrix",
     "speedup_matrix",
+    # the sweep service (see repro.service and docs/service.md)
+    "serve", "run_worker", "SweepClient", "JobRecord",
 ]

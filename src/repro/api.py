@@ -15,6 +15,12 @@ The verbs:
   speedups over the first (what ``repro compare`` prints).
 * :func:`sweep` — a declarative, resumable parameter-grid sweep (what
   ``repro sweep`` runs); :func:`load_spec` reads the YAML/JSON spec.
+* :func:`serve` / :func:`run_worker` / :class:`SweepClient` — the
+  distributed sweep service (what ``repro serve``/``worker``/``submit``
+  run): submit a spec over HTTP, a worker fleet sharing the store
+  directory executes it, and the client returns the aggregated
+  :class:`SpeedupMatrix`.  Failures raise :class:`ServiceError`
+  carrying the HTTP status.  See ``docs/service.md``.
 
 Configuration enters through :class:`~repro.config.GPUConfig` — either
 a preset (:func:`baseline_config` / :func:`libra_config` /
@@ -31,12 +37,13 @@ from typing import Dict, List, Optional, Sequence, Union
 from . import harness
 from .config import (GPUConfig, baseline_config, libra_config, parse_kind,
                      small_config)
-from .errors import ConfigValidationError, ReproError
+from .errors import ConfigValidationError, ReproError, ServiceError
 from .experiments import (ExperimentSpec, SpeedupMatrix, SweepPoint,
                           SweepResult, execute_point, run_sweep,
                           speedup_matrix)
 from .gpu import FrameTrace
 from .harness import RunSummary, SuiteReport, run_suite
+from .service import JobRecord, SweepClient, run_worker, serve
 
 __all__ = [
     # verbs
@@ -46,6 +53,11 @@ __all__ = [
     "sweep",
     "load_spec",
     "run_suite",
+    # the sweep service (repro serve / worker / submit / status)
+    "serve",
+    "run_worker",
+    "SweepClient",
+    "JobRecord",
     # configuration constructors
     "GPUConfig",
     "baseline_config",
@@ -64,6 +76,7 @@ __all__ = [
     "FrameTrace",
     # error root (catch this to handle anything the package raises)
     "ReproError",
+    "ServiceError",
 ]
 
 

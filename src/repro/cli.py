@@ -36,6 +36,14 @@ Subcommands:
   HTML dashboard (``--format md`` regenerates EXPERIMENTS.md instead).
   Exit 0 when every shape claim holds, 1 on any regression, 2 on
   usage errors (see ``repro.figures`` and ``docs/figures.md``).
+* ``repro serve [--root DIR] [--host H] [--port P]`` / ``repro worker
+  --root DIR`` / ``repro submit --server URL ...`` / ``repro status
+  [JOB]`` — the distributed sweep service: a stdlib HTTP API accepting
+  experiment specs as jobs, a worker fleet (any number of processes or
+  hosts sharing the store directory) executing the grid under
+  crash-safe point leases, and client commands that submit, stream
+  progress and fetch the aggregated speedup matrix (see
+  ``repro.service`` and ``docs/service.md``).
 
 Flag conventions, shared across subcommands: single-target commands
 take ``--benchmark``, sweep-style commands take ``--benchmarks`` (comma
@@ -51,10 +59,15 @@ commands, ``--benchmark`` on sweep commands, ``--kind`` for
 Diagnostics go through the ``repro`` :mod:`logging` hierarchy; ``-v``
 raises the level to INFO, ``-vv`` to DEBUG.
 
-Error contract: an unknown benchmark or configuration name exits with
-status 2 and prints the valid names; any :class:`~repro.errors.ReproError`
-raised while executing a command is reported as a one-line diagnostic on
-stderr with exit status 1 — never a traceback.
+Exit-code contract, uniform across every subcommand (the full table
+lives in ``docs/api.md``): **0** success (including a clean
+SIGINT/SIGTERM shutdown of ``serve``/``worker``), **1** the work itself
+failed — a :class:`~repro.errors.ReproError`, a perf/figures
+regression, a sweep with failed points, a service job that ended
+``failed``/``cancelled`` under ``submit --wait`` or ``status`` —
+reported as a one-line stderr diagnostic, never a traceback, **2**
+usage errors: unknown names or flags, an invalid spec or grid, an
+unbindable ``serve`` address.
 """
 
 from __future__ import annotations
@@ -158,8 +171,8 @@ class _DeprecatedAlias(argparse.Action):
     def __call__(self, parser, namespace, values, option_string=None):
         if option_string not in _WARNED_ALIASES:
             _WARNED_ALIASES.add(option_string)
-            message = (f"option {option_string} is deprecated; "
-                       f"use {self.canonical}")
+            message = (f"option {option_string} is deprecated and will "
+                       f"be removed in 2.0; use {self.canonical}")
             warnings.warn(message, DeprecationWarning, stacklevel=2)
             logger.warning("%s", message)
         setattr(namespace, self.dest, values)
@@ -424,6 +437,35 @@ def cmd_suite(args) -> int:
     return 0 if not report.failed else 1
 
 
+def _resolve_spec(args, command: str):
+    """The sweep/submit grid: ``--spec file`` or the inline options.
+
+    Shared by ``repro sweep`` and ``repro submit`` so the inline grammar
+    (``--benchmarks/--kinds/--axis/--baseline``) means exactly the same
+    grid whichever path executes it.  Raises
+    :class:`ConfigValidationError` for an unusable grid (callers map it
+    to exit status 2 — a usage error, not a run failure).
+    """
+    from .experiments import ExperimentSpec, parse_axis_option
+    if args.spec:
+        spec = ExperimentSpec.from_file(args.spec)
+    else:
+        if not args.benchmarks:
+            raise ConfigValidationError(
+                f"{command} needs --spec or --benchmarks")
+        names = (benchmark_names() if args.benchmarks == "all"
+                 else [n.strip() for n in args.benchmarks.split(",")
+                       if n.strip()])
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+        axes = dict(parse_axis_option(a) for a in (args.axis or []))
+        spec = ExperimentSpec(
+            name=args.name, benchmarks=names, kinds=kinds, axes=axes,
+            frames=args.frames, width=args.width, height=args.height,
+            baseline_kind=args.baseline or (kinds[0] if kinds else ""))
+    spec.validate()
+    return spec
+
+
 def cmd_sweep(args) -> int:
     """Handle ``repro sweep`` (the declarative, resumable grid sweep).
 
@@ -442,25 +484,9 @@ def cmd_sweep(args) -> int:
     non-quarantined point converges to the fault-free result.
     """
     from . import chaos
-    from .experiments import (ExperimentSpec, parse_axis_option,
-                              run_sweep, speedup_matrix)
+    from .experiments import run_sweep, speedup_matrix
     try:
-        if args.spec:
-            spec = ExperimentSpec.from_file(args.spec)
-        else:
-            if not args.benchmarks:
-                raise ConfigValidationError(
-                    "sweep needs --spec or --benchmarks")
-            names = (benchmark_names() if args.benchmarks == "all"
-                     else [n.strip() for n in args.benchmarks.split(",")
-                           if n.strip()])
-            kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
-            axes = dict(parse_axis_option(a) for a in (args.axis or []))
-            spec = ExperimentSpec(
-                name=args.name, benchmarks=names, kinds=kinds, axes=axes,
-                frames=args.frames, width=args.width, height=args.height,
-                baseline_kind=args.baseline or (kinds[0] if kinds else ""))
-            spec.validate()
+        spec = _resolve_spec(args, command="sweep")
     except ConfigValidationError as exc:
         logger.error("%s", exc)
         return 2
@@ -498,6 +524,175 @@ def cmd_sweep(args) -> int:
         print()
         print(telemetry_table)
     return 1 if (result.failed or result.tripped) else 0
+
+
+def _graceful_stop_signals(on_stop):
+    """Route SIGINT/SIGTERM into ``on_stop`` (service exit-code 0 path).
+
+    A service process asked to stop is a *success*, not an error: both
+    signals trigger a clean drain instead of KeyboardInterrupt or
+    sudden death, so supervisors (systemd, CI) see exit status 0.
+    Returns the previous handlers for restoration.
+    """
+    import signal
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(
+            signum, lambda _signum, _frame: on_stop())
+    return previous
+
+
+def cmd_serve(args) -> int:
+    """Handle ``repro serve`` (the sweep-service HTTP API).
+
+    Binds first, prints the resolved address (``--port 0`` picks a free
+    port), then blocks in the request loop until SIGINT/SIGTERM — which
+    exit 0.  A socket that cannot be bound (port in use, bad host) is a
+    usage error: exit 2.
+    """
+    import threading
+
+    from .service.server import create_server
+    try:
+        server = create_server(args.root, args.host, args.port)
+    except OSError as exc:
+        logger.error("cannot bind %s:%s: %s", args.host, args.port, exc)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(store root {args.root})", flush=True)
+
+    def _stop():
+        # shutdown() blocks until the loop exits, so it must run off
+        # the main thread the loop occupies.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    _graceful_stop_signals(_stop)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+    print("repro serve: shut down cleanly")
+    return 0
+
+
+def cmd_worker(args) -> int:
+    """Handle ``repro worker`` (one member of the sweep-worker fleet).
+
+    Drains the shared job store at ``--root`` until stopped
+    (SIGINT/SIGTERM → finish the in-flight point, release the lease,
+    exit 0), ``--once`` finds no work, ``--max-points`` is reached, or
+    ``--idle-exit`` seconds pass without work.
+    """
+    import threading
+
+    from .service import run_worker
+    if args.poll <= 0 or args.lease_ttl <= 0:
+        logger.error("--poll and --lease-ttl must be > 0")
+        return 2
+    if args.max_points is not None and args.max_points < 1:
+        logger.error("--max-points must be >= 1")
+        return 2
+    stop = threading.Event()
+    _graceful_stop_signals(stop.set)
+    executed = run_worker(
+        args.root, worker_id=args.id, poll_s=args.poll,
+        lease_ttl_s=args.lease_ttl, idle_exit_s=args.idle_exit,
+        max_points=args.max_points, once=args.once, stop=stop)
+    print(f"repro worker: executed {executed} point(s)")
+    return 0
+
+
+def _print_job(record, points=None) -> None:
+    line = (f"job {record.job_id}: {record.state}  "
+            f"({record.total_points} points")
+    if points:
+        line += (f": {points.get('completed', 0)} done, "
+                 f"{points.get('failed', 0)} failed, "
+                 f"{points.get('leased', 0)} leased, "
+                 f"{points.get('pending', 0)} pending")
+    line += ")"
+    if record.error:
+        line += f"  error: {record.error}"
+    print(line, flush=True)
+
+
+def _follow_events(client, job_id: str, timeout_s: float) -> None:
+    """Stream a job's progress events to stdout until it finishes."""
+    for event in client.events(job_id, follow=True, timeout_s=timeout_s):
+        kind = event.get("event", "?")
+        detail = " ".join(
+            f"{key}={event[key]}" for key in
+            ("point_id", "owner", "cycles", "error_type", "error",
+             "previous_owner", "counts")
+            if event.get(key) not in (None, "", {}))
+        print(f"  [{kind}] {detail}".rstrip(), flush=True)
+
+
+def cmd_submit(args) -> int:
+    """Handle ``repro submit`` (send a grid to a running service).
+
+    The grid grammar is exactly ``repro sweep``'s (``--spec`` or the
+    inline options).  Exit status: 2 for an unusable grid, 1 when the
+    server rejects it / is unreachable or — with ``--wait``/
+    ``--follow`` — the job ends ``failed``/``cancelled``, else 0.
+    """
+    from .service import SweepClient
+    try:
+        spec = _resolve_spec(args, command="submit")
+    except ConfigValidationError as exc:
+        logger.error("%s", exc)
+        return 2
+    client = SweepClient(args.server)
+    record = client.submit(spec,
+                           point_telemetry=not args.no_point_telemetry)
+    _print_job(record)
+    if not (args.wait or args.follow):
+        return 0
+    if args.follow:
+        _follow_events(client, record.job_id, timeout_s=args.wait_timeout)
+    record = client.wait(record.job_id, timeout_s=args.wait_timeout)
+    _print_job(record)
+    if record.state == "done":
+        print()
+        print(client.result(record.job_id).format())
+        return 0
+    return 1
+
+
+def cmd_status(args) -> int:
+    """Handle ``repro status`` (poll a job, or list every job).
+
+    ``repro status JOB`` prints one job (``--follow`` streams its
+    events until it finishes; ``--result`` prints the matrix of a
+    finished job).  Without a job id, lists everything the server
+    knows.  Exit status: 1 when the inspected job is ``failed`` or
+    ``cancelled`` (so CI can gate on it), else 0.
+    """
+    from .service import SweepClient
+    client = SweepClient(args.server)
+    if not args.job:
+        records = client.jobs()
+        if not records:
+            print("no jobs")
+            return 0
+        rows = [[r.job_id, r.state, r.total_points,
+                 r.error or ""] for r in records]
+        print(format_table(("job", "state", "points", "error"), rows,
+                           title=f"jobs at {args.server}"))
+        return 0
+    record = client.status(args.job)
+    _print_job(record, points=getattr(record, "points", None))
+    if args.follow and not record.terminal:
+        _follow_events(client, record.job_id,
+                       timeout_s=args.wait_timeout)
+        record = client.wait(record.job_id,
+                             timeout_s=args.wait_timeout)
+        _print_job(record)
+    if args.result and record.state in ("done", "failed"):
+        print()
+        print(client.result(record.job_id).format())
+    return 1 if record.state in ("failed", "cancelled") else 0
 
 
 def cmd_perf(args) -> int:
@@ -783,6 +978,101 @@ def build_parser() -> argparse.ArgumentParser:
                        help="point ids containing SUBSTR fail on every "
                             "attempt — must trip the circuit breaker")
 
+    serve = sub.add_parser(
+        "serve", help="sweep-service HTTP API: accept job submissions, "
+                      "serve status/events/results to many clients")
+    serve.add_argument("--root", default=".repro_service", metavar="DIR",
+                       help="job-store directory shared with the "
+                            "workers (default .repro_service)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1; use "
+                            "0.0.0.0 for a multi-host fleet)")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="bind port (default 8023; 0 picks a free "
+                            "port and prints it)")
+
+    worker = sub.add_parser(
+        "worker", help="sweep-service worker: claim queued points from "
+                       "the shared store and execute them")
+    worker.add_argument("--root", default=".repro_service", metavar="DIR",
+                        help="job-store directory shared with the "
+                             "server (default .repro_service)")
+    worker.add_argument("--id", default=None, metavar="NAME",
+                        help="worker id recorded in leases/events "
+                             "(default <hostname>-<pid>)")
+    worker.add_argument("--poll", type=float, default=0.5, metavar="S",
+                        help="seconds between idle scans of the store")
+    worker.add_argument("--lease-ttl", type=float, default=30.0,
+                        metavar="S",
+                        help="lease freshness window; a lease not "
+                             "renewed for this long is adopted by "
+                             "another worker")
+    worker.add_argument("--idle-exit", type=float, default=None,
+                        metavar="S",
+                        help="exit after this many seconds without "
+                             "finding work (default: run forever)")
+    worker.add_argument("--max-points", type=int, default=None,
+                        metavar="N",
+                        help="exit after executing N points")
+    worker.add_argument("--once", action="store_true",
+                        help="drain the currently queued work, then "
+                             "exit instead of polling")
+
+    submit = sub.add_parser(
+        "submit", help="submit a sweep grid to a running service "
+                       "(same --spec/inline grammar as sweep)",
+        parents=[_common_parent(frames_default=8)])
+    submit.add_argument("--server", default="http://127.0.0.1:8023",
+                        metavar="URL",
+                        help="service base URL (default "
+                             "http://127.0.0.1:8023)")
+    submit.add_argument("--spec", default=None, metavar="PATH",
+                        help="experiment spec file (.yaml/.yml/.json); "
+                             "overrides the inline grid options")
+    submit.add_argument("--name", default="adhoc",
+                        help="sweep name for the inline grid (part of "
+                             "the content-addressed job id)")
+    _add_benchmarks_option(submit, default=None)
+    submit.add_argument("--kinds", default="baseline,libra",
+                        help="comma-separated config kinds to compare")
+    submit.add_argument("--axis", action="append", metavar="NAME=V1,V2",
+                        help="one sweep axis (repeatable), exactly as "
+                             "for repro sweep")
+    submit.add_argument("--baseline", default=None, metavar="KIND",
+                        help="kind speedups are normalized against "
+                             "(default: first of --kinds)")
+    submit.add_argument("--no-point-telemetry", action="store_true",
+                        help="workers skip per-point metrics collection")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print "
+                             "the speedup matrix (exit 1 if it failed)")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream progress events while waiting "
+                             "(implies --wait)")
+    submit.add_argument("--wait-timeout", type=float, default=3600.0,
+                        metavar="S",
+                        help="give up waiting/following after this "
+                             "many seconds")
+
+    status = sub.add_parser(
+        "status", help="inspect a service job (or list all jobs)")
+    status.add_argument("job", nargs="?", default=None,
+                        help="job id (omit to list every job)")
+    status.add_argument("--server", default="http://127.0.0.1:8023",
+                        metavar="URL",
+                        help="service base URL (default "
+                             "http://127.0.0.1:8023)")
+    status.add_argument("--follow", action="store_true",
+                        help="stream the job's events until it "
+                             "finishes")
+    status.add_argument("--result", action="store_true",
+                        help="print the speedup matrix of a finished "
+                             "job")
+    status.add_argument("--wait-timeout", type=float, default=3600.0,
+                        metavar="S",
+                        help="give up following after this many "
+                             "seconds")
+
     perf = sub.add_parser(
         "perf", help="performance baselines: record a fingerprinted "
                      "BENCH_<n>.json, compare with noise bands")
@@ -889,6 +1179,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "suite": cmd_suite,
         "sweep": cmd_sweep,
+        "serve": cmd_serve,
+        "worker": cmd_worker,
+        "submit": cmd_submit,
+        "status": cmd_status,
         "perf": cmd_perf,
         "report": cmd_report,
         "figures": cmd_figures,

@@ -89,6 +89,26 @@ class CircuitOpenError(ReproError):
     """The circuit breaker quarantined this (benchmark, config) cell."""
 
 
+class ServiceError(ReproError):
+    """The sweep service (``repro serve``) rejected or failed a request.
+
+    Raised client-side by :class:`repro.service.SweepClient` for any
+    non-success HTTP status and for transport failures; ``status``
+    carries the HTTP status code (0 when the request never reached the
+    server).  Transport-level failures (connection refused, timeouts —
+    ``status == 0``) are transient; a definite server verdict (400, 404,
+    409) is not.
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+    @property
+    def transient(self) -> bool:  # type: ignore[override]
+        return self.status == 0 or self.status >= 500
+
+
 def is_transient(exc: BaseException) -> bool:
     """Whether retrying ``exc`` after backoff can plausibly succeed.
 

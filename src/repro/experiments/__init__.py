@@ -27,7 +27,8 @@ and a worked Figure 18/19 reproduction.
 """
 
 from .aggregate import MatrixRow, SpeedupMatrix, speedup_matrix
-from .engine import (PointOutcome, SweepResult, execute_point, run_sweep)
+from .engine import (PointOutcome, SweepResult, execute_point, run_sweep,
+                     sweep_result_from_store)
 from .spec import (AXIS_ALIASES, BUILD_AXES, ExperimentSpec, SweepPoint,
                    parse_axis_option, parse_axis_value, resolve_axes)
 from .store import ArtifactStore
@@ -42,6 +43,7 @@ __all__ = [
     "parse_axis_value",
     "ArtifactStore",
     "run_sweep",
+    "sweep_result_from_store",
     "execute_point",
     "SweepResult",
     "PointOutcome",

@@ -49,6 +49,24 @@ class MatrixRow:
         return {"degraded": "†", "failed": "✗",
                 "tripped": "⊘"}.get(self.provenance.get(kind, ""), "")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of this row (the service wire format)."""
+        return {"benchmark": self.benchmark, "axes": dict(self.axes),
+                "cycles": dict(self.cycles),
+                "speedups": dict(self.speedups),
+                "provenance": dict(self.provenance)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MatrixRow":
+        """Rebuild a row from :meth:`to_dict` output."""
+        return cls(benchmark=data["benchmark"],
+                   axes=dict(data.get("axes", {})),
+                   cycles={k: int(v)
+                           for k, v in data.get("cycles", {}).items()},
+                   speedups={k: float(v)
+                             for k, v in data.get("speedups", {}).items()},
+                   provenance=dict(data.get("provenance", {})))
+
 
 @dataclass
 class SpeedupMatrix:
@@ -183,6 +201,34 @@ class SpeedupMatrix:
         return format_table(("metric", "value"), rows,
                             title="telemetry (merged across all "
                             "completed points)")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the whole matrix.
+
+        This is what ``GET /v1/jobs/<id>/result`` serves and what
+        :meth:`repro.service.SweepClient.result` reconstructs from;
+        the schema is pinned by ``docs/service.md``.  Round-trips
+        through :meth:`from_dict` preserve :meth:`to_markdown` output
+        bit for bit.
+        """
+        return {"baseline_kind": self.baseline_kind,
+                "kinds": list(self.kinds),
+                "axis_names": list(self.axis_names),
+                "rows": [row.to_dict() for row in self.rows],
+                "telemetry": dict(self.telemetry)
+                if self.telemetry is not None else None}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpeedupMatrix":
+        """Rebuild a matrix from :meth:`to_dict` output."""
+        telemetry = data.get("telemetry")
+        return cls(baseline_kind=data["baseline_kind"],
+                   kinds=list(data.get("kinds", [])),
+                   axis_names=list(data.get("axis_names", [])),
+                   rows=[MatrixRow.from_dict(r)
+                         for r in data.get("rows", [])],
+                   telemetry=dict(telemetry)
+                   if telemetry is not None else None)
 
     def to_markdown(self) -> str:
         """GitHub-flavored markdown table (the EXPERIMENTS.md pathway).

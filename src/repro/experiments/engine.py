@@ -32,6 +32,7 @@ plus one ``sweep.point.<id>`` span per executed point, and counts
 from __future__ import annotations
 
 import logging
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -214,7 +215,8 @@ def execute_point(point: SweepPoint) -> RunSummary:
 def _point_runner(benchmark: str, point_id: str, frames: int = 0,
                   points: Optional[Dict[str, SweepPoint]] = None,
                   store_root: str = "",
-                  point_telemetry: bool = True) -> RunSummary:
+                  point_telemetry: bool = True,
+                  driver_pid: Optional[int] = None) -> RunSummary:
     """The :func:`repro.harness.run_pairs` runner for sweep points.
 
     Module-level and picklable so the process-pool backend can ship it;
@@ -233,8 +235,18 @@ def _point_runner(benchmark: str, point_id: str, frames: int = 0,
     caller already enabled (sequential in-process sweep) is left
     untouched — its accumulation is the caller's business — except the
     registry is snapshotted into the summary as before.
+
+    ``driver_pid`` closes the inverse leak: forked workers inherit the
+    driver's *enabled* hub, so ``point_telemetry=False`` alone used to
+    leave inherited collection running in every child.  When the pid
+    shows this process is a fork of the driver and telemetry was asked
+    off, the inherited hub is disabled here — the child's copy only;
+    the driver's own hub (same pid) is never touched.
     """
     point = points[point_id]
+    if (not point_telemetry and driver_pid is not None
+            and os.getpid() != driver_pid and HUB.enabled):
+        HUB.disable()
     store = ArtifactStore(store_root)
     existing = store.load(point_id)
     if existing is not None:
@@ -348,7 +360,7 @@ def run_sweep(spec: ExperimentSpec,
         max_attempts=retries + 1, backoff_s=spec.backoff_s,
         runner=_point_runner, workers=workers,
         points=by_id, store_root=str(root),
-        point_telemetry=point_telemetry)
+        point_telemetry=point_telemetry, driver_pid=os.getpid())
     breaker: Optional[CircuitBreaker] = None
     if supervise:
         sup_policy = policy or SupervisionPolicy()
@@ -400,4 +412,56 @@ def run_sweep(spec: ExperimentSpec,
                   "failed": len(result.failed),
                   "skipped": len(result.skipped),
                   "tripped": len(result.tripped)}))
+    return result
+
+
+def sweep_result_from_store(
+        spec: ExperimentSpec,
+        store_root: Union[str, Path]) -> SweepResult:
+    """Rebuild a :class:`SweepResult` purely from on-disk artifacts.
+
+    The distributed sweep service has no single driver process holding
+    a live result object — points complete in whatever worker claimed
+    them, possibly on another host.  Everything a result needs is in
+    the shared store, though: checkpointed summaries (``points/``),
+    terminal failures (``failures.json``) and the manifest's grid
+    fingerprint, which this verifies against ``spec`` so a store is
+    never aggregated under the wrong grid.  Points with an artifact are
+    ``ok`` (provenance ``resumed`` — served from a checkpoint, which
+    renders unmarked, exactly like a locally completed cell), recorded
+    failures are ``failed``, everything else ``skipped``.  Feeding the
+    result to :func:`~repro.experiments.aggregate.speedup_matrix`
+    yields a matrix bit-identical to a local :func:`run_sweep` of the
+    same spec once every point has checkpointed.
+    """
+    spec.validate()
+    store = ArtifactStore(store_root)
+    manifest = store.read_manifest()
+    if manifest is not None \
+            and manifest.get("fingerprint") != spec.fingerprint():
+        from ..errors import ConfigValidationError
+        raise ConfigValidationError(
+            f"artifact store {store.root} belongs to a different grid "
+            f"(stored fingerprint {manifest.get('fingerprint')!r}, "
+            f"this spec {spec.fingerprint()!r})")
+    points = spec.expand()
+    done = store.load_completed(points)
+    failures = store.load_point_failures()
+    result = SweepResult(spec=spec, store_root=Path(store_root))
+    for point in points:
+        pid = point.point_id
+        if pid in done:
+            result.outcomes.append(PointOutcome(
+                point=point, status="ok", summary=done[pid],
+                resumed=True, provenance="resumed"))
+        elif pid in failures:
+            record = failures[pid]
+            result.outcomes.append(PointOutcome(
+                point=point, status="failed",
+                error=str(record.get("error", "")),
+                error_type=str(record.get("error_type", "")),
+                provenance="failed"))
+        else:
+            result.outcomes.append(PointOutcome(
+                point=point, status="skipped", provenance="skipped"))
     return result

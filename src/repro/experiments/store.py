@@ -6,6 +6,7 @@ One directory per sweep::
       manifest.json          # spec snapshot + grid fingerprint
       points/<point_id>.pkl  # one checksummed RunSummary per finished point
       breakers.json          # circuit-breaker state (trips survive resume)
+      failures.json          # terminal per-point failures (service workers)
 
 Every write goes through :mod:`repro.cachefile` (atomic replace +
 SHA-256 checksum + advisory lock), so a SIGKILL of the sweep driver —
@@ -33,6 +34,7 @@ logger = logging.getLogger(__name__)
 MANIFEST_NAME = "manifest.json"
 POINTS_DIR = "points"
 BREAKERS_NAME = "breakers.json"
+FAILURES_NAME = "failures.json"
 
 
 class ArtifactStore:
@@ -137,6 +139,60 @@ class ArtifactStore:
         except (OSError, json.JSONDecodeError) as exc:
             cachefile.quarantine(path, f"unreadable breaker state: {exc}")
             return None
+
+    # -- terminal point failures --------------------------------------------
+
+    @property
+    def failures_path(self) -> Path:
+        """Path of the recorded terminal per-point failures."""
+        return self.root / FAILURES_NAME
+
+    def record_point_failure(self, point_id: str, error: str,
+                             error_type: str = "") -> None:
+        """Persist one point's terminal failure (atomic, read-modify-write).
+
+        A local ``run_sweep`` keeps failures in the returned
+        :class:`~repro.experiments.engine.SweepResult`; the distributed
+        service has no single driver process holding that object, so
+        workers record terminal failures here and the aggregation step
+        (:func:`~repro.experiments.engine.sweep_result_from_store`)
+        reads them back.  The sidecar lock serializes concurrent workers
+        on a shared store directory.
+        """
+        path = self.failures_path
+        with cachefile.file_lock(path):
+            failures = self._read_failures_unlocked()
+            failures[point_id] = {"error": error, "error_type": error_type}
+            cachefile.atomic_write_bytes(
+                path, json.dumps(failures, indent=2,
+                                 sort_keys=True).encode())
+
+    def clear_point_failure(self, point_id: str) -> None:
+        """Drop a recorded failure (a later attempt of the point passed)."""
+        path = self.failures_path
+        with cachefile.file_lock(path):
+            failures = self._read_failures_unlocked()
+            if point_id in failures:
+                del failures[point_id]
+                cachefile.atomic_write_bytes(
+                    path, json.dumps(failures, indent=2,
+                                     sort_keys=True).encode())
+
+    def load_point_failures(self) -> Dict[str, dict]:
+        """Recorded terminal failures keyed by point id (corrupt → empty)."""
+        with cachefile.file_lock(self.failures_path):
+            return self._read_failures_unlocked()
+
+    def _read_failures_unlocked(self) -> Dict[str, dict]:
+        path = self.failures_path
+        if not path.exists():
+            return {}
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            cachefile.quarantine(path, f"unreadable failure log: {exc}")
+            return {}
+        return data if isinstance(data, dict) else {}
 
     # -- point artifacts ----------------------------------------------------
 

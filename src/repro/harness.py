@@ -116,8 +116,8 @@ def make_config(kind: str, raster_units: int = 2, cores_per_unit: int = 4,
     """
     import warnings
     warnings.warn(
-        "repro.harness.make_config is deprecated; use "
-        "repro.GPUConfig.build(kind, ...) instead",
+        "repro.harness.make_config is deprecated and will be removed "
+        "in 2.0; use repro.GPUConfig.build(kind, ...) instead",
         DeprecationWarning, stacklevel=2)
     return GPUConfig.build(kind, raster_units=raster_units,
                            cores_per_unit=cores_per_unit,

@@ -1,0 +1,48 @@
+"""Distributed sweep service: HTTP API + durable queue + worker fleet.
+
+The local sweep engine (:mod:`repro.experiments`) already solved the
+hard distribution problems — SIGKILL-safe per-point checkpoints,
+supervised execution, deterministic chaos.  This package makes them
+reachable over the network with three cooperating roles that share
+nothing but a store directory:
+
+* ``repro serve`` (:mod:`.server`) — a stdlib ``ThreadingHTTPServer``
+  speaking the versioned ``/v1`` JSON API: submit specs, poll status,
+  stream progress events (chunked JSONL), fetch aggregated matrices.
+* ``repro worker`` (:mod:`.worker`) — any number of processes, on any
+  number of hosts, claiming grid points under renewable leases
+  (:mod:`.queue`) and executing them through the exact local sweep
+  stack; a worker SIGKILLed mid-point simply stops renewing and a peer
+  adopts the lease.
+* :class:`SweepClient` (:mod:`.client`) — the typed client the
+  ``repro submit``/``repro status`` subcommands and tests use.
+
+Durability lives in :mod:`.jobs` (cachefile-backed job records, the
+queue-is-the-store design) and the wire format in :mod:`.schema`
+(``repro.job/v1``).  ``docs/service.md`` has the architecture diagram,
+lease semantics and curl examples.
+"""
+
+from .client import SweepClient
+from .jobs import JobStore, TERMINAL_EVENTS
+from .queue import DEFAULT_LEASE_TTL_S, PointClaim, claim_point
+from .schema import JOB_SCHEMA, JOB_STATES, JobRecord, job_id_for
+from .server import create_server, serve
+from .worker import default_worker_id, run_worker
+
+__all__ = [
+    "SweepClient",
+    "serve",
+    "create_server",
+    "run_worker",
+    "default_worker_id",
+    "JobStore",
+    "JobRecord",
+    "JOB_SCHEMA",
+    "JOB_STATES",
+    "TERMINAL_EVENTS",
+    "job_id_for",
+    "claim_point",
+    "PointClaim",
+    "DEFAULT_LEASE_TTL_S",
+]

@@ -1,0 +1,186 @@
+"""``SweepClient``: the typed Python face of a running sweep service.
+
+Wraps the ``/v1`` wire format (see ``docs/service.md``) in the repo's
+own types — submit an :class:`~repro.experiments.ExperimentSpec`, get
+:class:`~repro.service.schema.JobRecord` status back, and receive the
+final matrix as a real :class:`~repro.experiments.SpeedupMatrix`
+(reconstructed via ``SpeedupMatrix.from_dict``, so ``to_markdown()``
+output is byte-identical to what a local ``run_sweep`` +
+``speedup_matrix`` would have printed).
+
+Transport is stdlib ``http.client`` via ``urllib.request`` — chunked
+transfer-encoding on the ``/events`` stream is decoded transparently,
+which is what makes :meth:`SweepClient.events` a plain iterator of
+dicts.  Every failure surfaces as :class:`~repro.errors.ServiceError`
+carrying the HTTP status (0 when the request never reached a server),
+whose ``transient`` flag tells retry loops whether backing off can
+help.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ServiceError
+from ..experiments import ExperimentSpec, SpeedupMatrix
+from .jobs import TERMINAL_EVENTS
+from .schema import JobRecord
+
+#: Events whose arrival means the job's stream is over.
+_DONE_EVENTS = TERMINAL_EVENTS
+
+
+class SweepClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None,
+                 timeout_s: Optional[float] = None):
+        body = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"}
+            if body is not None else {})
+        try:
+            return urllib.request.urlopen(
+                request, timeout=timeout_s or self.timeout_s)
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(self._error_message(exc),
+                               status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"{method} {self.base_url}{path}: {exc.reason}",
+                status=0) from exc
+
+    @staticmethod
+    def _error_message(exc: urllib.error.HTTPError) -> str:
+        try:
+            detail = json.loads(exc.read().decode("utf-8",
+                                                  "replace"))["error"]
+        except Exception:
+            detail = exc.reason
+        return f"HTTP {exc.code}: {detail}"
+
+    def _json(self, method: str, path: str,
+              payload: Optional[dict] = None) -> dict:
+        with self._request(method, path, payload) as response:
+            try:
+                return json.loads(response.read().decode("utf-8"))
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"{method} {path}: server sent unparsable JSON "
+                    f"({exc})", status=response.status)
+
+    # -- API ----------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Liveness + version/generation handshake of the server."""
+        return self._json("GET", "/v1/ping")
+
+    def submit(self, spec: ExperimentSpec,
+               point_telemetry: bool = True,
+               wait: bool = False,
+               poll_s: float = 0.5,
+               timeout_s: Optional[float] = None) -> JobRecord:
+        """Submit a spec; idempotent per grid fingerprint.
+
+        With ``wait`` the call blocks (polling every ``poll_s``) until
+        the job reaches a terminal state and returns that final record.
+        """
+        record = JobRecord.from_dict(self._json(
+            "POST", "/v1/jobs",
+            {"spec": spec.to_dict(), "point_telemetry": point_telemetry}))
+        if wait:
+            return self.wait(record.job_id, poll_s=poll_s,
+                             timeout_s=timeout_s)
+        return record
+
+    def jobs(self) -> List[JobRecord]:
+        """Every job the service knows, newest first."""
+        return [JobRecord.from_dict(data)
+                for data in self._json("GET", "/v1/jobs")["jobs"]]
+
+    def status(self, job_id: str) -> JobRecord:
+        """One job's current record (live point counts in ``.points``)."""
+        data = self._json("GET", f"/v1/jobs/{job_id}")
+        record = JobRecord.from_dict(data)
+        record.points = data.get("points", {})  # type: ignore[attr-defined]
+        return record
+
+    def result(self, job_id: str) -> SpeedupMatrix:
+        """The finished job's matrix (:class:`ServiceError` 409 until
+        every point is accounted for)."""
+        return SpeedupMatrix.from_dict(
+            self._json("GET", f"/v1/jobs/{job_id}/result")["matrix"])
+
+    def result_payload(self, job_id: str) -> dict:
+        """The full ``result.json`` wire payload (matrix + markdown +
+        counts + provenance metadata)."""
+        return self._json("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Ask the fleet to stop the job at the next point boundary."""
+        return JobRecord.from_dict(
+            self._json("POST", f"/v1/jobs/{job_id}/cancel"))
+
+    def events(self, job_id: str, follow: bool = True,
+               timeout_s: float = 60.0) -> Iterator[Dict]:
+        """Progress events as dicts, streamed while the job runs.
+
+        With ``follow`` the iterator ends at the job's terminal event
+        (or after ``timeout_s`` server-side); without it, it yields the
+        current snapshot and stops.
+        """
+        path = (f"/v1/jobs/{job_id}/events?follow={int(follow)}"
+                f"&timeout={timeout_s}")
+        with self._request("GET", path,
+                           timeout_s=timeout_s + 10.0) as response:
+            buffer = b""
+            while True:
+                chunk = response.read1(65536) if hasattr(
+                    response, "read1") else response.read(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    try:
+                        event = json.loads(line.decode("utf-8"))
+                    except (UnicodeDecodeError,
+                            json.JSONDecodeError):
+                        continue
+                    if isinstance(event, dict):
+                        yield event
+
+    def wait(self, job_id: str, poll_s: float = 0.5,
+             timeout_s: Optional[float] = None) -> JobRecord:
+        """Poll until the job is terminal; returns the final record.
+
+        Transient transport failures (server restarting) are retried
+        within the deadline; a definite server verdict propagates.
+        """
+        deadline = None if timeout_s is None else time.time() + timeout_s
+        while True:
+            try:
+                record = self.status(job_id)
+                if record.terminal:
+                    return record
+            except ServiceError as exc:
+                if not exc.transient:
+                    raise
+            if deadline is not None and time.time() >= deadline:
+                raise ServiceError(
+                    f"job {job_id!r} not finished after {timeout_s}s")
+            time.sleep(poll_s)

@@ -1,0 +1,142 @@
+"""The ``job`` JSON wire format, version 1.
+
+Everything the service persists and serves about a job is one JSON
+object with a ``schema`` discriminator (``repro.job/v1``).  The record
+travels three ways — on disk as ``jobs/<job_id>/job.json``, over HTTP
+from every ``/v1/jobs`` endpoint, and inside
+:class:`~repro.service.client.SweepClient` — and all three speak
+exactly this shape:
+
+``job_id``
+    Content-addressed: ``<spec name slug>-<grid fingerprint[:12]>``.
+    Resubmitting the same grid therefore lands on the *same* job and
+    resumes its store instead of burning the points again.
+``state``
+    ``queued`` → ``running`` → ``done`` | ``failed`` | ``cancelled``.
+``spec`` / ``fingerprint``
+    The full :meth:`~repro.experiments.ExperimentSpec.to_dict` snapshot
+    and its grid fingerprint (also pinned by the sweep store manifest).
+``generation``
+    Mirrors :data:`repro.harness.RESULT_GENERATION` at submission.
+    Workers refuse jobs from a different generation — a fleet running
+    mixed code versions must never mix artifact layouts in one store.
+``point_telemetry``
+    Whether workers collect per-point telemetry into the artifacts.
+``total_points`` / ``submitted_at`` / ``updated_at`` / ``finished_at``
+    Bookkeeping; timestamps are UNIX seconds (float).
+``error``
+    One line of diagnosis on a ``failed`` job, empty otherwise.
+
+Compatibility contract: readers must ignore unknown keys (a newer
+writer may add fields) and reject unknown ``schema`` values.  Breaking
+changes bump the suffix to ``/v2`` — they never mutate ``/v1``.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigValidationError
+from ..experiments import ExperimentSpec
+from ..harness import RESULT_GENERATION
+
+#: The wire-format discriminator every job record carries.
+JOB_SCHEMA = "repro.job/v1"
+
+#: Legal job lifecycle states.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job can never leave.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def job_id_for(spec: ExperimentSpec) -> str:
+    """Deterministic, content-addressed job id for a spec's grid.
+
+    The id hashes only what the grid *is* (benchmarks, kinds, axes,
+    scene geometry — via :meth:`ExperimentSpec.fingerprint`), not how
+    it runs, so the same experiment resubmitted with different worker
+    counts is recognized as the same job.
+    """
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", spec.name).strip("-") or "sweep"
+    return f"{slug}-{spec.fingerprint()[:12]}"
+
+
+@dataclass
+class JobRecord:
+    """One durable job, exactly as serialized on disk and over HTTP."""
+
+    job_id: str
+    spec: Dict[str, Any]
+    fingerprint: str
+    state: str = "queued"
+    generation: int = RESULT_GENERATION
+    point_telemetry: bool = True
+    total_points: int = 0
+    submitted_at: float = 0.0
+    updated_at: float = 0.0
+    finished_at: Optional[float] = None
+    error: str = ""
+    schema: str = field(default=JOB_SCHEMA)
+
+    @classmethod
+    def create(cls, spec: ExperimentSpec,
+               point_telemetry: bool = True) -> "JobRecord":
+        """A fresh ``queued`` record for a validated spec."""
+        spec.validate()
+        now = round(time.time(), 6)
+        return cls(job_id=job_id_for(spec), spec=spec.to_dict(),
+                   fingerprint=spec.fingerprint(),
+                   point_telemetry=bool(point_telemetry),
+                   total_points=spec.num_points,
+                   submitted_at=now, updated_at=now)
+
+    def experiment_spec(self) -> ExperimentSpec:
+        """The typed spec this job executes."""
+        return ExperimentSpec.from_dict(self.spec)
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can never change state again."""
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot (the exact wire format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        """Parse and validate a wire-format record.
+
+        Unknown keys are ignored (forward compatibility); a missing or
+        foreign ``schema``, an unknown ``state`` or a missing required
+        field raise :class:`ConfigValidationError` — a job store must
+        never half-load a record it does not understand.
+        """
+        if not isinstance(data, dict):
+            raise ConfigValidationError(
+                f"job record must be a JSON object, got "
+                f"{type(data).__name__}")
+        schema = data.get("schema", JOB_SCHEMA)
+        if schema != JOB_SCHEMA:
+            raise ConfigValidationError(
+                f"unsupported job schema {schema!r} (this build speaks "
+                f"{JOB_SCHEMA!r})")
+        for key in ("job_id", "spec", "fingerprint"):
+            if key not in data:
+                raise ConfigValidationError(
+                    f"job record is missing required field {key!r}")
+        state = data.get("state", "queued")
+        if state not in JOB_STATES:
+            raise ConfigValidationError(
+                f"unknown job state {state!r}; expected one of "
+                f"{JOB_STATES}")
+        known = {f.name for f in
+                 cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        kwargs = {k: v for k, v in data.items() if k in known}
+        record = cls(**kwargs)
+        record.state = state
+        return record

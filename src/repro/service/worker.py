@@ -1,0 +1,322 @@
+"""The worker fleet: claim, execute, checkpoint, finalize.
+
+``repro worker --root DIR`` runs this loop.  Any number of workers —
+started before or after the jobs they serve, on one host or many
+sharing the store directory — cooperate with **no coordinator
+process**: each scans the job store, claims one pending point under a
+lease (:mod:`repro.service.queue`), executes it through the *exact*
+local sweep stack, and the worker that accounts for the last point
+aggregates the matrix and finalizes the job.  The server
+(:mod:`repro.service.server`) only reads; killing it mid-sweep costs
+nothing but the API.
+
+"Exact local stack" is the correctness argument of the whole service:
+a claimed point runs through :func:`repro.harness.run_pairs` with the
+same ``_point_runner``, the same supervised fork backend
+(:class:`repro.supervision.Supervisor` — heartbeat hang detection,
+SIGTERM→SIGKILL preemption, jittered retries), the same store-persisted
+circuit breaker, and the same chaos injection sites as a local ``repro
+sweep``.  A chaos plan in the worker's environment therefore fires
+per-point exactly as it does locally, which is what lets the e2e suite
+demand bit-identical matrices between the two paths.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Optional, Set, Union
+
+from .. import cachefile, harness, supervision
+from ..errors import ConfigValidationError
+from ..experiments import ExperimentSpec, speedup_matrix
+from ..experiments.engine import _point_runner, sweep_result_from_store
+from ..harness import RESULT_GENERATION
+from ..supervision import CircuitBreaker, SupervisionPolicy, Supervisor
+from .jobs import JobStore
+from .queue import DEFAULT_LEASE_TTL_S, PointClaim, claim_point
+from .schema import JobRecord
+
+logger = logging.getLogger(__name__)
+
+#: Wire discriminator of the cached ``result.json`` payload.
+RESULT_SCHEMA = "repro.result/v1"
+
+
+def default_worker_id() -> str:
+    """Host-qualified worker identity (shows up in leases and events)."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def run_worker(root: Union[str, Path],
+               worker_id: Optional[str] = None,
+               poll_s: float = 0.5,
+               lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+               idle_exit_s: Optional[float] = None,
+               max_points: Optional[int] = None,
+               once: bool = False,
+               policy: Optional[SupervisionPolicy] = None,
+               stop=None) -> int:
+    """Serve the job store at ``root`` until told (or idle) to stop.
+
+    Returns the number of points this worker executed.  Exit
+    conditions: ``stop`` (a ``threading.Event``) is set, ``max_points``
+    points were executed, ``once`` is set and a full scan found no
+    claimable work, or ``idle_exit_s`` seconds pass without any work
+    (None = wait forever — the daemon default).
+    """
+    store = JobStore(root)
+    worker_id = worker_id or default_worker_id()
+    logger.info("worker %s serving %s", worker_id, store.root)
+    executed = 0
+    idle_since: Optional[float] = None
+    refused: Set[str] = set()
+    while not (stop is not None and stop.is_set()):
+        claimed_any = False
+        for record in store.list_jobs():
+            if stop is not None and stop.is_set():
+                break
+            if record.state not in ("queued", "running"):
+                continue
+            spec = _job_spec(store, record, refused)
+            if spec is None:
+                continue
+            ran = _drain_job(store, record.job_id, spec, worker_id,
+                             lease_ttl_s, policy, stop,
+                             remaining=None if max_points is None
+                             else max_points - executed)
+            executed += ran
+            claimed_any = claimed_any or ran > 0
+            if max_points is not None and executed >= max_points:
+                return executed
+        if claimed_any:
+            idle_since = None
+            continue
+        if once:
+            return executed
+        now = time.time()
+        idle_since = idle_since if idle_since is not None else now
+        if idle_exit_s is not None and now - idle_since >= idle_exit_s:
+            logger.info("worker %s idle for %.1fs, exiting",
+                        worker_id, idle_exit_s)
+            return executed
+        if stop is not None:
+            stop.wait(poll_s)
+        else:
+            time.sleep(poll_s)
+    return executed
+
+
+def _job_spec(store: JobStore, record: JobRecord,
+              refused: Set[str]) -> Optional[ExperimentSpec]:
+    """The job's validated spec, or None when this worker must not run it.
+
+    A generation mismatch is refused (logged + one event, the job is
+    left for a matching worker); an unparsable spec fails the job —
+    no worker will ever be able to run it.
+    """
+    if record.generation != RESULT_GENERATION:
+        if record.job_id not in refused:
+            refused.add(record.job_id)
+            logger.warning(
+                "job %s was submitted at generation %s; this worker "
+                "runs generation %s and refuses it", record.job_id,
+                record.generation, RESULT_GENERATION)
+            store.events(record.job_id).emit(
+                "generation_refused", job_id=record.job_id,
+                job_generation=record.generation,
+                worker_generation=RESULT_GENERATION)
+        return None
+    try:
+        spec = record.experiment_spec()
+        spec.validate()
+        store.sweep_store(record.job_id).initialize(spec)
+        return spec
+    except (ConfigValidationError, KeyError, TypeError) as exc:
+        _finish_job(store, record.job_id, "failed",
+                    error=f"{type(exc).__name__}: {exc}")
+        return None
+
+
+def _drain_job(store: JobStore, job_id: str, spec: ExperimentSpec,
+               worker_id: str, lease_ttl_s: float,
+               policy: Optional[SupervisionPolicy], stop,
+               remaining: Optional[int]) -> int:
+    """Claim and execute points of one job until none remains."""
+    ran = 0
+    while not (stop is not None and stop.is_set()):
+        if remaining is not None and ran >= remaining:
+            return ran
+        fresh = store.read(job_id)
+        if fresh is None or fresh.terminal:
+            return ran
+        claim = claim_point(store, job_id, spec, worker_id,
+                            lease_ttl_s=lease_ttl_s)
+        if claim is None:
+            if _maybe_finalize(store, job_id, spec, lease_ttl_s):
+                return ran
+            # Finalize declined: either another worker still holds a
+            # live lease (it will finalize), or verification just
+            # quarantined a torn artifact and re-opened its point.
+            # One more scan tells the two apart.
+            claim = claim_point(store, job_id, spec, worker_id,
+                                lease_ttl_s=lease_ttl_s)
+            if claim is None:
+                return ran
+        _mark_running(store, job_id, worker_id)
+        store.events(job_id).emit(
+            "point_claimed", job_id=job_id,
+            point_id=claim.point.point_id, owner=worker_id,
+            adopted_from=claim.adopted_from)
+        try:
+            _execute_claim(store, fresh, spec, claim, lease_ttl_s,
+                           policy)
+        finally:
+            claim.release()
+        ran += 1
+        _maybe_finalize(store, job_id, spec, lease_ttl_s)
+    return ran
+
+
+def _mark_running(store: JobStore, job_id: str, worker_id: str) -> None:
+    """``queued`` → ``running`` exactly once (first claimer wins)."""
+    transitioned = []
+
+    def mutate(record: JobRecord) -> None:
+        if record.state == "queued":
+            record.state = "running"
+            transitioned.append(True)
+
+    store.update(job_id, mutate)
+    if transitioned:
+        store.events(job_id).emit("job_started", job_id=job_id,
+                                  worker=worker_id)
+
+
+def _execute_claim(store: JobStore, record: JobRecord,
+                   spec: ExperimentSpec, claim: PointClaim,
+                   lease_ttl_s: float,
+                   policy: Optional[SupervisionPolicy]) -> None:
+    """Run one claimed point through the local sweep stack.
+
+    The lease renewer beats for the whole execution (simulation plus
+    supervised retries), so a live worker grinding a slow point is
+    never mistaken for a dead one; it stops before the lease is
+    released either way.
+    """
+    point = claim.point
+    sweep_store = store.sweep_store(claim.job_id)
+    events = store.events(claim.job_id)
+    renewer = claim.renewer(lease_ttl_s)
+    wall_start = time.time()
+    try:
+        run_kwargs = dict(
+            frames=spec.frames, timeout_s=spec.timeout_s,
+            max_attempts=spec.retries + 1, backoff_s=spec.backoff_s,
+            runner=_point_runner, workers=1,
+            points={point.point_id: point},
+            store_root=str(sweep_store.root),
+            point_telemetry=record.point_telemetry,
+            driver_pid=os.getpid())
+        breaker: Optional[CircuitBreaker] = None
+        if supervision.available():
+            sup_policy = policy or SupervisionPolicy()
+            breaker = CircuitBreaker.from_state(
+                sweep_store.load_breaker_state(),
+                threshold=sup_policy.breaker_threshold,
+                cooldown_s=sup_policy.breaker_cooldown_s)
+            run_kwargs.update(
+                supervisor=Supervisor(policy=sup_policy, breaker=breaker),
+                breaker_key_for=lambda bench, _pid:
+                    f"{bench}|{point.kind}")
+        report = harness.run_pairs([(point.benchmark, point.point_id)],
+                                   **run_kwargs)
+        if breaker is not None:
+            sweep_store.record_breaker_state(breaker.to_state())
+        outcome = report.outcomes[0]
+    finally:
+        renewer.stop()
+    elapsed = round(time.time() - wall_start, 6)
+    if outcome.status == "ok":
+        events.emit("point_done", job_id=claim.job_id,
+                    point_id=point.point_id, owner=claim.worker_id,
+                    cycles=outcome.summary.total_cycles,
+                    attempts=outcome.attempts,
+                    provenance=outcome.provenance or "completed",
+                    elapsed_s=elapsed)
+    else:
+        sweep_store.record_point_failure(
+            point.point_id, error=outcome.error or "",
+            error_type=outcome.error_type or outcome.status)
+        events.emit("point_failed", job_id=claim.job_id,
+                    point_id=point.point_id, owner=claim.worker_id,
+                    error=outcome.error or "",
+                    error_type=outcome.error_type or outcome.status,
+                    attempts=outcome.attempts, elapsed_s=elapsed)
+
+
+def _maybe_finalize(store: JobStore, job_id: str, spec: ExperimentSpec,
+                    lease_ttl_s: float) -> bool:
+    """Aggregate and finish the job once every point is accounted for.
+
+    Safe to call from any worker at any time: the counts gate rejects
+    jobs with pending or actively-leased points, the matrix is a pure
+    function of the store (two racing finalizers write identical
+    bytes), and the state transition is guarded so events fire once.
+    """
+    counts = store.counts(job_id, spec, lease_ttl_s=lease_ttl_s)
+    if not counts or counts["pending"] or counts["leased"]:
+        return False
+    # The counts gate goes by artifact existence, which a torn write
+    # (power loss, chaos 'corrupt') satisfies with bytes that fail
+    # their checksum.  Read every completed point through the checksum
+    # layer first: a corrupt artifact is quarantined aside, which
+    # re-opens its point, and the re-checked gate declines so the
+    # caller rescans and reruns it instead of serving a partial matrix.
+    store.sweep_store(job_id).load_completed(spec.expand())
+    counts = store.counts(job_id, spec, lease_ttl_s=lease_ttl_s)
+    if counts["pending"] or counts["leased"]:
+        return False
+    result = sweep_result_from_store(spec,
+                                     store.sweep_store(job_id).root)
+    matrix = speedup_matrix(result)
+    payload = {"schema": RESULT_SCHEMA,
+               "generation": RESULT_GENERATION, "job_id": job_id,
+               "fingerprint": spec.fingerprint(),
+               "partial": matrix.partial,
+               "counts": counts, "matrix": matrix.to_dict(),
+               "markdown": matrix.to_markdown()}
+    cachefile.atomic_write_bytes(
+        store.result_path(job_id),
+        json.dumps(payload, indent=2, sort_keys=True).encode())
+    state = "failed" if counts["failed"] else "done"
+    error = (f"{counts['failed']} of {counts['total']} points failed"
+             if counts["failed"] else "")
+    return _finish_job(store, job_id, state, error=error, counts=counts)
+
+
+def _finish_job(store: JobStore, job_id: str, state: str,
+                error: str = "", counts: Optional[dict] = None) -> bool:
+    """Terminal transition + event, exactly once across the fleet."""
+    transitioned = []
+
+    def mutate(record: JobRecord) -> None:
+        if record.terminal:
+            return
+        record.state = state
+        record.error = error
+        record.finished_at = round(time.time(), 6)
+        transitioned.append(True)
+
+    store.update(job_id, mutate)
+    if transitioned:
+        store.events(job_id).emit(
+            f"job_{state}", job_id=job_id, error=error,
+            **({"counts": counts} if counts else {}))
+        logger.info("job %s finished: %s%s", job_id, state,
+                    f" ({error})" if error else "")
+    return bool(transitioned)

@@ -108,28 +108,43 @@ class HeartbeatWriter(threading.Thread):
     take the worker down with it: the first ``OSError`` flips
     ``degraded`` and the thread stops touching the file, leaving the
     supervisor on deadline-only monitoring.
+
+    ``payload`` customizes what each beat writes (default: pid + wall
+    time).  The sweep service reuses this thread as its lease renewer —
+    the lease file's mtime is the liveness signal exactly like a
+    heartbeat, and the payload callable keeps the lease's JSON body
+    (owner, claim time) intact across renewals.  A payload that raises
+    is treated like an unwritable path: degrade, never crash the worker.
     """
 
-    def __init__(self, path: os.PathLike, interval_s: float):
+    def __init__(self, path: os.PathLike, interval_s: float,
+                 payload: Optional[Callable[[], str]] = None):
         super().__init__(name="repro-heartbeat", daemon=True)
         self.path = str(path)
         self.interval_s = interval_s
+        self.payload = payload
         self.degraded = False
-        self._stop = threading.Event()
+        # Named to avoid shadowing threading.Thread._stop(), which
+        # CPython's after-fork fixup invokes on surviving thread objects.
+        self._stop_requested = threading.Event()
         self._paused = threading.Event()
 
     def run(self) -> None:
-        while not self._stop.is_set():
+        while not self._stop_requested.is_set():
             if not self._paused.is_set() and not self.degraded:
                 try:
+                    if self.payload is not None:
+                        body = self.payload()
+                    else:
+                        body = f"{os.getpid()} {time.time():.6f}\n"
                     with open(self.path, "w") as handle:
-                        handle.write(f"{os.getpid()} {time.time():.6f}\n")
-                except OSError as exc:
+                        handle.write(body)
+                except Exception as exc:
                     self.degraded = True
                     logger.debug("heartbeat %s unwritable (%s); worker "
                                  "continues without heartbeats",
                                  self.path, exc)
-            self._stop.wait(self.interval_s)
+            self._stop_requested.wait(self.interval_s)
 
     def pause(self) -> None:
         """Stop beating (used by chaos to simulate a frozen worker)."""
@@ -139,7 +154,7 @@ class HeartbeatWriter(threading.Thread):
         self._paused.clear()
 
     def stop(self) -> None:
-        self._stop.set()
+        self._stop_requested.set()
 
 
 def pause_heartbeat() -> None:

@@ -38,6 +38,7 @@ from .events import (CacheDelta, DRAMSample, FSMState, FSMTransition,
 from .hub import (HUB, JsonlSink, RecordingSink, SimClock, TelemetryHub,
                   telemetry_session)
 from .io import load_jsonl_events
+from .progress import ProgressLog
 from .metrics import (Counter, DRAM_BURST_BUCKETS, Gauge, Histogram,
                       MetricsRegistry, TILE_LATENCY_BUCKETS)
 
@@ -52,5 +53,6 @@ __all__ = [
     "HarnessSpan", "SupervisorEvent",
     "chrome_trace", "chrome_trace_events", "write_chrome_trace",
     "load_jsonl_events",
+    "ProgressLog",
     "PID_SIM", "PID_RU0", "PID_HARNESS",
 ]

@@ -47,6 +47,17 @@ class TestFacadeSurface:
             assert getattr(repro, name) is getattr(api, name)
             assert name in repro.__all__
 
+    def test_service_surface_is_stable_api(self):
+        """1.3.0 promoted the sweep service into the façade."""
+        for name in ("serve", "run_worker", "SweepClient", "JobRecord",
+                     "ServiceError"):
+            assert name in api.__all__
+            assert getattr(repro, name) is getattr(api, name)
+            assert name in repro.__all__
+        # ServiceError is part of the catchable ReproError taxonomy.
+        assert issubclass(api.ServiceError, api.ReproError)
+        assert tuple(map(int, repro.__version__.split("."))) >= (1, 3, 0)
+
     def test_import_is_warning_free(self):
         # A fresh interpreter: the session's own imports already fired.
         env = dict(os.environ, PYTHONPATH=str(SRC))

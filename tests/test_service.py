@@ -1,0 +1,623 @@
+"""The distributed sweep service (repro.service).
+
+Unit coverage for the wire schema, the durable job store, the progress
+log and the lease queue, plus the acceptance scenarios from the service
+design: an HTTP-submitted sweep executed by workers must produce a
+matrix *bit-identical* to a local ``run_sweep``, a SIGKILLed worker's
+point must be adopted by the next worker through lease expiry, and a
+malformed spec must come back as HTTP 400 — never a stack trace.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigValidationError, ServiceError
+from repro.experiments import (ArtifactStore, ExperimentSpec, SpeedupMatrix,
+                               run_sweep, speedup_matrix)
+from repro.experiments.engine import sweep_result_from_store
+from repro.service import (DEFAULT_LEASE_TTL_S, JobRecord, JobStore,
+                           SweepClient, claim_point, job_id_for, run_worker)
+from repro.service.jobs import TERMINAL_EVENTS
+from repro.service.queue import read_lease
+from repro.service.server import create_server
+from repro.telemetry.progress import ProgressLog
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def tiny_spec(**overrides):
+    """The fast 4-point 128x64 tri_overlap grid (shared test idiom)."""
+    defaults = dict(name="tiny", benchmarks=["tri_overlap"],
+                    kinds=["baseline", "libra"],
+                    axes={"raster_units": [1, 2]},
+                    frames=1, width=128, height=64)
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def shared_cache_dir(tmp_path_factory):
+    """One trace cache for the module; workers and sweeps share traces."""
+    path = tmp_path_factory.mktemp("service_cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A live in-process server on a free port over a fresh store."""
+    server = create_server(tmp_path / "root", host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", JobStore(tmp_path / "root")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# wire schema
+
+
+class TestSchema:
+    def test_job_id_is_content_addressed(self):
+        assert job_id_for(tiny_spec()) == job_id_for(tiny_spec())
+        assert job_id_for(tiny_spec()) != job_id_for(
+            tiny_spec(axes={"raster_units": [1, 4]}))
+
+    def test_job_id_ignores_execution_policy(self):
+        # Same grid, different run policy: same job (resubmit resumes).
+        assert job_id_for(tiny_spec()) == job_id_for(
+            tiny_spec(timeout_s=99.0, retries=7))
+
+    def test_job_id_slugs_hostile_names(self):
+        jid = job_id_for(tiny_spec(name="fig 18 / dram?"))
+        assert jid.startswith("fig-18-dram-")
+        assert "/" not in jid and " " not in jid
+
+    def test_record_roundtrip(self):
+        record = JobRecord.create(tiny_spec(), point_telemetry=False)
+        clone = JobRecord.from_dict(json.loads(
+            json.dumps(record.to_dict())))
+        assert clone == record
+        assert clone.total_points == 4
+        assert not clone.point_telemetry
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = JobRecord.create(tiny_spec()).to_dict()
+        data["added_in_v1_9"] = {"x": 1}
+        assert JobRecord.from_dict(data).job_id == data["job_id"]
+
+    def test_from_dict_rejects_foreign_schema(self):
+        data = JobRecord.create(tiny_spec()).to_dict()
+        data["schema"] = "repro.job/v2"
+        with pytest.raises(ConfigValidationError, match="schema"):
+            JobRecord.from_dict(data)
+
+    def test_from_dict_rejects_unknown_state(self):
+        data = JobRecord.create(tiny_spec()).to_dict()
+        data["state"] = "paused"
+        with pytest.raises(ConfigValidationError, match="state"):
+            JobRecord.from_dict(data)
+
+    def test_from_dict_rejects_missing_fields(self):
+        with pytest.raises(ConfigValidationError, match="spec"):
+            JobRecord.from_dict({"job_id": "x", "fingerprint": "y"})
+
+    def test_generation_pinned_at_submission(self):
+        from repro.harness import RESULT_GENERATION
+        assert JobRecord.create(tiny_spec()).generation \
+            == RESULT_GENERATION
+
+
+# ---------------------------------------------------------------------------
+# progress log
+
+
+class TestProgressLog:
+    def test_emit_read_tail(self, tmp_path):
+        log = ProgressLog(tmp_path / "events.jsonl")
+        log.emit("a", n=1)
+        log.emit("b", n=2)
+        events = log.read()
+        assert [e["event"] for e in events] == ["a", "b"]
+        assert events[0]["n"] == 1 and "ts" in events[0]
+
+    def test_read_resumes_from_offset(self, tmp_path):
+        log = ProgressLog(tmp_path / "events.jsonl")
+        log.emit("a")
+        offset = log.path.stat().st_size
+        log.emit("b")
+        assert [e["event"] for e in log.read(offset=offset)] == ["b"]
+
+    def test_torn_trailing_line_is_deferred(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = ProgressLog(path)
+        log.emit("whole")
+        with path.open("ab") as fh:  # a writer died mid-record
+            fh.write(b'{"event": "torn"')
+        assert [e["event"] for e in log.read()] == ["whole"]
+        with path.open("ab") as fh:  # ...or was just slow: completes
+            fh.write(b', "n": 3}\n')
+        assert [e["event"] for e in log.read()] == ["whole", "torn"]
+
+    def test_tail_stops_at_terminal_event(self, tmp_path):
+        log = ProgressLog(tmp_path / "events.jsonl")
+        log.emit("point_done")
+        log.emit("job_done")
+        log.emit("after")
+        seen = [e["event"] for e in
+                log.tail(done_events=TERMINAL_EVENTS, timeout_s=5.0)]
+        assert seen == ["point_done", "job_done"]
+
+
+# ---------------------------------------------------------------------------
+# job store
+
+
+class TestJobStore:
+    def test_submit_is_idempotent(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.submit(tiny_spec())
+        again = store.submit(tiny_spec())
+        assert again.job_id == first.job_id
+        assert again.submitted_at == first.submitted_at
+        assert len(store.list_jobs()) == 1
+
+    def test_requeue_clears_failures_and_stale_result(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(tiny_spec())
+        sweep_store = store.sweep_store(record.job_id)
+        sweep_store.record_point_failure("p1", error="boom",
+                                         error_type="SimulationError")
+        store.result_path(record.job_id).write_text("{}")
+
+        def fail(rec):
+            rec.state = "failed"
+        store.update(record.job_id, fail)
+
+        requeued = store.submit(tiny_spec())
+        assert requeued.state == "queued" and requeued.error == ""
+        assert sweep_store.load_point_failures() == {}
+        assert not store.result_path(record.job_id).exists()
+        events = [e["event"] for e in
+                  store.events(record.job_id).read()]
+        assert "job_requeued" in events
+
+    def test_done_job_is_not_requeued(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(tiny_spec())
+
+        def finish(rec):
+            rec.state = "done"
+        store.update(record.job_id, finish)
+        assert store.submit(tiny_spec()).state == "done"
+
+    def test_cancel_is_terminal_and_sticky(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(tiny_spec())
+        assert store.cancel(record.job_id).state == "cancelled"
+        assert store.cancel(record.job_id).state == "cancelled"
+        events = [e["event"] for e in
+                  store.events(record.job_id).read()]
+        assert events.count("job_cancelled") == 1
+
+    def test_counts_accounting(self, tmp_path):
+        spec = tiny_spec()
+        store = JobStore(tmp_path)
+        record = store.submit(spec)
+        counts = store.counts(record.job_id, spec)
+        assert counts == {"total": 4, "completed": 0, "failed": 0,
+                          "leased": 0, "pending": 4}
+        points = spec.expand()
+        store.sweep_store(record.job_id).record_point_failure(
+            points[0].point_id, error="x")
+        claim = claim_point(store, record.job_id, spec, "w1")
+        counts = store.counts(record.job_id, spec)
+        assert counts["failed"] == 1 and counts["leased"] == 1
+        assert counts["pending"] == 2
+        claim.release()
+
+    def test_corrupt_record_is_quarantined_not_fatal(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(tiny_spec())
+        store.record_path(record.job_id).write_text("{not json")
+        assert store.read(record.job_id) is None
+        assert store.list_jobs() == []
+
+
+# ---------------------------------------------------------------------------
+# lease queue
+
+
+class TestLeaseQueue:
+    def test_claims_follow_expansion_order(self, tmp_path):
+        spec = tiny_spec()
+        store = JobStore(tmp_path)
+        record = store.submit(spec)
+        claimed = []
+        while True:
+            claim = claim_point(store, record.job_id, spec, "w1")
+            if claim is None:
+                break
+            claimed.append(claim.point.point_id)
+        assert claimed == [p.point_id for p in spec.expand()]
+        # Every point now leased: nothing left for a second worker.
+        assert claim_point(store, record.job_id, spec, "w2") is None
+
+    def test_release_makes_point_claimable_again(self, tmp_path):
+        spec = tiny_spec()
+        store = JobStore(tmp_path)
+        record = store.submit(spec)
+        claim = claim_point(store, record.job_id, spec, "w1")
+        claim.release()
+        again = claim_point(store, record.job_id, spec, "w2")
+        assert again.point.point_id == claim.point.point_id
+        assert again.adopted_from == ""  # released, not stale-stolen
+
+    def test_stale_lease_is_adopted(self, tmp_path):
+        spec = tiny_spec()
+        store = JobStore(tmp_path)
+        record = store.submit(spec)
+        claim = claim_point(store, record.job_id, spec, "doomed")
+        pid = claim.point.point_id
+        # Nobody renews the lease: age it past the TTL.
+        old = time.time() - 10.0
+        os.utime(claim.lease_path, (old, old))
+        adopted = claim_point(store, record.job_id, spec, "rescuer",
+                              lease_ttl_s=1.0)
+        assert adopted.point.point_id == pid
+        assert adopted.adopted_from == "doomed"
+        assert read_lease(adopted.lease_path)["owner"] == "rescuer"
+        events = store.events(record.job_id).read()
+        adoptions = [e for e in events if e["event"] == "lease_adopted"]
+        assert adoptions and adoptions[0]["previous_owner"] == "doomed"
+
+    def test_fresh_lease_is_respected(self, tmp_path):
+        spec = tiny_spec()
+        store = JobStore(tmp_path)
+        record = store.submit(spec)
+        first = claim_point(store, record.job_id, spec, "w1",
+                            lease_ttl_s=30.0)
+        second = claim_point(store, record.job_id, spec, "w2",
+                             lease_ttl_s=30.0)
+        assert second.point.point_id != first.point.point_id
+
+    def test_renewer_keeps_lease_fresh(self, tmp_path):
+        spec = tiny_spec()
+        store = JobStore(tmp_path)
+        record = store.submit(spec)
+        claim = claim_point(store, record.job_id, spec, "w1")
+        renewer = claim.renewer(ttl_s=0.4)  # beats every 0.1s
+        try:
+            time.sleep(0.6)
+            age = time.time() - claim.lease_path.stat().st_mtime
+            assert age < 0.4, "renewal thread failed to beat"
+        finally:
+            renewer.stop()
+        body = read_lease(claim.lease_path)
+        assert body["owner"] == "w1" and body["pid"] == os.getpid()
+
+
+# ---------------------------------------------------------------------------
+# store-rebuilt results
+
+
+class TestStoreRebuiltResults:
+    def test_matrix_dict_roundtrip_preserves_markdown(self,
+                                                      shared_cache_dir,
+                                                      tmp_path):
+        result = run_sweep(tiny_spec(), store_root=tmp_path / "s")
+        matrix = speedup_matrix(result)
+        clone = SpeedupMatrix.from_dict(json.loads(
+            json.dumps(matrix.to_dict())))
+        assert clone.to_markdown() == matrix.to_markdown()
+        assert clone.format() == matrix.format()
+
+    def test_rebuild_matches_local_sweep(self, shared_cache_dir,
+                                         tmp_path):
+        spec = tiny_spec()
+        local = run_sweep(spec, store_root=tmp_path / "s")
+        rebuilt = sweep_result_from_store(spec, tmp_path / "s")
+        assert speedup_matrix(rebuilt).to_markdown() \
+            == speedup_matrix(local).to_markdown()
+
+    def test_rebuild_rejects_foreign_store(self, shared_cache_dir,
+                                           tmp_path):
+        run_sweep(tiny_spec(), store_root=tmp_path / "s")
+        other = tiny_spec(axes={"raster_units": [1, 4]})
+        with pytest.raises(ConfigValidationError, match="fingerprint"):
+            sweep_result_from_store(other, tmp_path / "s")
+
+
+# ---------------------------------------------------------------------------
+# HTTP service end to end
+
+
+class TestServiceHTTP:
+    def test_submit_worker_result_bit_identical_to_local(
+            self, shared_cache_dir, served, tmp_path):
+        url, store = served
+        spec = tiny_spec()
+        client = SweepClient(url)
+        ping = client.ping()
+        assert ping["schema"] == "repro.job/v1"
+        assert ping["generation"] == JobRecord.create(spec).generation
+
+        record = client.submit(spec)
+        assert record.state == "queued" and record.total_points == 4
+        # Resubmission lands on the same job, not a duplicate.
+        assert client.submit(spec).job_id == record.job_id
+
+        executed = run_worker(store.root, worker_id="w1", once=True,
+                              lease_ttl_s=5.0)
+        assert executed == 4
+
+        final = client.wait(record.job_id, timeout_s=30.0)
+        assert final.state == "done"
+        served_matrix = client.result(record.job_id)
+        local = speedup_matrix(
+            run_sweep(spec, store_root=tmp_path / "local"))
+        assert served_matrix.to_markdown() == local.to_markdown()
+        # And the cached payload's markdown is the same bytes again.
+        payload = client.result_payload(record.job_id)
+        assert payload["markdown"] == local.to_markdown()
+        assert payload["counts"]["completed"] == 4
+
+        events = [e["event"] for e in
+                  client.events(record.job_id, follow=False)]
+        assert events[0] == "job_submitted"
+        assert events.count("point_done") == 4
+        assert events[-1] == "job_done"
+
+    def test_malformed_spec_is_http_400_not_traceback(self, served):
+        url, _ = served
+        client = SweepClient(url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(tiny_spec(benchmarks=["no_such_bench"]))
+        assert excinfo.value.status == 400
+        assert "Traceback" not in str(excinfo.value)
+        assert not excinfo.value.transient
+
+        import urllib.request
+        req = urllib.request.Request(f"{url}/v1/jobs",
+                                     data=b"{not json",
+                                     method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400
+        body = excinfo.value.read().decode()
+        assert "Traceback" not in body
+        assert "error" in json.loads(body)
+
+    def test_unknown_job_is_404(self, served):
+        url, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            SweepClient(url).status("no-such-job")
+        assert excinfo.value.status == 404
+
+    def test_result_before_completion_is_409(self, served):
+        url, _ = served
+        client = SweepClient(url)
+        record = client.submit(tiny_spec())
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(record.job_id)
+        assert excinfo.value.status == 409
+
+    def test_cancelled_job_is_skipped_by_workers(self, served):
+        url, store = served
+        client = SweepClient(url)
+        record = client.submit(tiny_spec())
+        assert client.cancel(record.job_id).state == "cancelled"
+        assert run_worker(store.root, once=True) == 0
+        assert client.status(record.job_id).state == "cancelled"
+
+    def test_concurrent_clients_poll_while_worker_runs(
+            self, shared_cache_dir, served):
+        url, store = served
+        client = SweepClient(url)
+        record = client.submit(tiny_spec())
+        errors, polls = [], []
+
+        def poll():
+            try:
+                poller = SweepClient(url)
+                for _ in range(50):
+                    state = poller.status(record.job_id).state
+                    polls.append(state)
+                    if state in ("done", "failed", "cancelled"):
+                        return
+                    time.sleep(0.05)
+            except Exception as exc:  # surface into the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=poll) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        run_worker(store.root, once=True)
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert all(s in ("queued", "running", "done") for s in polls)
+        assert client.status(record.job_id).state == "done"
+
+
+# ---------------------------------------------------------------------------
+# crash safety: SIGKILL a worker mid-point, another adopts the lease
+
+
+WORKER_DRIVER = textwrap.dedent("""
+    import sys, time
+    sys.path.insert(0, {src!r})
+    import repro.experiments.engine as engine
+    from repro.service import run_worker
+
+    # Stretch each point so the parent has a reliable kill window.
+    original = engine.execute_point
+    def slowed(point):
+        time.sleep(1.0)
+        return original(point)
+    engine.execute_point = slowed
+
+    run_worker({root!r}, worker_id="doomed", once=True, lease_ttl_s=5.0)
+""")
+
+
+class TestWorkerCrashSafety:
+    def test_sigkilled_workers_point_is_adopted(self, shared_cache_dir,
+                                                tmp_path):
+        spec = tiny_spec()
+        store = JobStore(tmp_path / "root")
+        record = store.submit(spec)
+        driver = WORKER_DRIVER.format(src=str(SRC),
+                                      root=str(store.root))
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        # Its own session so SIGKILL can take out the worker *and* its
+        # forked simulation child — the dead-host scenario, not a tidy
+        # shutdown where an orphan child finishes the point anyway.
+        proc = subprocess.Popen([sys.executable, "-c", driver], env=env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL,
+                                start_new_session=True)
+        try:
+            # Wait until the doomed worker holds a lease, then SIGKILL
+            # it mid-simulation: the lease must survive un-released.
+            deadline = time.time() + 60
+            leases = store.leases_dir(record.job_id)
+            while not list(leases.glob("*.lease")):
+                assert time.time() < deadline, "no lease appeared"
+                assert proc.poll() is None, "worker died prematurely"
+                time.sleep(0.02)
+            os.killpg(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+
+        orphaned = list(leases.glob("*.lease"))
+        assert orphaned, "SIGKILL must leave the lease behind"
+        orphan_id = orphaned[0].stem
+
+        # A second worker with a short TTL adopts once the lease ages.
+        time.sleep(1.2)
+        executed = run_worker(store.root, worker_id="rescuer",
+                              once=True, lease_ttl_s=1.0)
+        assert executed == spec.num_points  # nothing was checkpointed
+
+        final = store.read(record.job_id)
+        assert final.state == "done"
+        events = store.events(record.job_id).read()
+        adoptions = [e for e in events if e["event"] == "lease_adopted"]
+        assert adoptions, "the stolen point must be recorded as adopted"
+        assert adoptions[0]["point_id"] == orphan_id
+        assert adoptions[0]["previous_owner"] == "doomed"
+        assert not list(leases.glob("*.lease")), "leases must drain"
+
+        # The crash-and-adopt path still yields the bit-identical
+        # matrix of an undisturbed local sweep.
+        rebuilt = speedup_matrix(
+            sweep_result_from_store(spec, store.sweep_store(
+                record.job_id).root))
+        local = speedup_matrix(
+            run_sweep(spec, store_root=tmp_path / "local"))
+        assert rebuilt.to_markdown() == local.to_markdown()
+
+    def test_torn_artifact_is_quarantined_and_rerun(self, shared_cache_dir,
+                                                    tmp_path):
+        """A torn checkpoint must rerun, never finalize a partial job.
+
+        ``completed_ids`` goes by file existence, so bytes that fail
+        their checksum (power loss mid-write, chaos 'corrupt') would
+        satisfy the counts gate.  The finalizer must verify through the
+        checksum layer, quarantine the torn artifact, and let the same
+        worker rerun the re-opened point in the same drain.
+        """
+        spec = tiny_spec()
+        store = JobStore(tmp_path / "root")
+        record = store.submit(spec)
+        sweep_store = store.sweep_store(record.job_id)
+        sweep_store.initialize(spec)
+        victim = spec.expand()[0].point_id
+        torn = sweep_store.point_path(victim)
+        torn.write_bytes(b"these bytes fail their checksum")
+
+        executed = run_worker(store.root, worker_id="w",
+                              once=True, lease_ttl_s=5.0)
+        # Three genuinely-pending points plus the rerun of the victim.
+        assert executed == spec.num_points
+
+        final = store.read(record.job_id)
+        assert final.state == "done"
+        assert torn.with_name(torn.name + ".corrupt").exists()
+        payload = json.loads(store.result_path(record.job_id)
+                             .read_bytes())
+        assert payload["partial"] is False
+        assert payload["counts"]["completed"] == spec.num_points
+        local = speedup_matrix(
+            run_sweep(spec, store_root=tmp_path / "local"))
+        assert payload["markdown"] == local.to_markdown()
+
+
+# ---------------------------------------------------------------------------
+# telemetry flag propagation (the --no-point-telemetry fix)
+
+
+class TestWorkerTelemetryFlag:
+    def test_forked_worker_disables_inherited_hub(self, shared_cache_dir,
+                                                  tmp_path):
+        """point_telemetry=False must win over an inherited enabled hub.
+
+        The driver's hub is enabled; ``driver_pid`` tells the runner it
+        is executing in a forked child, so with telemetry off it must
+        disable its inherited copy (zero-overhead service workers) —
+        and the checkpointed artifact must carry no telemetry.
+        """
+        from repro.experiments.engine import _point_runner
+        from repro.telemetry import HUB
+        spec = tiny_spec()
+        point = spec.expand()[0]
+        store = ArtifactStore(tmp_path / "s")
+        store.initialize(spec)
+        HUB.enable()
+        try:
+            child = os.fork()
+            if child == 0:  # pragma: no cover - asserts in the child
+                status = 1
+                try:
+                    _point_runner(point.benchmark, point.point_id,
+                                  frames=spec.frames,
+                                  points={point.point_id: point},
+                                  store_root=str(store.root),
+                                  point_telemetry=False,
+                                  driver_pid=os.getppid())
+                    status = 0 if not HUB.enabled else 2
+                finally:
+                    os._exit(status)
+            _, raw = os.waitpid(child, 0)
+            code = os.waitstatus_to_exitcode(raw)
+            assert code == 0, {1: "child crashed",
+                               2: "inherited hub stayed enabled"}.get(
+                                   code, f"exit {code}")
+            # The parent's own hub is untouched by the child's disable.
+            assert HUB.enabled
+        finally:
+            HUB.disable()
+        summary = store.load(point.point_id)
+        assert summary is not None
+        assert not getattr(summary, "telemetry", None)
