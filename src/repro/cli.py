@@ -44,6 +44,11 @@ Subcommands:
   crash-safe point leases, and client commands that submit, stream
   progress and fetch the aggregated speedup matrix (see
   ``repro.service`` and ``docs/service.md``).
+* ``repro fleet [--watch]`` — live service observability: the worker
+  health roster (``GET /v1/fleet``) plus per-job progress and ETA,
+  optionally as a self-refreshing terminal view; ``repro trace --store
+  DIR`` merges a job's correlated per-point telemetry into one
+  cross-worker Chrome/Perfetto timeline.
 
 Flag conventions, shared across subcommands: single-target commands
 take ``--benchmark``, sweep-style commands take ``--benchmarks`` (comma
@@ -355,19 +360,60 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _trace_fleet(args) -> int:
+    """``repro trace --store DIR``: merge a service job's per-point
+    streams + progress log into one cross-worker Chrome timeline."""
+    from pathlib import Path
+
+    from .telemetry import write_fleet_trace
+    root = Path(args.store)
+    jobs_dir = root / "jobs"
+    if jobs_dir.is_dir():
+        ids = sorted(p.name for p in jobs_dir.iterdir()
+                     if (p / "job.json").exists())
+        if args.job:
+            if args.job not in ids:
+                logger.error("unknown job %r; store has: %s", args.job,
+                             ", ".join(ids) or "none")
+                return 2
+            job_dir = jobs_dir / args.job
+        elif len(ids) == 1:
+            job_dir = jobs_dir / ids[0]
+        else:
+            logger.error("store has %d jobs; pick one with --job "
+                         "(%s)", len(ids), ", ".join(ids) or "none")
+            return 2
+    elif (root / "events.jsonl").exists() or (root / "traces").is_dir():
+        job_dir = root  # a job directory given directly
+    else:
+        logger.error("%s is neither a service root nor a job "
+                     "directory", root)
+        return 2
+    out = args.out if args.out != "traces.jsonl.gz" else "fleet_trace.json"
+    count = write_fleet_trace(out, job_dir)
+    print(f"wrote {count} merged fleet trace events for job "
+          f"{job_dir.name} to {out}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Handle ``repro trace``.
 
-    Two export modes, selected by ``--format`` (default ``auto``: a
-    ``.json`` output name means ``chrome``, anything else ``frames``):
+    Three export modes:
 
-    * ``chrome`` — simulate the benchmark with telemetry enabled and
-      write a Chrome trace-event file (one process row per Raster Unit,
-      FSM transitions as instants, DRAM bandwidth as a counter track)
-      loadable in Perfetto / ``chrome://tracing``.
-    * ``frames`` — the original workload export: serialized
+    * ``--store DIR`` — no simulation: merge a sweep-service job's
+      correlated per-point telemetry streams into one Chrome/Perfetto
+      timeline with a process track per worker (fleet-wide load
+      imbalance, the way per-RU tracks show per-simulation imbalance).
+    * ``--format chrome`` (or ``auto`` with a ``.json`` output name) —
+      simulate the benchmark with telemetry enabled and write a Chrome
+      trace-event file (one process row per Raster Unit, FSM
+      transitions as instants, DRAM bandwidth as a counter track).
+    * ``--format frames`` — the original workload export: serialized
       :class:`~repro.gpu.workload.FrameTrace` objects as JSON lines.
     """
+    if args.store:
+        return _trace_fleet(args)
     benchmark = args.benchmark_pos or args.benchmark
     if benchmark is None:
         logger.error("trace needs a benchmark (positional or --benchmark)")
@@ -603,7 +649,28 @@ def cmd_worker(args) -> int:
     return 0
 
 
-def _print_job(record, points=None) -> None:
+def _format_eta(seconds) -> str:
+    """A compact human ETA (``—`` while no throughput is established)."""
+    if seconds is None:
+        return "—"
+    seconds = int(round(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def _format_progress(progress) -> str:
+    """One-line progress summary from a job's ``progress`` payload."""
+    if not progress:
+        return ""
+    return (f"{progress.get('percent', 0.0):.1f}% done, "
+            f"{progress.get('points_per_s', 0.0):.2f} pt/s, "
+            f"ETA {_format_eta(progress.get('eta_s'))}")
+
+
+def _print_job(record, points=None, progress=None) -> None:
     line = (f"job {record.job_id}: {record.state}  "
             f"({record.total_points} points")
     if points:
@@ -612,9 +679,78 @@ def _print_job(record, points=None) -> None:
                  f"{points.get('leased', 0)} leased, "
                  f"{points.get('pending', 0)} pending")
     line += ")"
+    if progress:
+        line += f"  [{_format_progress(progress)}]"
     if record.error:
         line += f"  error: {record.error}"
     print(line, flush=True)
+
+
+def _render_fleet(client, stale_after=None) -> str:
+    """The ``repro fleet`` view: worker roster + active-job progress."""
+    lines = []
+    fleet = client.fleet(stale_after_s=stale_after)
+    workers = fleet.get("workers", [])
+    if workers:
+        rows = [[w.get("worker_id", "?"),
+                 "stale" if w.get("stale") else w.get("state", "?"),
+                 w.get("job_id") or "-",
+                 w.get("point_id") or "-",
+                 w.get("points_completed", 0),
+                 w.get("points_failed", 0),
+                 f"{w.get('points_per_s', 0.0):.2f}",
+                 f"{w.get('age_s', 0.0):.0f}s"] for w in workers]
+        lines.append(format_table(
+            ("worker", "state", "job", "point", "done", "failed",
+             "pt/s", "age"), rows,
+            title=(f"fleet: {fleet.get('live', 0)} live, "
+                   f"{fleet.get('stale', 0)} stale")))
+    else:
+        lines.append("no workers reporting")
+    active = [r for r in client.jobs()
+              if r.state in ("queued", "running")]
+    lines.append("")
+    if not active:
+        lines.append("no active jobs")
+    for record in active:
+        status = client.status(record.job_id)
+        points = getattr(status, "points", {}) or {}
+        progress = getattr(status, "progress", {}) or {}
+        line = f"job {record.job_id}: {status.state}"
+        if points:
+            line += (f"  {points.get('completed', 0)}/"
+                     f"{points.get('total', 0)} done, "
+                     f"{points.get('leased', 0)} leased, "
+                     f"{points.get('pending', 0)} pending")
+        if progress:
+            line += f"  [{_format_progress(progress)}]"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def cmd_fleet(args) -> int:
+    """Handle ``repro fleet`` (live worker/job view of a service).
+
+    One-shot by default; ``--watch`` refreshes every ``--interval``
+    seconds until interrupted (Ctrl-C exits 0 — stopping a monitor is
+    success, not failure).
+    """
+    import time as _time
+
+    from .service import SweepClient
+    client = SweepClient(args.server)
+    if not args.watch:
+        print(_render_fleet(client, stale_after=args.stale_after))
+        return 0
+    try:
+        while True:
+            view = _render_fleet(client, stale_after=args.stale_after)
+            if sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(view, flush=True)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _follow_events(client, job_id: str, timeout_s: float) -> None:
@@ -682,7 +818,19 @@ def cmd_status(args) -> int:
                            title=f"jobs at {args.server}"))
         return 0
     record = client.status(args.job)
-    _print_job(record, points=getattr(record, "points", None))
+    _print_job(record, points=getattr(record, "points", None),
+               progress=getattr(record, "progress", None))
+    if args.watch and not record.terminal:
+        import time as _time
+        try:
+            while not record.terminal:
+                _time.sleep(args.interval)
+                record = client.status(args.job)
+                _print_job(record,
+                           points=getattr(record, "points", None),
+                           progress=getattr(record, "progress", None))
+        except KeyboardInterrupt:
+            return 0
     if args.follow and not record.terminal:
         _follow_events(client, record.job_id,
                        timeout_s=args.wait_timeout)
@@ -924,6 +1072,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="auto: .json out = chrome trace, otherwise "
                             "frame-trace JSONL")
     trace.add_argument("--out", default="traces.jsonl.gz")
+    trace.add_argument("--store", default=None, metavar="DIR",
+                       help="merge a sweep-service store's correlated "
+                            "per-point streams into one cross-worker "
+                            "timeline instead of simulating (DIR is "
+                            "the service root or one job directory)")
+    trace.add_argument("--job", default=None, metavar="ID",
+                       help="with --store on a service root: which job "
+                            "to merge (optional when there is exactly "
+                            "one)")
 
     suite = sub.add_parser(
         "suite", help="supervised sweep (timeouts, retries, partial "
@@ -1065,6 +1222,13 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--follow", action="store_true",
                         help="stream the job's events until it "
                              "finishes")
+    status.add_argument("--watch", action="store_true",
+                        help="re-print the job line (with progress "
+                             "and ETA) every --interval seconds until "
+                             "it finishes")
+    status.add_argument("--interval", type=float, default=2.0,
+                        metavar="S",
+                        help="refresh cadence for --watch (default 2)")
     status.add_argument("--result", action="store_true",
                         help="print the speedup matrix of a finished "
                              "job")
@@ -1072,6 +1236,25 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="S",
                         help="give up following after this many "
                              "seconds")
+
+    fleet = sub.add_parser(
+        "fleet", help="live service observability: worker health "
+                      "roster plus per-job progress and ETA")
+    fleet.add_argument("--server", default="http://127.0.0.1:8023",
+                       metavar="URL",
+                       help="service base URL (default "
+                            "http://127.0.0.1:8023)")
+    fleet.add_argument("--watch", action="store_true",
+                       help="refresh the view every --interval seconds "
+                            "until interrupted (Ctrl-C exits 0)")
+    fleet.add_argument("--interval", type=float, default=2.0,
+                       metavar="S",
+                       help="refresh cadence for --watch (default 2)")
+    fleet.add_argument("--stale-after", type=float, default=None,
+                       metavar="S",
+                       help="flag workers whose status file is older "
+                            "than this (default: the server's lease "
+                            "TTL convention, 30s)")
 
     perf = sub.add_parser(
         "perf", help="performance baselines: record a fingerprinted "
@@ -1183,6 +1366,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "worker": cmd_worker,
         "submit": cmd_submit,
         "status": cmd_status,
+        "fleet": cmd_fleet,
         "perf": cmd_perf,
         "report": cmd_report,
         "figures": cmd_figures,

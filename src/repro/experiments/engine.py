@@ -216,7 +216,10 @@ def _point_runner(benchmark: str, point_id: str, frames: int = 0,
                   points: Optional[Dict[str, SweepPoint]] = None,
                   store_root: str = "",
                   point_telemetry: bool = True,
-                  driver_pid: Optional[int] = None) -> RunSummary:
+                  driver_pid: Optional[int] = None,
+                  trace_dir: str = "",
+                  correlation: Optional[Dict[str, str]] = None
+                  ) -> RunSummary:
     """The :func:`repro.harness.run_pairs` runner for sweep points.
 
     Module-level and picklable so the process-pool backend can ship it;
@@ -242,6 +245,17 @@ def _point_runner(benchmark: str, point_id: str, frames: int = 0,
     shows this process is a fork of the driver and telemetry was asked
     off, the inherited hub is disabled here — the child's copy only;
     the driver's own hub (same pid) is never touched.
+
+    ``trace_dir``/``correlation`` (the sweep-service worker path): the
+    runner's own telemetry session additionally streams every event to
+    ``<trace_dir>/<point_id>.<pid>.jsonl`` stamped with the given
+    correlation fields plus ``point_id``, so per-point streams from a
+    whole fleet merge into one timeline
+    (:func:`repro.telemetry.fleet_trace.fleet_chrome_trace`).  The
+    pid-qualified name keeps a hung original and its adopting rerunner
+    from clobbering each other's files.  The sink degrades on OSError
+    — tracing never fails a point — and a local in-process sweep
+    (no ``trace_dir``) is byte-for-byte unaffected.
     """
     point = points[point_id]
     if (not point_telemetry and driver_pid is not None
@@ -256,9 +270,17 @@ def _point_runner(benchmark: str, point_id: str, frames: int = 0,
     # crash/hang costs nothing but the supervised retry.
     chaos.on_point_start(point_id, store_root)
     own_session = point_telemetry and not HUB.enabled
+    trace_sink = None
     if own_session:
         HUB.metrics.reset()
-        HUB.enable()
+        if trace_dir:
+            from ..telemetry.fleet_trace import PointTraceSink
+            trace_sink = PointTraceSink(
+                Path(trace_dir) / f"{point_id}.{os.getpid()}.jsonl",
+                extra={**(correlation or {}), "point_id": point_id})
+            HUB.enable(trace_sink)
+        else:
+            HUB.enable()
     wall_start = time.time()
     try:
         summary = execute_point(point)
@@ -275,6 +297,8 @@ def _point_runner(benchmark: str, point_id: str, frames: int = 0,
     finally:
         if own_session:
             HUB.disable()
+        if trace_sink is not None:
+            trace_sink.close()
     store.save(point_id, summary)
     # The crash_late chaos window: checkpoint durable, result not yet
     # returned.  The retry must be served from the store, not re-run.

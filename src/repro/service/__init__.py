@@ -19,11 +19,16 @@ nothing but a store directory:
 
 Durability lives in :mod:`.jobs` (cachefile-backed job records, the
 queue-is-the-store design) and the wire format in :mod:`.schema`
-(``repro.job/v1``).  ``docs/service.md`` has the architecture diagram,
-lease semantics and curl examples.
+(``repro.job/v1``).  Live observability lives in :mod:`.fleet`
+(per-worker health snapshots behind ``GET /v1/fleet``, progress/ETA
+behind ``GET /v1/jobs/<id>``) and the server's ``GET /v1/metrics``
+Prometheus exposition.  ``docs/service.md`` has the architecture
+diagram, lease semantics and curl examples.
 """
 
 from .client import SweepClient
+from .fleet import (DEFAULT_STALE_AFTER_S, FleetReporter, job_progress,
+                    read_fleet)
 from .jobs import JobStore, TERMINAL_EVENTS
 from .queue import DEFAULT_LEASE_TTL_S, PointClaim, claim_point
 from .schema import JOB_SCHEMA, JOB_STATES, JobRecord, job_id_for
@@ -45,4 +50,8 @@ __all__ = [
     "claim_point",
     "PointClaim",
     "DEFAULT_LEASE_TTL_S",
+    "DEFAULT_STALE_AFTER_S",
+    "FleetReporter",
+    "job_progress",
+    "read_fleet",
 ]

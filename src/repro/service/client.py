@@ -111,11 +111,26 @@ class SweepClient:
                 for data in self._json("GET", "/v1/jobs")["jobs"]]
 
     def status(self, job_id: str) -> JobRecord:
-        """One job's current record (live point counts in ``.points``)."""
+        """One job's current record (live point counts in ``.points``,
+        progress/ETA in ``.progress``)."""
         data = self._json("GET", f"/v1/jobs/{job_id}")
         record = JobRecord.from_dict(data)
         record.points = data.get("points", {})  # type: ignore[attr-defined]
+        record.progress = data.get(  # type: ignore[attr-defined]
+            "progress", {})
         return record
+
+    def fleet(self, stale_after_s: Optional[float] = None) -> dict:
+        """The worker health roster (``GET /v1/fleet``)."""
+        path = "/v1/fleet"
+        if stale_after_s is not None:
+            path += f"?stale_after={stale_after_s}"
+        return self._json("GET", path)
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition document (``GET /v1/metrics``)."""
+        with self._request("GET", "/v1/metrics") as response:
+            return response.read().decode("utf-8")
 
     def result(self, job_id: str) -> SpeedupMatrix:
         """The finished job's matrix (:class:`ServiceError` 409 until
@@ -134,15 +149,23 @@ class SweepClient:
             self._json("POST", f"/v1/jobs/{job_id}/cancel"))
 
     def events(self, job_id: str, follow: bool = True,
-               timeout_s: float = 60.0) -> Iterator[Dict]:
+               timeout_s: float = 60.0,
+               heartbeat_s: Optional[float] = None,
+               include_heartbeats: bool = False) -> Iterator[Dict]:
         """Progress events as dicts, streamed while the job runs.
 
         With ``follow`` the iterator ends at the job's terminal event
         (or after ``timeout_s`` server-side); without it, it yields the
-        current snapshot and stops.
+        current snapshot and stops.  The server injects synthetic
+        ``heartbeat`` records on idle streams (cadence overridable via
+        ``heartbeat_s``; 0 disables) — they keep the connection warm
+        through proxies and are filtered out here unless
+        ``include_heartbeats`` is set.
         """
         path = (f"/v1/jobs/{job_id}/events?follow={int(follow)}"
                 f"&timeout={timeout_s}")
+        if heartbeat_s is not None:
+            path += f"&heartbeat={heartbeat_s}"
         with self._request("GET", path,
                            timeout_s=timeout_s + 10.0) as response:
             buffer = b""
@@ -161,8 +184,12 @@ class SweepClient:
                     except (UnicodeDecodeError,
                             json.JSONDecodeError):
                         continue
-                    if isinstance(event, dict):
-                        yield event
+                    if not isinstance(event, dict):
+                        continue
+                    if (event.get("event") == "heartbeat"
+                            and not include_heartbeats):
+                        continue
+                    yield event
 
     def wait(self, job_id: str, poll_s: float = 0.5,
              timeout_s: Optional[float] = None) -> JobRecord:

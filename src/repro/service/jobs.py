@@ -9,6 +9,10 @@ over a shared filesystem)::
       events.jsonl   # ProgressLog: submitted/claimed/point_done/...
       store/         # the sweep ArtifactStore (checkpoints, failures)
       leases/        # one <point_id>.lease per in-flight point
+      traces/        # correlated per-point telemetry streams (JSONL)
+
+plus one ``<root>/fleet/<worker_id>.json`` health snapshot per worker
+(:mod:`repro.service.fleet`), aggregated by ``GET /v1/fleet``.
 
 There is deliberately **no queue datastructure**: the queue *is* the
 store.  A point is pending iff it has neither an artifact in
@@ -45,6 +49,7 @@ EVENTS_NAME = "events.jsonl"
 STORE_DIR = "store"
 LEASES_DIR = "leases"
 RESULT_NAME = "result.json"
+TRACES_DIR = "traces"
 
 #: Events that end a job's event stream (used by followers to stop).
 TERMINAL_EVENTS = frozenset({"job_done", "job_failed", "job_cancelled"})
@@ -86,6 +91,16 @@ class JobStore:
     def result_path(self, job_id: str) -> Path:
         """Path of the cached aggregated matrix."""
         return self.job_dir(job_id) / RESULT_NAME
+
+    def traces_dir(self, job_id: str) -> Path:
+        """Directory of the job's correlated per-point trace streams."""
+        return self.job_dir(job_id) / TRACES_DIR
+
+    @property
+    def fleet_dir(self) -> Path:
+        """Directory of the per-worker health snapshots (`/v1/fleet`)."""
+        from .fleet import FLEET_DIR
+        return self.root / FLEET_DIR
 
     # -- submission ---------------------------------------------------------
 

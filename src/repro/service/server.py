@@ -16,11 +16,21 @@ Endpoints (all under ``/v1``, schema pinned in ``docs/service.md``):
 ``GET  /v1/ping``                     liveness + version/generation handshake
 ``POST /v1/jobs``                     submit a spec (idempotent per grid)
 ``GET  /v1/jobs``                     list job records
-``GET  /v1/jobs/<id>``                one record + live point counts
+``GET  /v1/jobs/<id>``                one record + live point counts + ETA
 ``GET  /v1/jobs/<id>/result``         aggregated matrix (409 until finished)
 ``GET  /v1/jobs/<id>/events``         chunked JSONL progress stream
 ``POST /v1/jobs/<id>/cancel``         request cancellation
+``GET  /v1/metrics``                  Prometheus text exposition
+``GET  /v1/fleet``                    worker health roster (live + stale)
 ====================================  =======================================
+
+Live observability: every request is counted and timed into the
+server's :class:`~repro.telemetry.metrics.MetricsRegistry` (a lock
+guards it — ``ThreadingHTTPServer`` handles connections concurrently),
+and a ``/v1/metrics`` scrape refreshes store-derived gauges (jobs by
+state, queue depth, breaker state) plus event counters (completions,
+lease adoptions) before rendering the registry through
+:func:`repro.telemetry.exposition.render_exposition`.
 
 Error contract: every failure is a JSON object with an ``error`` key —
 a malformed spec is HTTP 400 with the validation message, an unknown
@@ -33,17 +43,22 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from ..errors import ConfigValidationError
 from ..experiments import ExperimentSpec
 from ..harness import RESULT_GENERATION
+from ..telemetry.exposition import (EXPOSITION_CONTENT_TYPE,
+                                    render_exposition)
+from ..telemetry.metrics import MetricsRegistry
+from .fleet import DEFAULT_STALE_AFTER_S, job_progress, read_fleet
 from .jobs import TERMINAL_EVENTS, JobStore
 from .queue import DEFAULT_LEASE_TTL_S
-from .schema import JOB_SCHEMA, JobRecord, job_id_for
+from .schema import JOB_SCHEMA, JOB_STATES, JobRecord, job_id_for
 from .worker import _maybe_finalize
 
 logger = logging.getLogger(__name__)
@@ -54,6 +69,13 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 #: Ceiling on how long one ``/events`` follower may hold a thread.
 MAX_FOLLOW_S = 3600.0
 
+#: Default cadence of synthetic heartbeat chunks on an idle
+#: ``/events?follow=1`` stream (``heartbeat=0`` disables them).
+DEFAULT_HEARTBEAT_S = 15.0
+
+#: Latency histogram buckets for request timing (seconds).
+HTTP_LATENCY_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0)
+
 
 def _package_version() -> str:
     from .. import __version__
@@ -61,7 +83,13 @@ def _package_version() -> str:
 
 
 class SweepServiceServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer bound to one :class:`JobStore`."""
+    """ThreadingHTTPServer bound to one :class:`JobStore`.
+
+    Carries the process-wide service metrics: request counters and
+    latency histograms updated per request, store-derived gauges
+    refreshed at scrape time.  ``metrics_lock`` serializes all access
+    — handler threads run concurrently.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
@@ -69,6 +97,73 @@ class SweepServiceServer(ThreadingHTTPServer):
     def __init__(self, address: Tuple[str, int], store: JobStore):
         super().__init__(address, SweepServiceHandler)
         self.store = store
+        self.metrics = MetricsRegistry()
+        self.metrics_lock = threading.Lock()
+        self.started_at = time.time()
+        #: Per-job byte offsets into events.jsonl, so event counters
+        #: advance incrementally across scrapes instead of recounting.
+        self._event_offsets: Dict[str, int] = {}
+
+    def observe_request(self, label: str, method: str, status: int,
+                        elapsed_s: float) -> None:
+        """Count and time one finished HTTP request."""
+        with self.metrics_lock:
+            self.metrics.counter(
+                f"http.requests.{label}.{method}.{status}").inc()
+            self.metrics.histogram(f"http.latency_s.{label}",
+                                   HTTP_LATENCY_BUCKETS).observe(elapsed_s)
+
+    def refresh_store_metrics(self) -> None:
+        """Fold the job store's current state into the registry.
+
+        Called under ``metrics_lock`` by the scrape handler.  Gauges
+        (jobs by state, queue depth, breaker state) are recomputed
+        wholesale; event counters advance by the records appended
+        since the previous scrape, so they are monotonic for the
+        lifetime of this server process (a restart is an ordinary
+        Prometheus counter reset).
+        """
+        store = self.store
+        records = store.list_jobs()
+        by_state = {state: 0 for state in JOB_STATES}
+        pending = leased = 0
+        breaker_trips = breaker_open = 0
+        for record in records:
+            by_state[record.state] = by_state.get(record.state, 0) + 1
+            if record.state in ("queued", "running"):
+                try:
+                    counts = store.counts(
+                        record.job_id, lease_ttl_s=DEFAULT_LEASE_TTL_S)
+                    pending += counts.get("pending", 0)
+                    leased += counts.get("leased", 0)
+                except ConfigValidationError:
+                    pass
+            state = store.sweep_store(record.job_id).load_breaker_state()
+            if isinstance(state, dict):
+                breaker_trips += len(state.get("trips") or [])
+                cells = state.get("cells")
+                if isinstance(cells, dict):
+                    breaker_open += sum(
+                        1 for cell in cells.values()
+                        if isinstance(cell, dict)
+                        and cell.get("state") == "open")
+            log = store.events(record.job_id)
+            offset = self._event_offsets.get(record.job_id, 0)
+            for event, offset in log._scan(offset):
+                kind = event.get("event")
+                if isinstance(kind, str) and kind:
+                    self.metrics.counter(f"service.events.{kind}").inc()
+            self._event_offsets[record.job_id] = offset
+        self.metrics.gauge("service.jobs.total").set(len(records))
+        for state, n in sorted(by_state.items()):
+            self.metrics.gauge(f"service.jobs.{state}").set(n)
+        self.metrics.gauge("service.points.pending").set(pending)
+        self.metrics.gauge("service.points.leased").set(leased)
+        self.metrics.gauge("service.queue.depth").set(pending + leased)
+        self.metrics.gauge("service.breaker.trips").set(breaker_trips)
+        self.metrics.gauge("service.breaker.open_cells").set(breaker_open)
+        self.metrics.gauge("service.uptime_s").set(
+            round(time.time() - self.started_at, 3))
 
 
 class SweepServiceHandler(BaseHTTPRequestHandler):
@@ -83,8 +178,15 @@ class SweepServiceHandler(BaseHTTPRequestHandler):
     def store(self) -> JobStore:
         return self.server.store  # type: ignore[attr-defined]
 
+    # Access logs flow through the ``repro`` logging hierarchy rather
+    # than the stdlib's bare stderr writes: request lines at DEBUG
+    # (``repro -vv`` surfaces live traffic), failures at WARNING so
+    # they are visible at the default level.
     def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
         logger.debug("%s %s", self.address_string(), fmt % args)
+
+    def log_error(self, fmt, *args):  # noqa: N802 (stdlib name)
+        logger.warning("%s %s", self.address_string(), fmt % args)
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload, indent=2, sort_keys=True).encode()
@@ -97,11 +199,19 @@ class SweepServiceHandler(BaseHTTPRequestHandler):
     def _error(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
+    def send_response(self, code, message=None):
+        self._status = code  # remembered for the request metrics
+        super().send_response(code, message)
+
     def _dispatch(self, method: str) -> None:
+        started = time.monotonic()
+        self._status = 0
+        label = "other"
         try:
             url = urlparse(self.path)
             parts = [p for p in url.path.split("/") if p]
             query = parse_qs(url.query)
+            label = self._route_label(parts)
             handler = self._route(method, parts)
             if handler is None:
                 self._error(404, f"no such endpoint: "
@@ -116,10 +226,33 @@ class SweepServiceHandler(BaseHTTPRequestHandler):
             logger.exception("unhandled error serving %s %s",
                              method, self.path)
             self._error(500, f"internal error: {type(exc).__name__}")
+        finally:
+            self.server.observe_request(  # type: ignore[attr-defined]
+                label, method, self._status,
+                time.monotonic() - started)
+
+    @staticmethod
+    def _route_label(parts) -> str:
+        """A low-cardinality route label for the request metrics."""
+        if parts[:1] != ["v1"]:
+            return "other"
+        if len(parts) == 2 and parts[1] in ("ping", "jobs", "metrics",
+                                            "fleet"):
+            return parts[1]
+        if len(parts) == 3 and parts[1] == "jobs":
+            return "job"
+        if len(parts) == 4 and parts[1] == "jobs" and parts[3] in (
+                "result", "events", "cancel"):
+            return f"job.{parts[3]}"
+        return "other"
 
     def _route(self, method: str, parts):
         if parts == ["v1", "ping"] and method == "GET":
             return self._ping
+        if parts == ["v1", "metrics"] and method == "GET":
+            return self._metrics
+        if parts == ["v1", "fleet"] and method == "GET":
+            return self._fleet
         if parts == ["v1", "jobs"]:
             return {"GET": self._list_jobs,
                     "POST": self._submit}.get(method)
@@ -164,6 +297,28 @@ class SweepServiceHandler(BaseHTTPRequestHandler):
             "schema": JOB_SCHEMA,
             "generation": RESULT_GENERATION})
 
+    def _metrics(self, parts, query) -> None:
+        server = self.server  # type: ignore[assignment]
+        with server.metrics_lock:  # type: ignore[attr-defined]
+            server.refresh_store_metrics()  # type: ignore[attr-defined]
+            body = render_exposition(
+                server.metrics).encode()  # type: ignore[attr-defined]
+        self.send_response(200)
+        self.send_header("Content-Type", EXPOSITION_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _fleet(self, parts, query) -> None:
+        try:
+            stale_after = float(
+                query.get("stale_after", [DEFAULT_STALE_AFTER_S])[0])
+        except (TypeError, ValueError):
+            raise ConfigValidationError(
+                "stale_after must be a number of seconds")
+        self._send_json(200, read_fleet(self.store.root,
+                                        stale_after_s=stale_after))
+
     def _submit(self, parts, query) -> None:
         try:
             payload = json.loads(self._read_body() or b"null")
@@ -199,6 +354,10 @@ class SweepServiceHandler(BaseHTTPRequestHandler):
                 record.job_id, lease_ttl_s=DEFAULT_LEASE_TTL_S)
         except ConfigValidationError:
             payload["points"] = {}
+        if payload["points"]:
+            payload["progress"] = job_progress(
+                payload["points"],
+                self.store.events(record.job_id).read())
         self._send_json(200, payload)
 
     def _job_result(self, parts, query) -> None:
@@ -241,6 +400,8 @@ class SweepServiceHandler(BaseHTTPRequestHandler):
                                                                 "false")
         timeout_s = min(float(query.get("timeout", ["60"])[0] or 60),
                         MAX_FOLLOW_S)
+        heartbeat_s = float(query.get(
+            "heartbeat", [DEFAULT_HEARTBEAT_S])[0] or 0)
         log = self.store.events(record.job_id)
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
@@ -248,8 +409,11 @@ class SweepServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         try:
             if follow:
+                # Heartbeat chunks keep read-timeout proxies from
+                # dropping an idle follower while a slow point runs.
                 stream = log.tail(done_events=TERMINAL_EVENTS,
-                                  timeout_s=timeout_s)
+                                  timeout_s=timeout_s,
+                                  heartbeat_s=heartbeat_s or None)
             else:
                 stream = iter(log.read())
             for event in stream:

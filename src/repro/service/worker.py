@@ -31,12 +31,13 @@ import time
 from pathlib import Path
 from typing import Optional, Set, Union
 
-from .. import cachefile, harness, supervision
+from .. import cachefile, chaos, harness, supervision
 from ..errors import ConfigValidationError
 from ..experiments import ExperimentSpec, speedup_matrix
 from ..experiments.engine import _point_runner, sweep_result_from_store
 from ..harness import RESULT_GENERATION
 from ..supervision import CircuitBreaker, SupervisionPolicy, Supervisor
+from .fleet import DEFAULT_FLEET_INTERVAL_S, FleetReporter
 from .jobs import JobStore
 from .queue import DEFAULT_LEASE_TTL_S, PointClaim, claim_point
 from .schema import JobRecord
@@ -60,7 +61,8 @@ def run_worker(root: Union[str, Path],
                max_points: Optional[int] = None,
                once: bool = False,
                policy: Optional[SupervisionPolicy] = None,
-               stop=None) -> int:
+               stop=None,
+               fleet_interval_s: float = DEFAULT_FLEET_INTERVAL_S) -> int:
     """Serve the job store at ``root`` until told (or idle) to stop.
 
     Returns the number of points this worker executed.  Exit
@@ -68,10 +70,34 @@ def run_worker(root: Union[str, Path],
     points were executed, ``once`` is set and a full scan found no
     claimable work, or ``idle_exit_s`` seconds pass without any work
     (None = wait forever — the daemon default).
+
+    For the whole run a :class:`~repro.service.fleet.FleetReporter`
+    beats an atomic ``<root>/fleet/<worker_id>.json`` health snapshot
+    every ``fleet_interval_s`` seconds — the raw material of the
+    server's ``GET /v1/fleet`` — and a SIGKILL simply stops the beat,
+    so the fleet view flags this worker stale by mtime exactly like an
+    abandoned lease.
     """
     store = JobStore(root)
     worker_id = worker_id or default_worker_id()
     logger.info("worker %s serving %s", worker_id, store.root)
+    reporter = FleetReporter(store.root, worker_id,
+                             interval_s=fleet_interval_s).start()
+    if os.environ.get(chaos.ENV_SEED) is not None:
+        reporter.note(chaos_active=True)
+    try:
+        return _worker_loop(store, worker_id, poll_s, lease_ttl_s,
+                            idle_exit_s, max_points, once, policy, stop,
+                            reporter)
+    finally:
+        reporter.stop()
+
+
+def _worker_loop(store: JobStore, worker_id: str, poll_s: float,
+                 lease_ttl_s: float, idle_exit_s: Optional[float],
+                 max_points: Optional[int], once: bool,
+                 policy: Optional[SupervisionPolicy], stop,
+                 reporter: FleetReporter) -> int:
     executed = 0
     idle_since: Optional[float] = None
     refused: Set[str] = set()
@@ -88,7 +114,8 @@ def run_worker(root: Union[str, Path],
             ran = _drain_job(store, record.job_id, spec, worker_id,
                              lease_ttl_s, policy, stop,
                              remaining=None if max_points is None
-                             else max_points - executed)
+                             else max_points - executed,
+                             reporter=reporter)
             executed += ran
             claimed_any = claimed_any or ran > 0
             if max_points is not None and executed >= max_points:
@@ -145,7 +172,8 @@ def _job_spec(store: JobStore, record: JobRecord,
 def _drain_job(store: JobStore, job_id: str, spec: ExperimentSpec,
                worker_id: str, lease_ttl_s: float,
                policy: Optional[SupervisionPolicy], stop,
-               remaining: Optional[int]) -> int:
+               remaining: Optional[int],
+               reporter: Optional[FleetReporter] = None) -> int:
     """Claim and execute points of one job until none remains."""
     ran = 0
     while not (stop is not None and stop.is_set()):
@@ -172,13 +200,20 @@ def _drain_job(store: JobStore, job_id: str, spec: ExperimentSpec,
             "point_claimed", job_id=job_id,
             point_id=claim.point.point_id, owner=worker_id,
             adopted_from=claim.adopted_from)
+        if reporter is not None:
+            reporter.point_started(job_id, claim.point.point_id)
         try:
-            _execute_claim(store, fresh, spec, claim, lease_ttl_s,
-                           policy)
+            outcome = _execute_claim(store, fresh, spec, claim,
+                                     lease_ttl_s, policy)
         finally:
             claim.release()
+        if reporter is not None:
+            reporter.point_finished(outcome.status == "ok",
+                                    attempts=outcome.attempts)
         ran += 1
         _maybe_finalize(store, job_id, spec, lease_ttl_s)
+        if reporter is not None:
+            reporter.idle()
     return ran
 
 
@@ -200,13 +235,19 @@ def _mark_running(store: JobStore, job_id: str, worker_id: str) -> None:
 def _execute_claim(store: JobStore, record: JobRecord,
                    spec: ExperimentSpec, claim: PointClaim,
                    lease_ttl_s: float,
-                   policy: Optional[SupervisionPolicy]) -> None:
+                   policy: Optional[SupervisionPolicy]):
     """Run one claimed point through the local sweep stack.
 
     The lease renewer beats for the whole execution (simulation plus
     supervised retries), so a live worker grinding a slow point is
     never mistaken for a dead one; it stops before the lease is
-    released either way.
+    released either way.  Returns the harness outcome of the point.
+
+    With per-point telemetry on, the runner also writes a correlated
+    trace stream to ``<job>/traces/<point_id>.<pid>.jsonl`` — every
+    record stamped with this job/worker/point — which is what lets
+    ``repro trace --store DIR`` merge a whole fleet's execution into
+    one timeline afterwards.
     """
     point = claim.point
     sweep_store = store.sweep_store(claim.job_id)
@@ -222,6 +263,11 @@ def _execute_claim(store: JobStore, record: JobRecord,
             store_root=str(sweep_store.root),
             point_telemetry=record.point_telemetry,
             driver_pid=os.getpid())
+        if record.point_telemetry:
+            run_kwargs.update(
+                trace_dir=str(store.traces_dir(claim.job_id)),
+                correlation={"job_id": claim.job_id,
+                             "worker_id": claim.worker_id})
         breaker: Optional[CircuitBreaker] = None
         if supervision.available():
             sup_policy = policy or SupervisionPolicy()
@@ -257,6 +303,7 @@ def _execute_claim(store: JobStore, record: JobRecord,
                     error=outcome.error or "",
                     error_type=outcome.error_type or outcome.status,
                     attempts=outcome.attempts, elapsed_s=elapsed)
+    return outcome
 
 
 def _maybe_finalize(store: JobStore, job_id: str, spec: ExperimentSpec,

@@ -31,6 +31,11 @@ The three pieces (see ``docs/observability.md`` for the full taxonomy):
 
 from .chrome import (PID_HARNESS, PID_RU0, PID_SIM, chrome_trace,
                      chrome_trace_events, write_chrome_trace)
+from .exposition import (EXPOSITION_CONTENT_TYPE, metric_name,
+                         render_exposition)
+from .fleet_trace import (PID_JOB, PID_WORKER0, PointTraceSink,
+                          fleet_chrome_trace, fleet_trace_events,
+                          write_fleet_trace)
 from .events import (CacheDelta, DRAMSample, FSMState, FSMTransition,
                      HarnessSpan, PhaseBegin, PhaseEnd, SchedulerDecision,
                      SchedulerRanking, SupervisorEvent, TelemetryEvent,
@@ -55,4 +60,7 @@ __all__ = [
     "load_jsonl_events",
     "ProgressLog",
     "PID_SIM", "PID_RU0", "PID_HARNESS",
+    "EXPOSITION_CONTENT_TYPE", "metric_name", "render_exposition",
+    "PID_JOB", "PID_WORKER0", "PointTraceSink",
+    "fleet_chrome_trace", "fleet_trace_events", "write_fleet_trace",
 ]

@@ -1,0 +1,119 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+The registry's native shapes (dotted names, non-cumulative histogram
+buckets, the typed :meth:`~MetricsRegistry.dump` state) were designed
+for lossless cross-process merging, not for scraping.  This module is
+the adapter: :func:`render_exposition` turns a registry — or any dump
+state, which is what lets the server render metrics it merged from
+workers — into the Prometheus text format (version 0.0.4) that
+``GET /v1/metrics`` serves and every mainstream scraper parses.
+
+Mapping rules, pinned by ``tests/test_telemetry.py``:
+
+* dotted names are mangled to the exposition charset
+  (``http.latency_s.ping`` → ``repro_http_latency_s_ping``); the
+  ``repro_`` prefix namespaces the whole registry;
+* counters gain the conventional ``_total`` suffix;
+* histogram buckets are emitted *cumulatively* with ``le`` labels —
+  the registry stores per-bucket counts, so the renderer runs the
+  partial sums — and the mandatory ``+Inf`` bucket equals ``_count``.
+
+Rendering is a pure function of the dump state: rendering a registry
+and rendering ``MetricsRegistry.from_state(registry.dump())`` produce
+identical bytes, which is the same round-trip guarantee the rest of
+the metrics layer gives.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Union
+
+from .metrics import Histogram, MetricsRegistry, Number
+
+#: Prefix namespacing every exposed metric.
+METRIC_PREFIX = "repro_"
+
+#: Characters outside the exposition name charset collapse to ``_``.
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: The HTTP content type of the rendered document.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def metric_name(dotted: str, suffix: str = "") -> str:
+    """The exposition-safe name of a dotted registry name."""
+    return METRIC_PREFIX + _BAD_CHARS.sub("_", dotted) + suffix
+
+
+def _format_value(value: Number) -> str:
+    """A number in exposition syntax (integers stay integral)."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return format(value, ".10g")
+
+
+def cumulative_counts(counts: List[int]) -> List[int]:
+    """Running partial sums of per-bucket counts (``le`` semantics)."""
+    out, running = [], 0
+    for n in counts:
+        running += n
+        out.append(running)
+    return out
+
+
+def render_exposition(
+        source: Union[MetricsRegistry, Dict[str, dict]]) -> str:
+    """The Prometheus text document for a registry or a dump state.
+
+    Counters render as ``<name>_total``, gauges plainly, histograms as
+    cumulative ``<name>_bucket{le="..."}`` lines plus ``_sum`` and
+    ``_count``.  Metric families are sorted by dotted name, so the
+    document is deterministic for a given state.
+    """
+    state = source.dump() if isinstance(source, MetricsRegistry) else source
+    lines: List[str] = []
+    for dotted in sorted(state):
+        entry = state[dotted]
+        kind = entry.get("type")
+        if kind == "counter":
+            name = metric_name(dotted, "_total")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_format_value(entry['value'])}")
+        elif kind == "gauge":
+            name = metric_name(dotted)
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(entry['value'])}")
+        elif kind == "histogram":
+            lines.extend(_render_histogram(dotted, entry))
+        # Unknown types are skipped, not fatal: a newer worker's dump
+        # must never take down an older server's scrape endpoint.
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def _render_histogram(dotted: str, entry: dict) -> List[str]:
+    name = metric_name(dotted)
+    bounds = list(entry["buckets"])
+    totals = cumulative_counts(list(entry["counts"]))
+    lines = [f"# TYPE {name} histogram"]
+    for bound, total in zip(bounds, totals[:-1]):
+        lines.append(f'{name}_bucket{{le="{_format_value(bound)}"}} '
+                     f"{total}")
+    lines.append(f'{name}_bucket{{le="+Inf"}} {totals[-1]}')
+    lines.append(f"{name}_sum {_format_value(entry['total'])}")
+    lines.append(f"{name}_count {totals[-1]}")
+    return lines
+
+
+def render_registry_exposition(registry: MetricsRegistry) -> str:
+    """Alias of :func:`render_exposition` for a live registry."""
+    return render_exposition(registry.dump())
+
+
+__all__ = ["EXPOSITION_CONTENT_TYPE", "METRIC_PREFIX",
+           "cumulative_counts", "metric_name", "render_exposition",
+           "render_registry_exposition"]

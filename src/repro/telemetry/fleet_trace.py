@@ -1,0 +1,229 @@
+"""Cross-worker sweep timeline: merge a fleet's traces into one view.
+
+:mod:`repro.telemetry.chrome` renders *one process's* event stream —
+per-RU load imbalance inside a single simulation.  A service sweep has
+the same question one level up: which **worker** is the straggler, and
+which points did it grind on?  This module answers it the same way the
+per-RU view does — one Chrome/Perfetto process track per worker.
+
+Inputs live in one job directory of the sweep service store:
+
+* ``traces/<point_id>.<pid>.jsonl`` — per-point event streams written
+  by :class:`PointTraceSink` inside the worker's ``_point_runner``
+  session, every record stamped with ``job_id`` / ``worker_id`` /
+  ``point_id`` correlation fields (``JsonlSink(extra=...)``);
+* ``events.jsonl`` — the job's :class:`~repro.telemetry.progress.ProgressLog`
+  (claims, adoptions, completions), which attributes points to workers
+  even when per-point telemetry was off.
+
+The merged document is wall-clock throughout (microseconds since the
+job's first observed event): per-point tracks mix simulated-cycle and
+wall-clock domains, so the merge keeps only the wall-clock spans
+(``HarnessSpan``) and the progress events, and leaves cycle-domain
+detail to the individual per-point files.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .hub import JsonlSink
+
+logger = logging.getLogger(__name__)
+
+#: pid of the first worker track; worker ``i`` (sorted by id) is
+#: ``PID_WORKER0 + i``.  Disjoint from the per-simulation pids
+#: (sim 0, RUs 100+, harness 999) so a merged doc never collides.
+PID_WORKER0 = 1000
+
+#: pid of the job-lifecycle track (submission, terminal events).
+PID_JOB = 900
+
+
+class PointTraceSink(JsonlSink):
+    """A correlation-stamped JSONL sink that must never kill a run.
+
+    Owns its file (opened lazily on the first event, closed by
+    :meth:`close`) and swallows ``OSError`` after flipping
+    ``degraded`` — fleet tracing is observability; a full disk on a
+    worker must not fail the point it is executing.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 extra: Optional[Dict[str, object]] = None):
+        super().__init__(stream=None, extra=extra)
+        self.path = Path(path)
+        self.degraded = False
+
+    def handle(self, event) -> None:
+        if self.degraded:
+            return
+        try:
+            if self.stream is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self.stream = open(self.path, "w", encoding="utf-8")
+            super().handle(event)
+        except OSError as exc:
+            self.degraded = True
+            logger.debug("point trace %s unwritable (%s); tracing "
+                         "disabled for this point", self.path, exc)
+
+    def close(self) -> None:
+        """Close the stream (safe to call however far ``handle`` got)."""
+        if self.stream is not None:
+            try:
+                self.stream.close()
+            except OSError:
+                pass
+            self.stream = None
+
+
+def _read_jsonl(path: Path) -> List[dict]:
+    """Every parsable JSON object line of ``path`` (tolerant reader).
+
+    Raw dicts, not typed events: the correlation extras are exactly
+    the fields the typed loader would strip.
+    """
+    records: List[dict] = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def _point_spans(traces_dir: Path) -> List[dict]:
+    """Wall-clock ``HarnessSpan`` records from every per-point stream."""
+    spans = []
+    if not traces_dir.is_dir():
+        return spans
+    for path in sorted(traces_dir.glob("*.jsonl")):
+        for record in _read_jsonl(path):
+            if (record.get("type") == "HarnessSpan"
+                    and record.get("wall_start_s")):
+                spans.append(record)
+    return spans
+
+
+def fleet_trace_events(job_dir: Union[str, Path]) -> List[dict]:
+    """Trace-event dicts for one job directory (see module docstring)."""
+    job_dir = Path(job_dir)
+    spans = _point_spans(job_dir / "traces")
+    progress = _read_jsonl(job_dir / "events.jsonl")
+
+    # Workers come from span correlation fields plus progress `owner`s,
+    # sorted for a deterministic pid assignment across re-renders.
+    workers = sorted(
+        {s.get("worker_id") for s in spans if s.get("worker_id")}
+        | {e.get("owner") for e in progress if e.get("owner")})
+    pids = {wid: PID_WORKER0 + i for i, wid in enumerate(workers)}
+
+    starts = ([s["wall_start_s"] for s in spans]
+              + [e["ts"] for e in progress if isinstance(
+                  e.get("ts"), (int, float))])
+    if not starts:
+        return []
+    t0 = min(starts)
+
+    def us(wall_s) -> int:
+        return max(0, int(round((wall_s - t0) * 1e6)))
+
+    out: List[dict] = []
+    covered: set = set()
+    for span in spans:
+        wid = span.get("worker_id") or "unknown"
+        pid = pids.setdefault(wid, PID_WORKER0 + len(pids))
+        point_id = (span.get("point_id")
+                    or str(span.get("name", "")).rpartition(".")[2])
+        covered.add((wid, point_id))
+        args = dict(span.get("args") or {})
+        args.update(job_id=span.get("job_id", ""), point_id=point_id,
+                    status=span.get("status", ""),
+                    attempts=span.get("attempts", 0))
+        out.append({"name": point_id, "ph": "X", "pid": pid, "tid": 0,
+                    "ts": us(span["wall_start_s"]),
+                    "dur": max(1, int(round(
+                        float(span.get("wall_dur_s") or 0.0) * 1e6))),
+                    "args": args})
+
+    for event in progress:
+        kind = event.get("event")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        if kind in ("point_claimed", "lease_adopted"):
+            wid = event.get("owner") or "unknown"
+            pid = pids.setdefault(wid, PID_WORKER0 + len(pids))
+            out.append({"name": kind, "ph": "i", "pid": pid, "tid": 0,
+                        "ts": us(ts), "s": "t",
+                        "args": {k: event[k] for k in
+                                 ("point_id", "adopted_from",
+                                  "previous_owner") if event.get(k)}})
+        elif kind in ("point_done", "point_failed"):
+            wid = event.get("owner") or "unknown"
+            pid = pids.setdefault(wid, PID_WORKER0 + len(pids))
+            point_id = event.get("point_id", "")
+            if (wid, point_id) not in covered:
+                # Telemetry was off (or the stream was lost): synthesize
+                # the span from the completion event and its elapsed_s.
+                dur_s = float(event.get("elapsed_s") or 0.0)
+                out.append({"name": point_id or kind, "ph": "X",
+                            "pid": pid, "tid": 0,
+                            "ts": us(ts - dur_s),
+                            "dur": max(1, int(round(dur_s * 1e6))),
+                            "args": {"job_id": event.get("job_id", ""),
+                                     "point_id": point_id,
+                                     "status": "ok" if kind == "point_done"
+                                     else "failed",
+                                     "attempts": event.get("attempts", 0),
+                                     "synthesized_from": kind}})
+        elif kind in ("job_submitted", "job_started", "job_requeued",
+                      "job_done", "job_failed", "job_cancelled"):
+            out.append({"name": kind, "ph": "i", "pid": PID_JOB,
+                        "tid": 0, "ts": us(ts), "s": "p",
+                        "args": {"job_id": event.get("job_id", "")}})
+
+    meta = [{"name": "process_name", "ph": "M", "pid": PID_JOB, "tid": 0,
+             "args": {"name": "job"}},
+            {"name": "process_sort_index", "ph": "M", "pid": PID_JOB,
+             "tid": 0, "args": {"sort_index": PID_JOB}}]
+    for wid, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                     "tid": 0, "args": {"name": f"worker {wid}"}})
+        meta.append({"name": "process_sort_index", "ph": "M", "pid": pid,
+                     "tid": 0, "args": {"sort_index": pid}})
+    return meta + sorted(out, key=lambda e: (e["ts"], e["pid"]))
+
+
+def fleet_chrome_trace(job_dir: Union[str, Path]) -> dict:
+    """The merged Chrome trace document for one job directory."""
+    return {"traceEvents": fleet_trace_events(job_dir),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "ts_unit": "wall-clock microseconds since first event",
+                "source": str(job_dir)}}
+
+
+def write_fleet_trace(path: Union[str, Path],
+                      job_dir: Union[str, Path]) -> int:
+    """Write the merged trace as JSON; returns the trace-event count."""
+    doc = fleet_chrome_trace(job_dir)
+    Path(path).write_text(json.dumps(doc, indent=1), encoding="utf-8")
+    return len(doc["traceEvents"])
+
+
+__all__ = ["PID_JOB", "PID_WORKER0", "PointTraceSink",
+           "fleet_chrome_trace", "fleet_trace_events",
+           "write_fleet_trace"]

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import IO, Any, List, Optional, Union
+from typing import IO, Any, Dict, List, Optional, Union
 
 from .events import TelemetryEvent
 from .metrics import MetricsRegistry
@@ -62,14 +62,25 @@ class JsonlSink:
 
     Accepts an open text file object; the caller owns its lifetime.
     Tuples (tile coordinates, bucket bounds) serialize as JSON arrays.
+
+    ``extra`` (optional) is a dict of correlation fields merged into
+    every record — the sweep service stamps ``job_id`` / ``worker_id``
+    / ``point_id`` here so per-point streams from a whole fleet can be
+    merged into one timeline after the fact.  Event fields win on a
+    name clash; :func:`repro.telemetry.io.load_jsonl_events` ignores
+    the extras, so a correlated stream stays loadable everywhere a
+    plain one is.
     """
 
-    def __init__(self, stream: IO[str]):
+    def __init__(self, stream: IO[str],
+                 extra: Optional[Dict[str, Any]] = None):
         self.stream = stream
+        self.extra = dict(extra) if extra else None
 
     def handle(self, event: TelemetryEvent) -> None:
         """Serialize one event as a JSON line."""
-        record = {"type": type(event).__name__}
+        record = dict(self.extra) if self.extra else {}
+        record["type"] = type(event).__name__
         record.update(dataclasses.asdict(event))
         self.stream.write(json.dumps(record, default=str) + "\n")
 

@@ -134,6 +134,21 @@ class Histogram:
         """Average of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def cumulative_counts(self) -> List[int]:
+        """Running totals per bucket (Prometheus ``le`` semantics).
+
+        Entry *i* counts every observation ``<= buckets[i]``; the final
+        entry covers the overflow bucket and therefore equals
+        ``count``.  The stored :attr:`counts` stay non-cumulative — the
+        shape :meth:`merge` needs — so this is computed on demand for
+        the exposition layer.
+        """
+        out, running = [], 0
+        for n in self.counts:
+            running += n
+            out.append(running)
+        return out
+
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's counts in (bucket-wise addition).
 
@@ -220,8 +235,11 @@ class MetricsRegistry:
         """Flatten every metric into a ``{dotted.name: number}`` dict.
 
         Histograms expand into ``<name>.count``, ``<name>.sum``,
-        ``<name>.mean`` and one ``<name>.le_<bound>`` entry per bucket
-        plus ``<name>.le_inf`` for the overflow bucket.
+        ``<name>.mean``, one ``<name>.le_<bound>`` entry per bucket
+        plus ``<name>.le_inf`` for the overflow bucket, and — for the
+        Prometheus exposition format, which wants running totals — a
+        parallel cumulative set ``<name>.le_cum_<bound>`` /
+        ``<name>.le_cum_inf`` (the last equals ``<name>.count``).
         """
         out: Dict[str, Number] = {}
         for name in sorted(self._metrics):
@@ -230,9 +248,13 @@ class MetricsRegistry:
                 out[f"{name}.count"] = metric.count
                 out[f"{name}.sum"] = metric.total
                 out[f"{name}.mean"] = metric.mean
-                for bound, n in zip(metric.buckets, metric.counts):
+                cumulative = metric.cumulative_counts()
+                for bound, n, total in zip(metric.buckets, metric.counts,
+                                           cumulative):
                     out[f"{name}.le_{bound}"] = n
+                    out[f"{name}.le_cum_{bound}"] = total
                 out[f"{name}.le_inf"] = metric.counts[-1]
+                out[f"{name}.le_cum_inf"] = cumulative[-1]
             else:
                 out[name] = metric.value
         return out

@@ -79,22 +79,37 @@ class ProgressLog:
     def tail(self, offset: int = 0,
              poll_s: float = 0.2,
              done_events: Optional[frozenset] = None,
-             timeout_s: Optional[float] = None) -> Iterator[dict]:
+             timeout_s: Optional[float] = None,
+             heartbeat_s: Optional[float] = None) -> Iterator[dict]:
         """Yield records as they land, following the growing file.
 
         Stops after yielding a record whose ``event`` is in
         ``done_events`` (a terminal job event), or after ``timeout_s``
         of wall clock — never blocks a server thread forever on an
         abandoned job.
+
+        ``heartbeat_s`` keeps an otherwise-idle stream audibly alive:
+        whenever that long passes without a real record, a synthetic
+        ``{"event": "heartbeat"}`` record is yielded.  Heartbeats are
+        never written to the file — they exist so a chunked HTTP
+        follower behind a read-timeout proxy sees periodic bytes while
+        a long point simulates.
         """
         deadline = None if timeout_s is None else time.time() + timeout_s
+        last_activity = time.time()
         while True:
             for record, offset in self._scan(offset):
+                last_activity = time.time()
                 yield record
                 if done_events and record.get("event") in done_events:
                     return
-            if deadline is not None and time.time() >= deadline:
+            now = time.time()
+            if deadline is not None and now >= deadline:
                 return
+            if heartbeat_s is not None and now - last_activity >= heartbeat_s:
+                last_activity = now
+                yield {"event": "heartbeat", "ts": round(now, 6),
+                       "pid": os.getpid()}
             time.sleep(poll_s)
 
     def _scan(self, offset: int) -> Iterator[tuple]:

@@ -26,9 +26,12 @@ from repro.experiments import (ArtifactStore, ExperimentSpec, SpeedupMatrix,
 from repro.experiments.engine import sweep_result_from_store
 from repro.service import (DEFAULT_LEASE_TTL_S, JobRecord, JobStore,
                            SweepClient, claim_point, job_id_for, run_worker)
+from repro.service.fleet import (FleetReporter, job_progress, read_fleet,
+                                 read_worker_status, worker_file_name)
 from repro.service.jobs import TERMINAL_EVENTS
 from repro.service.queue import read_lease
 from repro.service.server import create_server
+from repro.telemetry.fleet_trace import PID_WORKER0, fleet_chrome_trace
 from repro.telemetry.progress import ProgressLog
 
 SRC = Path(__file__).resolve().parent.parent / "src"
@@ -167,6 +170,42 @@ class TestProgressLog:
         seen = [e["event"] for e in
                 log.tail(done_events=TERMINAL_EVENTS, timeout_s=5.0)]
         assert seen == ["point_done", "job_done"]
+
+    def test_tail_is_exact_under_concurrent_writer(self, tmp_path):
+        """Offset-resume must neither duplicate nor skip records while
+        a writer keeps appending mid-read."""
+        log = ProgressLog(tmp_path / "events.jsonl")
+        total = 200
+
+        def writer():
+            appender = ProgressLog(log.path)
+            for i in range(total):
+                appender.emit("tick", n=i)
+                if i % 20 == 0:  # let the tailer race a partial file
+                    time.sleep(0.002)
+            appender.emit("job_done")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            seen = list(log.tail(done_events=TERMINAL_EVENTS,
+                                 poll_s=0.001, timeout_s=30.0))
+        finally:
+            thread.join(timeout=30)
+        assert [e["n"] for e in seen if e["event"] == "tick"] \
+            == list(range(total))
+        assert seen[-1]["event"] == "job_done"
+
+    def test_tail_heartbeats_on_idle_stream(self, tmp_path):
+        log = ProgressLog(tmp_path / "events.jsonl")
+        log.emit("job_submitted")
+        seen = list(log.tail(poll_s=0.01, timeout_s=0.5,
+                             heartbeat_s=0.1))
+        beats = [e for e in seen if e["event"] == "heartbeat"]
+        assert seen[0]["event"] == "job_submitted"
+        assert beats and all("ts" in b for b in beats)
+        # Synthetic only: the file itself never grows a heartbeat line.
+        assert all(e["event"] != "heartbeat" for e in log.read())
 
 
 # ---------------------------------------------------------------------------
@@ -621,3 +660,362 @@ class TestWorkerTelemetryFlag:
         summary = store.load(point.point_id)
         assert summary is not None
         assert not getattr(summary, "telemetry", None)
+
+
+# ---------------------------------------------------------------------------
+# fleet health reporting
+
+
+class TestFleetReporter:
+    def test_snapshot_roundtrips_through_checksum(self, tmp_path):
+        reporter = FleetReporter(tmp_path, "w1")
+        reporter.write()
+        status = read_worker_status(reporter.path)
+        assert status["schema"] == "repro.worker/v1"
+        assert status["worker_id"] == "w1"
+        assert status["state"] == "idle"
+        assert status["pid"] == os.getpid()
+        assert "checksum" not in status  # stripped after verification
+
+    def test_mutators_write_through(self, tmp_path):
+        reporter = FleetReporter(tmp_path, "w1")
+        reporter.point_started("job-a", "p0")
+        status = read_worker_status(reporter.path)
+        assert status["state"] == "running"
+        assert (status["job_id"], status["point_id"]) == ("job-a", "p0")
+        reporter.point_finished(ok=True, attempts=3)
+        reporter.point_finished(ok=False)
+        status = read_worker_status(reporter.path)
+        assert status["points_completed"] == 1
+        assert status["points_failed"] == 1
+        assert status["attempts_extra"] == 2
+        assert status["points_per_s"] >= 0.0
+
+    def test_worker_id_is_slugged_into_filename(self, tmp_path):
+        assert worker_file_name("host:8/w 1") == "host-8-w-1.json"
+        reporter = FleetReporter(tmp_path, "host:8/w 1")
+        reporter.write()
+        assert reporter.path.exists()
+        assert read_worker_status(reporter.path)["worker_id"] \
+            == "host:8/w 1"
+
+    def test_corrupt_snapshot_is_quarantined(self, tmp_path):
+        reporter = FleetReporter(tmp_path, "w1")
+        reporter.write()
+        reporter.path.write_text(
+            reporter.path.read_text().replace(
+                '"state": "idle"', '"state": "evil"'))
+        assert read_worker_status(reporter.path) is None
+        assert not reporter.path.exists()  # moved aside, not left live
+        assert reporter.path.with_name(
+            reporter.path.name + ".corrupt").exists()
+
+    def test_unwritable_path_degrades_never_raises(self, tmp_path):
+        blocker = tmp_path / "fleet"
+        blocker.write_text("a file where the directory should be")
+        reporter = FleetReporter(tmp_path, "w1")
+        reporter.write()  # must swallow the OSError
+        assert reporter.degraded
+        reporter.point_finished(ok=True)  # still safe once degraded
+
+    def test_beat_thread_keeps_mtime_fresh(self, tmp_path):
+        reporter = FleetReporter(tmp_path, "w1", interval_s=0.05)
+        reporter.start()
+        try:
+            old = time.time() - 60.0
+            os.utime(reporter.path, (old, old))
+            deadline = time.time() + 5.0
+            while time.time() - reporter.path.stat().st_mtime > 1.0:
+                assert time.time() < deadline, "beat thread never wrote"
+                time.sleep(0.02)
+        finally:
+            reporter.stop()
+        assert read_worker_status(reporter.path)["state"] == "exited"
+
+    def test_read_fleet_flags_stale_and_exited(self, tmp_path):
+        FleetReporter(tmp_path, "live").write()
+        gone = FleetReporter(tmp_path, "gone")
+        gone.write()
+        old = time.time() - 120.0
+        os.utime(gone.path, (old, old))
+        roster = read_fleet(tmp_path, stale_after_s=30.0)
+        assert roster["live"] == 1 and roster["stale"] == 1
+        by_id = {w["worker_id"]: w for w in roster["workers"]}
+        assert not by_id["live"]["stale"]
+        assert by_id["gone"]["stale"]
+        assert by_id["gone"]["age_s"] > 30.0
+        # A clean shutdown is stale regardless of how fresh its file is.
+        done = FleetReporter(tmp_path, "done")
+        done.stop()
+        assert {w["worker_id"] for w in
+                read_fleet(tmp_path, stale_after_s=30.0)["workers"]
+                if w["stale"]} == {"gone", "done"}
+
+    def test_read_fleet_empty_store(self, tmp_path):
+        roster = read_fleet(tmp_path)
+        assert roster["workers"] == []
+        assert roster["live"] == 0 and roster["stale"] == 0
+
+
+# ---------------------------------------------------------------------------
+# job progress / ETA
+
+
+class TestJobProgress:
+    def test_eta_from_completion_rate(self):
+        now = 1000.0
+        counts = {"total": 4, "completed": 2, "failed": 0,
+                  "leased": 1, "pending": 1}
+        events = [{"event": "point_done", "ts": 990.0},
+                  {"event": "point_done", "ts": 995.0}]
+        progress = job_progress(counts, events, now=now)
+        assert progress["percent"] == 50.0
+        assert progress["points_per_s"] == pytest.approx(0.2)
+        assert progress["eta_s"] == pytest.approx(10.0)
+
+    def test_no_completions_means_no_eta(self):
+        counts = {"total": 4, "completed": 0, "failed": 0,
+                  "leased": 0, "pending": 4}
+        progress = job_progress(counts, [{"event": "job_submitted",
+                                          "ts": 1.0}], now=10.0)
+        assert progress["percent"] == 0.0
+        assert progress["points_per_s"] == 0.0
+        assert progress["eta_s"] is None
+
+    def test_finished_job_reports_zero_eta(self):
+        now = 1000.0
+        counts = {"total": 2, "completed": 1, "failed": 1,
+                  "leased": 0, "pending": 0}
+        events = [{"event": "point_done", "ts": 400.0},
+                  {"event": "point_failed", "ts": 600.0}]
+        progress = job_progress(counts, events, now=now)
+        assert progress["percent"] == 100.0
+        assert progress["eta_s"] == 0.0
+        # Idle past the window: the rate falls back to the whole run.
+        assert progress["points_per_s"] > 0.0
+
+    def test_failed_points_count_toward_progress(self):
+        counts = {"total": 4, "completed": 1, "failed": 1,
+                  "leased": 0, "pending": 2}
+        assert job_progress(counts, [], now=10.0)["percent"] == 50.0
+
+
+# ---------------------------------------------------------------------------
+# live observability over HTTP: /v1/metrics, /v1/fleet, heartbeats
+
+
+def _parse_exposition(text):
+    """{name: value} for every sample line; also sanity-checks syntax."""
+    import re
+    samples = {}
+    for line in text.strip().splitlines():
+        if line.startswith("# TYPE "):
+            assert re.fullmatch(r"# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+                                r"(counter|gauge|histogram)", line), line
+            continue
+        match = re.fullmatch(
+            r'([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="[^"]+"\})? (\S+)', line)
+        assert match, f"malformed exposition line: {line!r}"
+        samples[match.group(1) + (match.group(2) or "")] = \
+            float(match.group(3).replace("+Inf", "inf"))
+    return samples
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_well_formed(self, served):
+        url, _ = served
+        client = SweepClient(url)
+        client.ping()
+        client.submit(tiny_spec())
+
+        import urllib.request
+        # A request is counted just *after* its response is written, so
+        # an immediate scrape may race the submit's accounting: poll.
+        deadline = time.time() + 5.0
+        while True:
+            with urllib.request.urlopen(f"{url}/v1/metrics",
+                                        timeout=10) as response:
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4")
+                text = response.read().decode("utf-8")
+            samples = _parse_exposition(text)
+            if ("repro_http_requests_jobs_POST_201_total" in samples
+                    or time.time() >= deadline):
+                break
+            time.sleep(0.05)
+
+        # Request counters saw the ping and the submit.
+        assert samples["repro_http_requests_ping_GET_200_total"] >= 1
+        assert samples["repro_http_requests_jobs_POST_201_total"] == 1
+        # Store-derived gauges reflect the queued 4-point job.
+        assert samples["repro_service_jobs_total"] == 1
+        assert samples["repro_service_jobs_queued"] == 1
+        assert samples["repro_service_queue_depth"] == 4
+        # Event counters fold in the progress log.
+        assert samples["repro_service_events_job_submitted_total"] == 1
+
+    def test_latency_histogram_buckets_are_cumulative(self, served):
+        url, _ = served
+        client = SweepClient(url)
+        for _ in range(3):
+            client.ping()
+        samples = _parse_exposition(client.metrics_text())
+        prefix = "repro_http_latency_s_ping_bucket"
+        buckets = [(key, value) for key, value in samples.items()
+                   if key.startswith(prefix)]
+        assert buckets, "ping latency histogram missing"
+        values = [v for _, v in buckets]
+        assert values == sorted(values), "le buckets must be cumulative"
+        inf = samples[prefix + '{le="+Inf"}']
+        assert inf == samples["repro_http_latency_s_ping_count"]
+        assert inf >= 3
+
+    def test_event_counters_are_monotonic_across_scrapes(self, served):
+        url, _ = served
+        client = SweepClient(url)
+        client.submit(tiny_spec())
+        client.metrics_text()  # a scrape counts itself only afterwards
+        first = _parse_exposition(client.metrics_text())
+        second = _parse_exposition(client.metrics_text())
+        # Incremental offsets: the submitted event is counted once,
+        # not re-counted per scrape.
+        key = "repro_service_events_job_submitted_total"
+        assert first[key] == second[key] == 1
+        # Request counters only ever grow (scrape accounting is
+        # asynchronous, so compare with >=, not strict growth).
+        assert second.get("repro_http_requests_metrics_GET_200_total",
+                          0) \
+            >= first.get("repro_http_requests_metrics_GET_200_total",
+                         0)
+
+
+class TestFleetEndpoint:
+    def test_roster_reports_live_and_stale(self, served):
+        url, store = served
+        FleetReporter(store.root, "fresh").write()
+        gone = FleetReporter(store.root, "gone")
+        gone.write()
+        old = time.time() - 300.0
+        os.utime(gone.path, (old, old))
+
+        roster = SweepClient(url).fleet()
+        assert roster["live"] == 1 and roster["stale"] == 1
+        by_id = {w["worker_id"]: w for w in roster["workers"]}
+        assert not by_id["fresh"]["stale"]
+        assert by_id["gone"]["stale"]
+        # A longer horizon via the query parameter revives it.
+        wide = SweepClient(url).fleet(stale_after_s=600.0)
+        assert wide["live"] == 2 and wide["stale_after_s"] == 600.0
+
+    def test_empty_fleet_is_empty_roster_not_error(self, served):
+        url, _ = served
+        roster = SweepClient(url).fleet()
+        assert roster == {"workers": [], "live": 0, "stale": 0,
+                          "stale_after_s": 30.0,
+                          "generated_at": roster["generated_at"]}
+
+    def test_bad_stale_after_is_400(self, served):
+        url, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            SweepClient(url).fleet(stale_after_s="soon")
+        assert excinfo.value.status == 400
+
+
+class TestEventsHeartbeat:
+    def test_idle_follow_emits_heartbeat_chunks(self, served):
+        url, _ = served
+        client = SweepClient(url)
+        record = client.submit(tiny_spec())  # queued, nobody works it
+        events = list(client.events(record.job_id, follow=True,
+                                    timeout_s=1.0, heartbeat_s=0.2,
+                                    include_heartbeats=True))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "job_submitted"
+        assert kinds.count("heartbeat") >= 2
+        # The client filters them out of normal consumption.
+        quiet = list(client.events(record.job_id, follow=True,
+                                   timeout_s=0.6, heartbeat_s=0.2))
+        assert all(e["event"] != "heartbeat" for e in quiet)
+
+    def test_access_log_routes_through_repro_logger(self, served,
+                                                    caplog):
+        url, _ = served
+        import logging
+        with caplog.at_level(logging.DEBUG,
+                             logger="repro.service.server"):
+            SweepClient(url).ping()
+        assert any("GET /v1/ping" in r.message for r in caplog.records)
+
+
+# ---------------------------------------------------------------------------
+# end to end: a two-worker sweep is fully observable
+
+
+class TestFleetObservabilityE2E:
+    def test_progress_fleet_and_merged_trace(self, shared_cache_dir,
+                                             served, tmp_path):
+        url, store = served
+        client = SweepClient(url)
+        record = client.submit(tiny_spec(), point_telemetry=True)
+        # Split the 4 points across two sequential workers so the
+        # merged timeline has two genuinely distinct worker tracks.
+        assert run_worker(store.root, worker_id="w1", once=True,
+                          max_points=2, lease_ttl_s=5.0) == 2
+        assert run_worker(store.root, worker_id="w2", once=True,
+                          lease_ttl_s=5.0) == 2
+        final = client.wait(record.job_id, timeout_s=30.0)
+        assert final.state == "done"
+
+        # Progress/ETA on the status payload.
+        progress = client.status(record.job_id).progress
+        assert progress["percent"] == 100.0
+        assert progress["eta_s"] == 0.0
+        assert progress["points_per_s"] > 0.0
+
+        # Both workers reported health; both exited, hence stale.
+        roster = client.fleet()
+        assert {w["worker_id"] for w in roster["workers"]} \
+            == {"w1", "w2"}
+        assert roster["live"] == 0 and roster["stale"] == 2
+        done_counts = {w["worker_id"]: w["points_completed"]
+                       for w in roster["workers"]}
+        assert done_counts == {"w1": 2, "w2": 2}
+
+        # The scrape saw the drain.
+        samples = _parse_exposition(client.metrics_text())
+        assert samples["repro_service_events_point_done_total"] == 4
+        assert samples["repro_service_jobs_done"] == 1
+        assert samples["repro_service_queue_depth"] == 0
+
+        # Per-point streams carry the correlation fields...
+        trace_files = sorted(
+            store.traces_dir(record.job_id).glob("*.jsonl"))
+        assert len(trace_files) == 4
+        first = json.loads(trace_files[0].read_text()
+                           .splitlines()[0])
+        assert first["job_id"] == record.job_id
+        assert first["worker_id"] in ("w1", "w2")
+        assert first["point_id"]
+
+        # ...and merge into one timeline with a pid per worker.
+        doc = fleet_chrome_trace(store.job_dir(record.job_id))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 4
+        assert {e["pid"] for e in spans} \
+            == {PID_WORKER0, PID_WORKER0 + 1}
+        assert all(e["args"]["job_id"] == record.job_id
+                   and e["args"]["point_id"] for e in spans)
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {"job", "worker w1", "worker w2"}
+
+        # The CLI surfaces all of it: the fleet view and the merged
+        # trace artifact.
+        from repro.cli import main
+        assert main(["fleet", "--server", url]) == 0
+        out = tmp_path / "fleet_trace.json"
+        assert main(["trace", "--store", str(store.root),
+                     "--out", str(out)]) == 0
+        written = json.loads(out.read_text())
+        assert {e["pid"] for e in written["traceEvents"]
+                if e["ph"] == "X"} == {PID_WORKER0, PID_WORKER0 + 1}

@@ -8,6 +8,7 @@ The two load-bearing guarantees:
   bit-identical to the same run with it off.
 """
 
+import io
 import json
 
 import pytest
@@ -16,10 +17,14 @@ from repro.config import libra_config
 from repro.core import LibraScheduler
 from repro.gpu import GPUSimulator
 from repro.telemetry import (DRAMSample, FSMState, FSMTransition, HUB,
-                             HarnessSpan, Histogram, MetricsRegistry,
-                             PhaseBegin, PhaseEnd, RecordingSink,
-                             TileDispatch, TileRetire, chrome_trace,
-                             telemetry_session)
+                             HarnessSpan, Histogram, JsonlSink,
+                             MetricsRegistry, PID_JOB, PID_WORKER0,
+                             PhaseBegin, PhaseEnd, PointTraceSink,
+                             RecordingSink, TileDispatch, TileRetire,
+                             chrome_trace, fleet_chrome_trace,
+                             fleet_trace_events, metric_name,
+                             render_exposition, telemetry_session)
+from repro.telemetry.exposition import cumulative_counts
 from repro.workloads import TraceBuilder, make_scene_builder
 
 WIDTH, HEIGHT, TILE = 256, 128, 32
@@ -397,3 +402,207 @@ class TestCliTrace:
                      "trace", "GDL", "--frames", "2", "--out", out])
         assert code == 0
         assert len(load_traces(out)) == 2
+
+
+class TestExposition:
+    def test_renders_every_metric_family(self):
+        reg = MetricsRegistry()
+        reg.counter("dram.reads").inc(7)
+        reg.gauge("l1tex.hit_ratio").set(0.5)
+        h = reg.histogram("lat.s", (0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = render_exposition(reg)
+        assert ("# TYPE repro_dram_reads_total counter\n"
+                "repro_dram_reads_total 7") in text
+        assert ("# TYPE repro_l1tex_hit_ratio gauge\n"
+                "repro_l1tex_hit_ratio 0.5") in text
+        assert "# TYPE repro_lat_s histogram" in text
+        assert 'repro_lat_s_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_s_bucket{le="1"} 2' in text
+        assert 'repro_lat_s_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_s_count 3" in text
+        assert "repro_lat_s_sum 5.55" in text
+        assert text.endswith("\n")
+
+    def test_names_mangled_into_exposition_charset(self):
+        assert metric_name("http.latency_s.job.result") \
+            == "repro_http_latency_s_job_result"
+        assert metric_name("a-b c/d", "_total") == "repro_a_b_c_d_total"
+        import re
+        for dotted in ("x.y", "weird name!", "a:b"):
+            assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*",
+                                metric_name(dotted))
+
+    def test_inf_bucket_equals_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", (10, 20))
+        for v in (5, 15, 25, 100):
+            h.observe(v)
+        text = render_exposition(reg)
+        assert 'repro_lat_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_count 4" in text
+        assert cumulative_counts(h.counts)[-1] == h.count
+
+    def test_render_is_pure_function_of_dump_state(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.25)
+        reg.histogram("h", (1.0, 2.0)).observe(1.5)
+        rebuilt = MetricsRegistry.from_state(reg.dump())
+        assert render_exposition(reg) == render_exposition(rebuilt)
+        assert render_exposition(reg) == render_exposition(reg.dump())
+
+    def test_unknown_dump_types_are_skipped_not_fatal(self):
+        state = {"new.metric": {"type": "exotic", "value": 1}}
+        assert render_exposition(state) == "\n"
+
+    def test_empty_registry_renders_empty_document(self):
+        assert render_exposition(MetricsRegistry()) == "\n"
+
+
+class TestSnapshotCumulativeBuckets:
+    def test_cumulative_counts_method(self):
+        h = Histogram("h", (10, 20, 40))
+        for v in (0, 10, 11, 20, 21, 40, 41, 1000):
+            h.observe(v)
+        assert h.counts == [2, 2, 2, 2]  # storage stays non-cumulative
+        assert h.cumulative_counts() == [2, 4, 6, 8]
+        assert h.cumulative_counts()[-1] == h.count
+
+    def test_snapshot_carries_cumulative_expansion(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", (100, 200))
+        h.observe(50)
+        h.observe(250)
+        snap = reg.snapshot()
+        # The non-cumulative keys are unchanged (pinned above)...
+        assert snap["lat.le_100"] == 1 and snap["lat.le_inf"] == 1
+        # ...and the cumulative expansion sits alongside them.
+        assert snap["lat.le_cum_100"] == 1
+        assert snap["lat.le_cum_200"] == 1
+        assert snap["lat.le_cum_inf"] == snap["lat.count"] == 2
+
+    def test_snapshot_roundtrips_through_dump(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        h = reg.histogram("lat", (100, 200))
+        for v in (50, 150, 250):
+            h.observe(v)
+        assert MetricsRegistry.from_state(reg.dump()).snapshot() \
+            == reg.snapshot()
+
+
+class TestCorrelatedSinks:
+    def _event(self):
+        event = HarnessSpan(name="GDL/libra", wall_start_s=10.0,
+                            wall_dur_s=0.5, status="ok", attempts=1)
+        event.seq = 1
+        return event
+
+    def test_jsonl_sink_stamps_extra_fields(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream, extra={"job_id": "j1",
+                                        "worker_id": "w1"})
+        sink.handle(self._event())
+        record = json.loads(stream.getvalue())
+        assert record["type"] == "HarnessSpan"
+        assert record["job_id"] == "j1"
+        assert record["worker_id"] == "w1"
+        assert record["name"] == "GDL/libra"
+
+    def test_event_fields_win_over_extra_on_clash(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream, extra={"name": "imposter"})
+        sink.handle(self._event())
+        assert json.loads(stream.getvalue())["name"] == "GDL/libra"
+
+    def test_point_trace_sink_lazily_creates_file(self, tmp_path):
+        path = tmp_path / "traces" / "p0.123.jsonl"
+        sink = PointTraceSink(path, extra={"point_id": "p0"})
+        assert not path.exists()  # nothing until the first event
+        sink.handle(self._event())
+        sink.close()
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["point_id"] == "p0"
+        assert record["type"] == "HarnessSpan"
+
+    def test_point_trace_sink_degrades_never_raises(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        sink = PointTraceSink(blocker / "deeper" / "p.jsonl")
+        sink.handle(self._event())  # must swallow the OSError
+        assert sink.degraded
+        sink.handle(self._event())  # and stay silent afterwards
+        sink.close()
+
+
+class TestFleetTraceMerge:
+    def _job_dir(self, tmp_path):
+        job_dir = tmp_path / "job"
+        traces = job_dir / "traces"
+        traces.mkdir(parents=True)
+        span = {"type": "HarnessSpan", "name": "tri.p0",
+                "wall_start_s": 100.0, "wall_dur_s": 2.0,
+                "status": "ok", "attempts": 1,
+                "job_id": "j1", "worker_id": "w1", "point_id": "p0"}
+        (traces / "p0.11.jsonl").write_text(json.dumps(span) + "\n")
+        events = [
+            {"event": "job_submitted", "ts": 99.0, "job_id": "j1"},
+            {"event": "point_claimed", "ts": 100.0, "owner": "w1",
+             "point_id": "p0"},
+            {"event": "point_done", "ts": 102.0, "owner": "w1",
+             "point_id": "p0", "elapsed_s": 2.0},
+            {"event": "point_claimed", "ts": 100.5, "owner": "w2",
+             "point_id": "p1"},
+            # w2's stream was lost: only the completion event remains.
+            {"event": "point_done", "ts": 103.5, "owner": "w2",
+             "point_id": "p1", "elapsed_s": 3.0, "attempts": 2},
+            {"event": "job_done", "ts": 104.0, "job_id": "j1"},
+        ]
+        (job_dir / "events.jsonl").write_text(
+            "".join(json.dumps(e) + "\n" for e in events))
+        return job_dir
+
+    def test_one_pid_per_worker_sorted_by_id(self, tmp_path):
+        events = fleet_trace_events(self._job_dir(tmp_path))
+        names = {e["pid"]: e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names[PID_JOB] == "job"
+        assert names[PID_WORKER0] == "worker w1"
+        assert names[PID_WORKER0 + 1] == "worker w2"
+
+    def test_spans_carry_correlation_args(self, tmp_path):
+        events = fleet_trace_events(self._job_dir(tmp_path))
+        spans = {e["args"]["point_id"]: e for e in events
+                 if e["ph"] == "X"}
+        real = spans["p0"]
+        assert real["pid"] == PID_WORKER0
+        assert real["dur"] == 2_000_000  # 2 s in microseconds
+        assert real["args"]["job_id"] == "j1"
+        assert real["args"]["status"] == "ok"
+        # The lost stream is synthesized back from point_done.
+        synth = spans["p1"]
+        assert synth["pid"] == PID_WORKER0 + 1
+        assert synth["args"]["synthesized_from"] == "point_done"
+        assert synth["dur"] == 3_000_000
+        assert synth["args"]["attempts"] == 2
+
+    def test_timeline_is_relative_wall_clock_microseconds(self, tmp_path):
+        events = fleet_trace_events(self._job_dir(tmp_path))
+        timed = [e for e in events if e["ph"] != "M"]
+        assert min(e["ts"] for e in timed) == 0  # job_submitted at t0
+        claimed = [e for e in timed if e["name"] == "point_claimed"]
+        assert {e["ts"] for e in claimed} == {1_000_000, 1_500_000}
+        lifecycle = [e for e in timed if e["pid"] == PID_JOB]
+        assert [e["name"] for e in lifecycle] \
+            == ["job_submitted", "job_done"]
+
+    def test_document_shape_and_empty_job_dir(self, tmp_path):
+        doc = fleet_chrome_trace(self._job_dir(tmp_path))
+        doc = json.loads(json.dumps(doc))  # JSON-serializable
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["ts_unit"].startswith("wall-clock")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert fleet_trace_events(empty) == []
